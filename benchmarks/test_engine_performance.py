@@ -1,0 +1,73 @@
+"""Simulator performance benchmarks.
+
+Not a paper figure — these time the substrate itself so regressions in
+the engine hot paths (view exchange, partner selection, SDM
+computation) are visible in the pytest-benchmark table.  Unlike the
+figure benchmarks these use multiple rounds, since they measure time.
+"""
+
+import pytest
+
+from repro.core.slices import SlicePartition
+from repro.engine.event_sim import EventSimulation
+from repro.experiments.config import RunSpec, build_simulation
+from repro.metrics.disorder import global_disorder, slice_disorder
+from repro.core.ranking import RankingProtocol
+
+
+def run_cycles(spec, cycles):
+    sim = build_simulation(spec)
+    sim.run(cycles)
+    return sim
+
+
+class TestCycleEngine:
+    def test_modjk_1000_nodes_10_cycles(self, benchmark):
+        spec = RunSpec(n=1000, slice_count=10, view_size=20, protocol="mod-jk")
+        sim = benchmark.pedantic(
+            run_cycles, args=(spec, 10), rounds=3, iterations=1
+        )
+        assert sim.live_count == 1000
+
+    def test_ranking_1000_nodes_10_cycles(self, benchmark):
+        spec = RunSpec(n=1000, slice_count=10, view_size=20, protocol="ranking")
+        sim = benchmark.pedantic(
+            run_cycles, args=(spec, 10), rounds=3, iterations=1
+        )
+        assert sim.live_count == 1000
+
+
+class TestMetrics:
+    def test_sdm_computation_5000_nodes(self, benchmark):
+        spec = RunSpec(n=5000, slice_count=100, view_size=10, protocol="ranking")
+        sim = build_simulation(spec)
+        sim.run(2)
+        partition = spec.partition()
+        value = benchmark(lambda: slice_disorder(sim.live_nodes(), partition))
+        assert value >= 0.0
+
+    def test_gdm_computation_5000_nodes(self, benchmark):
+        spec = RunSpec(n=5000, slice_count=100, view_size=10, protocol="mod-jk")
+        sim = build_simulation(spec)
+        sim.run(2)
+        value = benchmark(lambda: global_disorder(sim.live_nodes()))
+        assert value >= 0.0
+
+
+class TestEventEngine:
+    def test_event_engine_500_nodes_10_units(self, benchmark):
+        partition = SlicePartition.equal(10)
+
+        def run():
+            sim = EventSimulation(
+                size=500,
+                partition=partition,
+                slicer_factory=lambda: RankingProtocol(partition),
+                view_size=10,
+                seed=1,
+            )
+            sim.run_until(10.0)
+            return sim
+
+        sim = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert sim.live_count == 500

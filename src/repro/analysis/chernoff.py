@@ -1,0 +1,113 @@
+"""Lemma 4.1: Chernoff bounds on slice cardinality (Section 4.4).
+
+When every node draws a uniform random value in (0, 1], the number of
+nodes landing in a slice of length ``p`` is Binomial(n, p).  Lemma 4.1
+bounds its deviation:
+
+    Pr[|X - np| >= beta * np] <= 2 * exp(-beta^2 * n * p / 3)
+
+for ``beta`` in (0, 1], and therefore a slice holds between
+``(1-beta) n p`` and ``(1+beta) n p`` nodes with probability at least
+``1 - eps`` as long as
+
+    p >= 3 * ln(2 / eps) / (beta^2 * n).
+
+These functions quantify the *inherent* slice-assignment inaccuracy of
+the random-value (ordering) approach — the reason the SDM of JK and
+mod-JK plateaus above zero in Figures 4 and 6(a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "deviation_probability_bound",
+    "minimum_slice_width",
+    "maximum_beta",
+    "cardinality_bounds",
+    "SliceCardinalityBound",
+]
+
+
+def _check_beta(beta: float) -> None:
+    if not 0.0 < beta <= 1.0:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+
+
+def _check_probability(p: float, name: str = "p") -> None:
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {p}")
+
+
+def deviation_probability_bound(n: int, p: float, beta: float) -> float:
+    """Upper bound on ``Pr[|X - np| >= beta n p]`` (Lemma 4.1).
+
+    Combines the two one-sided Chernoff bounds the proof uses into the
+    stated two-sided form ``2 exp(-beta^2 n p / 3)``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    _check_probability(p)
+    _check_beta(beta)
+    return min(1.0, 2.0 * math.exp(-(beta ** 2) * n * p / 3.0))
+
+
+def minimum_slice_width(n: int, beta: float, eps: float) -> float:
+    """Smallest slice length ``p`` covered by Lemma 4.1's guarantee:
+
+    ``p >= 3 ln(2/eps) / (beta^2 n)`` ensures the slice population
+    deviates from ``n p`` by more than a factor ``beta`` with
+    probability at most ``eps``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    _check_beta(beta)
+    _check_probability(eps, "eps")
+    return 3.0 * math.log(2.0 / eps) / (beta ** 2 * n)
+
+
+def maximum_beta(n: int, p: float, eps: float) -> float:
+    """The tightest relative deviation ``beta`` guaranteed at level
+    ``eps`` for a slice of length ``p``: inverts
+    :func:`minimum_slice_width` (clamped to the lemma's (0, 1] domain).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    _check_probability(p)
+    _check_probability(eps, "eps")
+    beta = math.sqrt(3.0 * math.log(2.0 / eps) / (n * p))
+    return min(1.0, beta)
+
+
+@dataclass(frozen=True)
+class SliceCardinalityBound:
+    """A concrete instantiation of Lemma 4.1 for one slice."""
+
+    n: int
+    p: float
+    eps: float
+    beta: float
+    low: float
+    high: float
+
+    @property
+    def expected(self) -> float:
+        return self.n * self.p
+
+
+def cardinality_bounds(n: int, p: float, eps: float) -> SliceCardinalityBound:
+    """Population bounds ``[(1-beta)np, (1+beta)np]`` holding with
+    probability >= ``1 - eps``, with the best ``beta`` the lemma gives."""
+    beta = maximum_beta(n, p, eps)
+    expected = n * p
+    return SliceCardinalityBound(
+        n=n,
+        p=p,
+        eps=eps,
+        beta=beta,
+        low=(1.0 - beta) * expected,
+        high=(1.0 + beta) * expected,
+    )

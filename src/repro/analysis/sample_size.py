@@ -1,0 +1,108 @@
+"""Theorem 5.1: sample-size requirements of the ranking algorithm.
+
+A node whose true normalized rank is ``p`` estimates it by the fraction
+``p_hat`` of sampled attribute values at or below its own.  By the Wald
+large-sample normal approximation, the estimate's standard deviation is
+``sqrt(p_hat (1 - p_hat) / k)`` after ``k`` samples, so the slice
+estimate is *exact* with confidence ``1 - alpha`` once
+
+    k >= ( z_{alpha/2} * sqrt(p_hat (1 - p_hat)) / d )^2
+
+where ``d`` is the distance from the rank estimate to the closest
+boundary of its slice.  Nodes near a boundary (small ``d``) need many
+more samples — the quantitative justification for the algorithm's
+boundary-biased message targeting (``j1`` in Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.slices import SlicePartition
+from repro.metrics.statistics import wald_interval, z_value
+
+__all__ = [
+    "required_samples",
+    "confidence_achieved",
+    "slice_estimate_is_confident",
+    "samples_by_rank",
+    "RankConfidence",
+]
+
+
+def required_samples(p_hat: float, d: float, confidence: float = 0.95) -> float:
+    """Theorem 5.1's bound on the number of received messages.
+
+    ``p_hat`` is the node's rank estimate, ``d`` its margin to the
+    nearest boundary of its estimated slice, ``confidence`` the target
+    coefficient ``1 - alpha``.  Returns 0 for degenerate estimates
+    (``p_hat`` of exactly 0 or 1 has zero Wald variance).
+    """
+    if not 0.0 <= p_hat <= 1.0:
+        raise ValueError(f"p_hat must be in [0, 1], got {p_hat}")
+    if d <= 0.0:
+        raise ValueError("d must be positive (estimate off a boundary)")
+    z = z_value(confidence)
+    return (z * math.sqrt(p_hat * (1.0 - p_hat)) / d) ** 2
+
+
+def confidence_achieved(p_hat: float, d: float, samples: int) -> float:
+    """Confidence coefficient the Wald test grants after ``samples``.
+
+    Inverts Theorem 5.1: ``z = d sqrt(k) / sqrt(p_hat (1-p_hat))``,
+    confidence ``2 Phi(z) - 1``.  Degenerate estimates yield 1.0.
+    """
+    if samples <= 0:
+        return 0.0
+    variance = p_hat * (1.0 - p_hat)
+    if variance == 0.0:
+        return 1.0
+    z = d * math.sqrt(samples) / math.sqrt(variance)
+    # 2*Phi(z) - 1 == erf(z / sqrt(2))
+    return math.erf(z / math.sqrt(2.0))
+
+
+def slice_estimate_is_confident(
+    p_hat: float,
+    samples: int,
+    partition: SlicePartition,
+    confidence: float = 0.95,
+) -> bool:
+    """Theorem 5.1's acceptance test: does the whole Wald interval of
+    ``p_hat`` after ``samples`` observations fall inside one slice?"""
+    low, high = wald_interval(p_hat, samples, confidence)
+    current = partition.slice_of(p_hat)
+    return current.lower < low and high <= current.upper
+
+
+@dataclass(frozen=True)
+class RankConfidence:
+    """Sample requirement of one rank position."""
+
+    rank: float
+    margin: float
+    required: float
+
+
+def samples_by_rank(
+    partition: SlicePartition,
+    ranks: List[float],
+    confidence: float = 0.95,
+) -> List[RankConfidence]:
+    """Tabulate Theorem 5.1 across rank positions.
+
+    Ranks sitting exactly on a boundary have no finite requirement and
+    are reported as ``math.inf``.
+    """
+    table: List[RankConfidence] = []
+    for rank in ranks:
+        margin = partition.slice_margin(rank)
+        if margin <= 0.0:
+            table.append(RankConfidence(rank, 0.0, math.inf))
+            continue
+        table.append(
+            RankConfidence(rank, margin, required_samples(rank, margin, confidence))
+        )
+    return table

@@ -1,0 +1,38 @@
+"""Churn models and correlation policies."""
+
+from repro.churn.correlated import (
+    ArrivalAttributePolicy,
+    CorrelatedArrivals,
+    DeparturePolicy,
+    DistributionArrivals,
+    HighestAttributeDepartures,
+    LowestAttributeDepartures,
+    UniformDepartures,
+)
+from repro.churn.models import (
+    BurstChurn,
+    ChurnEvent,
+    ChurnModel,
+    NoChurn,
+    RegularChurn,
+    TraceChurn,
+)
+from repro.churn.session import SessionTraceConfig, generate_session_trace
+
+__all__ = [
+    "ArrivalAttributePolicy",
+    "CorrelatedArrivals",
+    "DeparturePolicy",
+    "DistributionArrivals",
+    "HighestAttributeDepartures",
+    "LowestAttributeDepartures",
+    "UniformDepartures",
+    "BurstChurn",
+    "ChurnEvent",
+    "ChurnModel",
+    "NoChurn",
+    "RegularChurn",
+    "TraceChurn",
+    "SessionTraceConfig",
+    "generate_session_trace",
+]

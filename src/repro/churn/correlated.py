@@ -1,0 +1,124 @@
+"""Who leaves, and what the newcomers look like.
+
+The paper's dynamic experiments make churn *correlated* with the
+attribute: "The leaving nodes are the nodes with the lowest attribute
+values while the entering nodes have higher attribute values than all
+nodes already in the system" (Section 5.3.3) — the scenario where the
+attribute is, e.g., session duration.  This steadily shifts the
+attribute population upward, which is exactly what invalidates the
+ordering algorithms' frozen random values.
+
+Uncorrelated policies are provided for the ablations: uniform-random
+departures and arrivals drawn from the original attribute distribution
+(the "easy case" of Section 3.3).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional
+
+from repro.workloads.attributes import AttributeDistribution
+
+__all__ = [
+    "DeparturePolicy",
+    "LowestAttributeDepartures",
+    "HighestAttributeDepartures",
+    "UniformDepartures",
+    "ArrivalAttributePolicy",
+    "CorrelatedArrivals",
+    "DistributionArrivals",
+]
+
+
+class DeparturePolicy(ABC):
+    """Chooses which live nodes leave."""
+
+    @abstractmethod
+    def select(self, sim, count: int) -> List[int]:
+        """Ids of the ``count`` nodes leaving this cycle."""
+
+
+class LowestAttributeDepartures(DeparturePolicy):
+    """Paper's policy: the nodes with the lowest attribute values leave
+    (ties broken by id, matching the total order)."""
+
+    def select(self, sim, count: int) -> List[int]:
+        if count <= 0:
+            return []
+        live = sim.live_nodes()
+        live.sort(key=lambda node: (node.attribute, node.node_id))
+        return [node.node_id for node in live[:count]]
+
+
+class HighestAttributeDepartures(DeparturePolicy):
+    """Inverse correlation (stress ablation): the best nodes leave."""
+
+    def select(self, sim, count: int) -> List[int]:
+        if count <= 0:
+            return []
+        live = sim.live_nodes()
+        live.sort(key=lambda node: (node.attribute, node.node_id), reverse=True)
+        return [node.node_id for node in live[:count]]
+
+
+class UniformDepartures(DeparturePolicy):
+    """Uncorrelated churn: uniformly random nodes leave."""
+
+    def select(self, sim, count: int) -> List[int]:
+        if count <= 0:
+            return []
+        live_ids = [node.node_id for node in sim.live_nodes()]
+        rng: random.Random = sim.rng("churn")
+        count = min(count, len(live_ids))
+        return rng.sample(live_ids, count)
+
+
+class ArrivalAttributePolicy(ABC):
+    """Generates attribute values for joining nodes."""
+
+    @abstractmethod
+    def attributes(self, sim, count: int) -> List[float]:
+        """Attribute values for ``count`` joiners."""
+
+
+class CorrelatedArrivals(ArrivalAttributePolicy):
+    """Paper's policy: every newcomer's attribute exceeds the current
+    maximum in the system.
+
+    Each joiner gets ``current_max + U(0, step]`` and successive
+    joiners of the same cycle keep stacking above one another, so the
+    population's attribute range drifts upward monotonically.
+    """
+
+    def __init__(self, step: float = 1.0) -> None:
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.step = step
+
+    def attributes(self, sim, count: int) -> List[float]:
+        if count <= 0:
+            return []
+        rng: random.Random = sim.rng("churn")
+        live = sim.live_nodes()
+        current_max = max((node.attribute for node in live), default=0.0)
+        values: List[float] = []
+        for _ in range(count):
+            current_max += rng.uniform(0.0, self.step) or self.step / 2.0
+            values.append(current_max)
+        return values
+
+
+class DistributionArrivals(ArrivalAttributePolicy):
+    """Uncorrelated churn: joiners drawn from a fixed distribution
+    (typically the same one the initial population used)."""
+
+    def __init__(self, distribution: AttributeDistribution) -> None:
+        self.distribution = distribution
+
+    def attributes(self, sim, count: int) -> List[float]:
+        if count <= 0:
+            return []
+        rng: random.Random = sim.rng("churn")
+        return self.distribution.sample(rng, count)

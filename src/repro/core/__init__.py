@@ -1,0 +1,44 @@
+"""The paper's contribution: slicing protocols and slice model."""
+
+from repro.core.estimators import (
+    CumulativeRankEstimator,
+    RankEstimator,
+    SlidingWindowRankEstimator,
+)
+from repro.core.ordering import (
+    SELECTION_MAX_GAIN,
+    SELECTION_RANDOM,
+    SELECTION_RANDOM_MISPLACED,
+    OrderingProtocol,
+    is_misplaced,
+    local_disorder,
+    local_sequences,
+    pairwise_gain,
+)
+from repro.core.protocol import MSG_ACK, MSG_REQ, MSG_UPD, SlicingProtocol
+from repro.core.ranking import RankingProtocol
+from repro.core.service import SliceChange, SlicingService
+from repro.core.slices import Slice, SlicePartition
+
+__all__ = [
+    "CumulativeRankEstimator",
+    "RankEstimator",
+    "SlidingWindowRankEstimator",
+    "SELECTION_MAX_GAIN",
+    "SELECTION_RANDOM",
+    "SELECTION_RANDOM_MISPLACED",
+    "OrderingProtocol",
+    "is_misplaced",
+    "local_disorder",
+    "local_sequences",
+    "pairwise_gain",
+    "MSG_ACK",
+    "MSG_REQ",
+    "MSG_UPD",
+    "SlicingProtocol",
+    "RankingProtocol",
+    "SliceChange",
+    "SlicingService",
+    "Slice",
+    "SlicePartition",
+]

@@ -1,0 +1,304 @@
+"""Ordering algorithms: JK and mod-JK (Section 4, Figure 2).
+
+Every node draws a random value ``r_i`` uniformly in (0, 1] at join
+time.  Nodes gossip pairwise and *swap* random values whenever the
+order of their random values disagrees with the order of their
+attribute values — neighbor ``j`` is *misplaced* w.r.t. ``i`` iff
+
+    (a_j - a_i) * (r_j - r_i) < 0.
+
+Eventually the random values are sorted like the attributes and each
+node's random value doubles as its normalized-rank estimate: its slice
+is the one containing ``r_i``.
+
+The two published variants differ only in partner selection:
+
+* **JK** — gossip with a *uniformly random* neighbor, swap if misplaced;
+* **mod-JK** (this paper's first contribution) — gossip with the
+  misplaced neighbor maximizing the local order gain
+  ``G_{i,j}`` (Equation 1), computed from the local attribute/random
+  sequences over the view plus the node itself.
+
+A third selection policy, ``random_misplaced`` (a random misplaced
+neighbor), is provided as an ablation separating "only talk to
+misplaced nodes" from "talk to the most-misplaced node".
+
+Message flow follows Figure 2: ``REQ(r_i, a_i)`` from the active
+thread, answered by ``ACK(r_j)`` carrying the responder's pre-swap
+value; each side applies the misplacement predicate to its *current*
+state at processing time, which is where overlapping messages can turn
+an intended swap into an *unsuccessful* one (Section 4.5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.protocol import MSG_ACK, MSG_REQ, SlicingProtocol
+from repro.core.slices import SlicePartition
+
+__all__ = [
+    "OrderingProtocol",
+    "SELECTION_RANDOM",
+    "SELECTION_MAX_GAIN",
+    "SELECTION_RANDOM_MISPLACED",
+    "is_misplaced",
+    "local_sequences",
+    "local_disorder",
+    "pairwise_gain",
+]
+
+#: JK's partner policy: a uniformly random neighbor.
+SELECTION_RANDOM = "random"
+#: mod-JK's partner policy: the misplaced neighbor of maximum gain.
+SELECTION_MAX_GAIN = "max_gain"
+#: Ablation: a uniformly random *misplaced* neighbor.
+SELECTION_RANDOM_MISPLACED = "random_misplaced"
+
+_SELECTIONS = (SELECTION_RANDOM, SELECTION_MAX_GAIN, SELECTION_RANDOM_MISPLACED)
+
+
+def is_misplaced(a_i: float, r_i: float, a_j: float, r_j: float) -> bool:
+    """The misplacement predicate ``(a_j - a_i)(r_j - r_i) < 0``."""
+    return (a_j - a_i) * (r_j - r_i) < 0
+
+
+def local_sequences(
+    items: Sequence[Tuple[int, float, float]],
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Local attribute/random index maps for ``(id, attr, value)`` items.
+
+    Returns ``(l_alpha, l_rho)``: for each node id, its index in the
+    local attribute-based sequence ``LA.sequence`` and in the local
+    random-value sequence ``LR.sequence`` (Section 4.3).  Ties are
+    broken by node id, matching the paper's total order.
+    """
+    by_attr = sorted(items, key=lambda item: (item[1], item[0]))
+    by_value = sorted(items, key=lambda item: (item[2], item[0]))
+    l_alpha = {item[0]: index for index, item in enumerate(by_attr)}
+    l_rho = {item[0]: index for index, item in enumerate(by_value)}
+    return l_alpha, l_rho
+
+
+def local_disorder(items: Sequence[Tuple[int, float, float]]) -> float:
+    """The local disorder measure ``LDM_i`` (Section 4.3).
+
+    ``items`` are ``(id, attr, value)`` tuples for the view plus the
+    node itself; the measure is the mean squared difference between
+    each element's local attribute index and local random index.
+    """
+    if not items:
+        return 0.0
+    l_alpha, l_rho = local_sequences(items)
+    total = sum((l_alpha[i] - l_rho[i]) ** 2 for i, _a, _r in items)
+    return total / len(items)
+
+
+def pairwise_gain(
+    l_alpha: Dict[int, int], l_rho: Dict[int, int], i: int, j: int
+) -> float:
+    """Equation 2's selection score for swapping ``i`` and ``j``.
+
+    Maximizing ``l_alpha_i*l_rho_j + l_alpha_j*l_rho_i -
+    l_alpha_j*l_rho_j`` over ``j`` is equivalent to maximizing the
+    disorder reduction ``G_{i,j}`` of Equation 1 (the dropped terms do
+    not depend on ``j``).
+    """
+    return (
+        l_alpha[i] * l_rho[j] + l_alpha[j] * l_rho[i] - l_alpha[j] * l_rho[j]
+    )
+
+
+def exchange_gain(
+    l_alpha: Dict[int, int], l_rho: Dict[int, int], i: int, j: int, view_plus_one: int
+) -> float:
+    """Equation 1's exact disorder reduction ``G_{i,j}(t+1)``."""
+    before = (l_alpha[i] - l_rho[i]) ** 2 + (l_alpha[j] - l_rho[j]) ** 2
+    after = (l_alpha[i] - l_rho[j]) ** 2 + (l_alpha[j] - l_rho[i]) ** 2
+    return (before - after) / view_plus_one
+
+
+class OrderingProtocol(SlicingProtocol):
+    """Per-node state and behaviour of JK / mod-JK.
+
+    Parameters
+    ----------
+    partition:
+        The slice partition shared by all nodes.
+    selection:
+        Partner-selection policy; one of :data:`SELECTION_RANDOM` (JK),
+        :data:`SELECTION_MAX_GAIN` (mod-JK),
+        :data:`SELECTION_RANDOM_MISPLACED` (ablation).
+    initial_value:
+        Optional fixed random value (tests); by default drawn uniformly
+        from (0, 1] at join time.
+    """
+
+    def __init__(
+        self,
+        partition: SlicePartition,
+        selection: str = SELECTION_MAX_GAIN,
+        initial_value: Optional[float] = None,
+    ) -> None:
+        if selection not in _SELECTIONS:
+            raise ValueError(
+                f"unknown selection {selection!r}; expected one of {_SELECTIONS}"
+            )
+        self.partition = partition
+        self.selection = selection
+        self._initial_value = initial_value
+        # Applied immediately so a protocol object is inspectable before
+        # on_join; on_join re-applies (or draws) it.
+        self._value = initial_value if initial_value is not None else 0.0
+        self._slice_index: Optional[int] = None
+        if initial_value is not None:
+            self._update_slice()
+        # Diagnostics.
+        self.swaps = 0
+        self.exchanges_started = 0
+
+    # ------------------------------------------------------------------
+    # SlicingProtocol interface
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        """The node's current random value ``r_i``."""
+        return self._value
+
+    @property
+    def rank_estimate(self) -> float:
+        """Ordering algorithms estimate the rank *by* the random value."""
+        return self._value
+
+    def on_join(self, node, ctx) -> None:
+        if self._initial_value is not None:
+            self._value = self._initial_value
+        else:
+            # Uniform in (0, 1]: random() yields [0, 1).
+            self._value = 1.0 - ctx.rng("ordering-init").random()
+        self._update_slice()
+
+    def on_active(self, node, ctx) -> None:
+        entries = node.sampler.view.entries()
+        if not entries:
+            return
+        target_id, intended = self._select_partner(node, ctx, entries)
+        if target_id is None:
+            return
+        self.exchanges_started += 1
+        if intended:
+            ctx.bus_stats.note_intended_swap()
+        ctx.send(
+            node.node_id,
+            target_id,
+            MSG_REQ,
+            (self._value, node.attribute, intended),
+        )
+
+    def on_message(self, node, message, ctx) -> None:
+        if message.kind == MSG_REQ:
+            self._handle_req(node, message, ctx)
+        elif message.kind == MSG_ACK:
+            self._handle_ack(node, message, ctx)
+
+    # ------------------------------------------------------------------
+    # Active-side partner selection
+    # ------------------------------------------------------------------
+
+    def _select_partner(self, node, ctx, entries):
+        """Pick the gossip partner per the configured policy.
+
+        In the cycle model "view is up-to-date when a message is sent"
+        (Section 4.5.2), so misplacement and gain are evaluated against
+        the neighbors' *current* values; staleness enters only through
+        overlapping messages.
+
+        Returns ``(target_id, intended)`` where ``intended`` says the
+        sender expects a swap (the predicate held at send time);
+        ``(None, False)`` means no message this cycle.
+        """
+        items: List[Tuple[int, float, float]] = [
+            (node.node_id, node.attribute, self._value)
+        ]
+        fresh: Dict[int, Tuple[float, float]] = {}
+        for entry in entries:
+            if not ctx.is_alive(entry.node_id):
+                continue
+            peer = ctx.node(entry.node_id)
+            fresh[entry.node_id] = (peer.attribute, peer.value)
+            items.append((entry.node_id, peer.attribute, peer.value))
+        if not fresh:
+            return None, False
+
+        misplaced = [
+            peer_id
+            for peer_id, (attr, value) in fresh.items()
+            if is_misplaced(node.attribute, self._value, attr, value)
+        ]
+
+        if self.selection == SELECTION_RANDOM:
+            target_id = ctx.rng("ordering").choice(sorted(fresh))
+            return target_id, target_id in misplaced
+
+        if not misplaced:
+            return None, False
+        if self.selection == SELECTION_RANDOM_MISPLACED:
+            return ctx.rng("ordering").choice(sorted(misplaced)), True
+
+        # mod-JK: maximize the Equation-2 score over misplaced neighbors.
+        l_alpha, l_rho = local_sequences(items)
+        best_id = None
+        best_gain = None
+        for peer_id in sorted(misplaced):
+            gain = pairwise_gain(l_alpha, l_rho, node.node_id, peer_id)
+            if best_gain is None or gain > best_gain:
+                best_gain = gain
+                best_id = peer_id
+        return best_id, True
+
+    # ------------------------------------------------------------------
+    # Passive side
+    # ------------------------------------------------------------------
+
+    def _handle_req(self, node, message, ctx) -> None:
+        """Figure 2, lines 15–19 (+ swap-outcome accounting)."""
+        r_sender, a_sender, intended = message.payload
+        value_before = self._value
+        swapped = is_misplaced(node.attribute, self._value, a_sender, r_sender)
+        if swapped:
+            self._value = r_sender
+            self.swaps += 1
+            self._update_slice()
+            ctx.trace.record(ctx.now, "swap", node.node_id, (message.sender,))
+        ctx.send(
+            node.node_id,
+            message.sender,
+            MSG_ACK,
+            (value_before, node.attribute, intended, swapped),
+        )
+
+    def _handle_ack(self, node, message, ctx) -> None:
+        """Figure 2, lines 10–14 (+ swap-outcome accounting)."""
+        r_responder, a_responder, intended, responder_swapped = message.payload
+        requester_swapped = is_misplaced(
+            node.attribute, self._value, a_responder, r_responder
+        )
+        if requester_swapped:
+            self._value = r_responder
+            self.swaps += 1
+            self._update_slice()
+            ctx.trace.record(ctx.now, "swap", node.node_id, (message.sender,))
+        if intended and not (responder_swapped and requester_swapped):
+            # The exchange the sender expected did not (fully) happen:
+            # some concurrent swap made the payload stale (Section 4.5.2).
+            ctx.bus_stats.note_unsuccessful_swap()
+
+    def _update_slice(self) -> None:
+        self._slice_index = self.partition.index_of(self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OrderingProtocol(selection={self.selection!r}, value={self._value:.4f},"
+            f" slice={self._slice_index})"
+        )

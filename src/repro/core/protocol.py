@@ -1,0 +1,62 @@
+"""Base interface shared by every slicing protocol.
+
+The engine drives each live node once per cycle:
+
+1. ``node.sampler.refresh(node, ctx)`` — the membership gossip round
+   (``recompute-view()`` in the paper's pseudocode);
+2. ``node.slicer.on_active(node, ctx)`` — the protocol's active thread.
+
+Messages sent from an active thread are routed by the engine to the
+receiver's ``on_message`` — the passive thread.  A protocol instance is
+*per node*: its fields are that node's protocol state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+__all__ = [
+    "SlicingProtocol",
+    "MSG_REQ",
+    "MSG_ACK",
+    "MSG_UPD",
+]
+
+#: Ordering algorithms: swap request carrying ``(r_i, a_i)`` (Fig. 2, line 9).
+MSG_REQ = "REQ"
+#: Ordering algorithms: swap reply carrying ``r_j`` (Fig. 2, line 16).
+MSG_ACK = "ACK"
+#: Ranking algorithm: one-way update carrying ``a_i`` (Fig. 5, lines 13-14).
+MSG_UPD = "UPD"
+
+
+class SlicingProtocol(ABC):
+    """Per-node slicing protocol state + behaviour."""
+
+    @abstractmethod
+    def on_join(self, node, ctx) -> None:
+        """Initialize protocol state when ``node`` enters the system."""
+
+    @abstractmethod
+    def on_active(self, node, ctx) -> None:
+        """One firing of the active thread (runs once per cycle)."""
+
+    @abstractmethod
+    def on_message(self, node, message, ctx) -> None:
+        """Passive thread: handle one received message."""
+
+    @property
+    @abstractmethod
+    def value(self) -> float:
+        """The node's current ``r`` value, published in view entries."""
+
+    @property
+    @abstractmethod
+    def rank_estimate(self) -> float:
+        """The node's current estimate of its normalized rank in (0, 1]."""
+
+    @property
+    def slice_index(self) -> Optional[int]:
+        """Index of the slice the node currently assigns itself to."""
+        return self._slice_index  # type: ignore[attr-defined]

@@ -1,0 +1,173 @@
+"""The ranking algorithm (Section 5, Figure 5) and its sliding-window
+variant (Section 5.3.4).
+
+Instead of permuting random values, each node *measures* its rank: it
+counts, over the stream of attribute values it observes (its refreshed
+view each cycle plus one-way ``UPD`` messages from other nodes), the
+fraction that are lower than or equal to its own attribute.  That
+fraction converges on the node's normalized rank, with a confidence
+that grows with the number of samples (Theorem 5.1), so the slice
+estimate keeps *improving* instead of freezing at the random-value
+accuracy floor — and it tracks the live population under churn.
+
+Active thread, per Figure 5:
+
+1. refresh the view (done by the engine);
+2. fold every view entry into the rank estimator (lines 5–7);
+3. pick ``j1``, the neighbor whose rank estimate is closest to a slice
+   boundary (lines 8–10) — boundary nodes need the most samples
+   (Theorem 5.1's ``d`` in the denominator), so they get extra updates;
+4. pick ``j2``, a uniformly random neighbor (line 12);
+5. send one-way ``UPD(a_i)`` to both (lines 13–14);
+6. recompute the rank and slice estimate (lines 15–16).
+
+Communication is one-way, so — unlike the ordering algorithms —
+overlapping messages never invalidate anything: an attribute value is
+correct whenever it arrives (Section 5, "Concurrency side-effect").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.estimators import (
+    CumulativeRankEstimator,
+    RankEstimator,
+    SlidingWindowRankEstimator,
+)
+from repro.core.protocol import MSG_UPD, SlicingProtocol
+from repro.core.slices import SlicePartition
+
+__all__ = ["RankingProtocol"]
+
+
+class RankingProtocol(SlicingProtocol):
+    """Per-node state and behaviour of the ranking algorithm.
+
+    Parameters
+    ----------
+    partition:
+        The slice partition shared by all nodes.
+    window:
+        ``None`` runs the plain Figure-5 algorithm (cumulative
+        counters).  A positive integer enables the sliding-window
+        variant keeping only the last ``window`` comparison bits.
+    boundary_bias:
+        When ``True`` (the paper's algorithm), ``j1`` is the neighbor
+        closest to a slice boundary.  ``False`` replaces ``j1`` with a
+        second uniformly random target — the ablation isolating the
+        boundary-bias heuristic.
+    initial_value:
+        Optional fixed initial rank estimate (tests); by default drawn
+        uniformly from (0, 1] at join time, as in Figure 5's initial
+        state.
+    """
+
+    def __init__(
+        self,
+        partition: SlicePartition,
+        window: Optional[int] = None,
+        boundary_bias: bool = True,
+        initial_value: Optional[float] = None,
+    ) -> None:
+        self.partition = partition
+        self.window = window
+        self.boundary_bias = boundary_bias
+        self._initial_value = initial_value
+        self.estimator: RankEstimator = (
+            SlidingWindowRankEstimator(window)
+            if window is not None
+            else CumulativeRankEstimator()
+        )
+        # Applied immediately so a protocol object is inspectable before
+        # on_join; on_join re-applies (or draws) it.
+        self._value = initial_value if initial_value is not None else 0.0
+        self._slice_index: Optional[int] = None
+        if initial_value is not None:
+            self._update_slice()
+        # Diagnostics.
+        self.updates_received = 0
+
+    # ------------------------------------------------------------------
+    # SlicingProtocol interface
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        """The node's current rank estimate (published in view entries)."""
+        return self._value
+
+    @property
+    def rank_estimate(self) -> float:
+        return self._value
+
+    @property
+    def sample_count(self) -> int:
+        """Observations currently backing the estimate."""
+        return self.estimator.sample_count
+
+    def on_join(self, node, ctx) -> None:
+        self.estimator.reset()
+        if self._initial_value is not None:
+            self._value = self._initial_value
+        else:
+            self._value = 1.0 - ctx.rng("ranking-init").random()
+        self._update_slice()
+
+    def on_active(self, node, ctx) -> None:
+        entries = node.sampler.view.entries()
+        if not entries:
+            return
+
+        # Lines 5-11: fold the refreshed view into the estimate and find
+        # the neighbor closest to a slice boundary.
+        boundary_target = None
+        boundary_distance = None
+        for entry in entries:
+            self.estimator.observe(entry.attribute <= node.attribute)
+            distance = self.partition.boundary_distance(entry.value)
+            if boundary_distance is None or distance < boundary_distance:
+                boundary_distance = distance
+                boundary_target = entry.node_id
+
+        rng = ctx.rng("ranking")
+        random_target = rng.choice(entries).node_id
+        if not self.boundary_bias:
+            boundary_target = rng.choice(entries).node_id
+
+        # Lines 13-14: one-way updates; j1 and j2 may coincide, in which
+        # case that neighbor simply receives two samples, as written.
+        ctx.send(node.node_id, boundary_target, MSG_UPD, (node.attribute,))
+        ctx.send(node.node_id, random_target, MSG_UPD, (node.attribute,))
+
+        # Lines 15-16.
+        self._refresh_estimate()
+
+    def on_message(self, node, message, ctx) -> None:
+        if message.kind != MSG_UPD:
+            return
+        (attribute,) = message.payload
+        self.updates_received += 1
+        # Lines 17-21.
+        self.estimator.observe(attribute <= node.attribute)
+        self._refresh_estimate()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _refresh_estimate(self) -> None:
+        estimate = self.estimator.estimate()
+        if estimate is not None:
+            self._value = estimate
+        self._update_slice()
+
+    def _update_slice(self) -> None:
+        self._slice_index = self.partition.index_of(self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = f"window={self.window}" if self.window else "cumulative"
+        return (
+            f"RankingProtocol({mode}, value={self._value:.4f}, "
+            f"slice={self._slice_index})"
+        )

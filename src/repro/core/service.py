@@ -1,0 +1,246 @@
+"""High-level slicing service facade.
+
+The paper motivates slicing as a *middleware service* on a
+service-oriented P2P platform: applications ask for "the top 20% of
+peers by bandwidth" and get a self-maintaining group.
+:class:`SlicingService` packages the whole stack — partition,
+protocol, sampler, engine — behind the API such a platform would
+expose:
+
+* declare the partition once (equal slices, explicit proportions, or
+  named application quotas);
+* query any node's current slice, or enumerate a slice's members;
+* subscribe to slice-change events (e.g. to re-register a peer with a
+  different application when it crosses a boundary);
+* inspect convergence (current SDM, fraction of confident nodes per
+  Theorem 5.1).
+
+It is a *simulation* facade — the underlying nodes are simulated — but
+its surface is what a deployment would offer, and the examples and
+tests use it as the integration point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.sample_size import slice_estimate_is_confident
+from repro.core.ordering import OrderingProtocol
+from repro.core.ranking import RankingProtocol
+from repro.core.slices import Slice, SlicePartition
+from repro.engine.simulator import CycleSimulation
+from repro.metrics.disorder import slice_disorder, true_slice_indices
+from repro.workloads.attributes import AttributeDistribution
+
+__all__ = ["SliceChange", "SlicingService"]
+
+
+@dataclass(frozen=True)
+class SliceChange:
+    """One node's slice assignment changing."""
+
+    cycle: int
+    node_id: int
+    old_slice: Optional[int]
+    new_slice: int
+
+
+class SlicingService:
+    """A self-organizing ordered-slicing service.
+
+    Parameters
+    ----------
+    size:
+        Number of (simulated) member nodes.
+    slices:
+        Either an integer (that many equal slices), a sequence of
+        proportions summing to 1 (e.g. ``[0.5, 0.3, 0.2]``), or a
+        ready :class:`~repro.core.slices.SlicePartition`.
+    algorithm:
+        ``"ranking"`` (default — the paper's recommendation),
+        ``"ranking-window"``, or ``"ordering"`` (mod-JK).
+    window:
+        Sliding-window length for ``"ranking-window"``.
+    attributes, view_size, seed, churn:
+        Forwarded to the underlying simulation.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        slices: Union[int, Sequence[float], SlicePartition] = 10,
+        algorithm: str = "ranking",
+        window: Optional[int] = None,
+        attributes: Union[AttributeDistribution, Sequence[float], None] = None,
+        view_size: int = 10,
+        seed: int = 0,
+        churn=None,
+    ) -> None:
+        self.partition = self._build_partition(slices)
+        self.algorithm = algorithm
+        factory = self._slicer_factory(algorithm, window)
+        self._sim = CycleSimulation(
+            size=size,
+            partition=self.partition,
+            slicer_factory=factory,
+            attributes=attributes,
+            view_size=view_size,
+            churn=churn,
+            seed=seed,
+        )
+        self._subscribers: List[Callable[[SliceChange], None]] = []
+        self._last_assignment: Dict[int, Optional[int]] = {}
+
+    @staticmethod
+    def _build_partition(slices) -> SlicePartition:
+        if isinstance(slices, SlicePartition):
+            return slices
+        if isinstance(slices, int):
+            return SlicePartition.equal(slices)
+        proportions = [float(p) for p in slices]
+        if any(p <= 0 for p in proportions):
+            raise ValueError("slice proportions must be positive")
+        total = sum(proportions)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"slice proportions must sum to 1, got {total}")
+        boundaries = []
+        acc = 0.0
+        for p in proportions[:-1]:
+            acc += p
+            boundaries.append(acc)
+        return SlicePartition.from_boundaries(boundaries)
+
+    def _slicer_factory(self, algorithm: str, window: Optional[int]):
+        partition = self.partition
+        if algorithm == "ranking":
+            return lambda: RankingProtocol(partition)
+        if algorithm == "ranking-window":
+            return lambda: RankingProtocol(
+                partition, window=window if window is not None else 10_000
+            )
+        if algorithm == "ordering":
+            return lambda: OrderingProtocol(partition)
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected 'ranking', "
+            "'ranking-window' or 'ordering'"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    @property
+    def simulation(self) -> CycleSimulation:
+        """The underlying simulation (escape hatch for tooling)."""
+        return self._sim
+
+    @property
+    def cycle(self) -> int:
+        return self._sim.now
+
+    def run(self, cycles: int) -> None:
+        """Advance the service, firing slice-change notifications."""
+        for _ in range(cycles):
+            self._sim.run_cycle()
+            if self._subscribers:
+                self._fire_changes()
+
+    def _fire_changes(self) -> None:
+        current = {
+            node.node_id: node.slice_index for node in self._sim.live_nodes()
+        }
+        for node_id, new_slice in current.items():
+            old_slice = self._last_assignment.get(node_id)
+            if old_slice != new_slice and new_slice is not None:
+                change = SliceChange(self._sim.now, node_id, old_slice, new_slice)
+                for subscriber in self._subscribers:
+                    subscriber(change)
+        self._last_assignment = current
+
+    def subscribe(self, callback: Callable[[SliceChange], None]) -> None:
+        """Register a slice-change listener (fires once per node move)."""
+        if not self._subscribers:
+            self._last_assignment = {
+                node.node_id: node.slice_index for node in self._sim.live_nodes()
+            }
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self._sim.live_count
+
+    def slice_of(self, node_id: int) -> int:
+        """The slice ``node_id`` currently assigns itself to."""
+        return self._sim.node(node_id).slice_index
+
+    def members(self, slice_index: int) -> List[int]:
+        """Ids of the nodes currently claiming ``slice_index``."""
+        if not 0 <= slice_index < len(self.partition):
+            raise IndexError(f"no slice {slice_index}")
+        return sorted(
+            node.node_id
+            for node in self._sim.live_nodes()
+            if node.slice_index == slice_index
+        )
+
+    def slice_sizes(self) -> List[int]:
+        """Current claimed membership count per slice."""
+        counts = [0] * len(self.partition)
+        for node in self._sim.live_nodes():
+            counts[node.slice_index] += 1
+        return counts
+
+    def disorder(self) -> float:
+        """Current slice disorder measure (0 = perfect assignment)."""
+        return slice_disorder(self._sim.live_nodes(), self.partition)
+
+    def accuracy(self) -> float:
+        """Fraction of nodes currently in their true slice."""
+        nodes = self._sim.live_nodes()
+        if not nodes:
+            return 1.0
+        truth = true_slice_indices(nodes, self.partition)
+        correct = sum(
+            1 for node in nodes if node.slice_index == truth[node.node_id]
+        )
+        return correct / len(nodes)
+
+    def confident_fraction(self, confidence: float = 0.95) -> float:
+        """Fraction of nodes whose Wald interval (Theorem 5.1) already
+        fits inside one slice.  Only meaningful for ranking algorithms;
+        ordering nodes carry no sample counts and report 0.
+        """
+        nodes = self._sim.live_nodes()
+        if not nodes:
+            return 1.0
+        confident = 0
+        for node in nodes:
+            slicer = node.slicer
+            samples = getattr(slicer, "sample_count", 0)
+            if samples and slice_estimate_is_confident(
+                min(max(slicer.rank_estimate, 0.0), 1.0),
+                samples,
+                self.partition,
+                confidence,
+            ):
+                confident += 1
+        return confident / len(nodes)
+
+    def join(self, attribute: float) -> int:
+        """A new member joins; returns its node id."""
+        return self._sim.add_node(attribute).node_id
+
+    def leave(self, node_id: int) -> None:
+        """A member leaves (or crashes — the paper treats them alike)."""
+        self._sim.remove_node(node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlicingService(size={self.size}, slices={len(self.partition)}, "
+            f"algorithm={self.algorithm!r}, cycle={self.cycle})"
+        )

@@ -1,0 +1,221 @@
+"""Slices and slice partitions (Section 3.2).
+
+A slice ``S_{l,u}`` contains every node whose normalized attribute rank
+``alpha_i / n`` satisfies ``l < alpha_i / n <= u``; a *partition* is a
+sequence of adjacent slices ``(l_1, u_1], (l_2, u_2], ...`` covering
+``(0, 1]``, known by all nodes.  Most of the paper's experiments use
+equal-width partitions (10 or 100 slices); arbitrary boundaries are
+supported because the problem statement allows them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Sequence
+
+__all__ = ["Slice", "SlicePartition"]
+
+_EPSILON = 1e-12
+
+
+class Slice:
+    """One half-open interval ``(lower, upper]`` of normalized ranks."""
+
+    __slots__ = ("lower", "upper", "index")
+
+    def __init__(self, lower: float, upper: float, index: int) -> None:
+        if not 0.0 <= lower < upper <= 1.0:
+            raise ValueError(f"invalid slice bounds ({lower}, {upper}]")
+        self.lower = lower
+        self.upper = upper
+        self.index = index
+
+    def contains(self, x: float) -> bool:
+        """Whether normalized rank ``x`` falls in ``(lower, upper]``."""
+        return self.lower < x <= self.upper
+
+    @property
+    def width(self) -> float:
+        """The proportion of the network this slice represents."""
+        return self.upper - self.lower
+
+    @property
+    def midpoint(self) -> float:
+        """``(lower + upper) / 2`` — used by the slice disorder measure."""
+        return (self.lower + self.upper) / 2.0
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Slice):
+            return NotImplemented
+        return (self.lower, self.upper, self.index) == (
+            other.lower,
+            other.upper,
+            other.index,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lower, self.upper, self.index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Slice(({self.lower}, {self.upper}], index={self.index})"
+
+
+class SlicePartition:
+    """An ordered partition of ``(0, 1]`` into adjacent slices.
+
+    Construct either with :meth:`equal` (the paper's experiments) or
+    from explicit interior boundaries with :meth:`from_boundaries`.
+    """
+
+    def __init__(self, slices: Sequence[Slice]) -> None:
+        if not slices:
+            raise ValueError("a partition needs at least one slice")
+        self._slices: List[Slice] = list(slices)
+        self._validate()
+        # Upper bounds, used for O(log k) lookup; interior boundaries,
+        # used for boundary-distance queries.
+        self._uppers = [s.upper for s in self._slices]
+        self._interior = [s.upper for s in self._slices[:-1]]
+
+    @classmethod
+    def equal(cls, count: int) -> "SlicePartition":
+        """``count`` equal-width slices — e.g. ``equal(100)`` for Fig 6."""
+        if count <= 0:
+            raise ValueError(f"slice count must be positive, got {count}")
+        slices = [
+            Slice(index / count, (index + 1) / count, index) for index in range(count)
+        ]
+        # Guard against float drift at the outer edges.
+        slices[0] = Slice(0.0, slices[0].upper, 0)
+        slices[-1] = Slice(slices[-1].lower, 1.0, count - 1)
+        return cls(slices)
+
+    @classmethod
+    def from_boundaries(cls, boundaries: Iterable[float]) -> "SlicePartition":
+        """Build from strictly increasing interior boundaries in (0, 1).
+
+        ``from_boundaries([0.8])`` creates two slices: the lower 80% and
+        the upper 20% (the paper's "20% of the best nodes" example).
+        """
+        interior = sorted(boundaries)
+        if any(not 0.0 < b < 1.0 for b in interior):
+            raise ValueError("interior boundaries must lie strictly inside (0, 1)")
+        if len(set(interior)) != len(interior):
+            raise ValueError("boundaries must be distinct")
+        edges = [0.0] + interior + [1.0]
+        slices = [
+            Slice(edges[i], edges[i + 1], i) for i in range(len(edges) - 1)
+        ]
+        return cls(slices)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def __iter__(self) -> Iterator[Slice]:
+        return iter(self._slices)
+
+    def __getitem__(self, index: int) -> Slice:
+        return self._slices[index]
+
+    @property
+    def interior_boundaries(self) -> List[float]:
+        """The k-1 boundaries separating adjacent slices."""
+        return list(self._interior)
+
+    def index_of(self, x: float) -> int:
+        """Index of the slice whose interval contains ``x``.
+
+        Values at or below 0 clamp into the first slice (rank estimates
+        can be 0 before any sample arrived); values above 1 clamp into
+        the last slice.
+        """
+        if x <= 0.0:
+            return 0
+        if x >= 1.0:
+            return len(self._slices) - 1
+        # (l, u] intervals: find the first upper bound >= x, treating an
+        # exact hit on an upper bound as belonging to that slice.
+        index = bisect.bisect_left(self._uppers, x - _EPSILON)
+        index = min(index, len(self._slices) - 1)
+        if not self._slices[index].contains(x):
+            # x sits exactly on a boundary within float tolerance.
+            if index + 1 < len(self._slices) and self._slices[index + 1].contains(x):
+                index += 1
+        return index
+
+    def slice_of(self, x: float) -> Slice:
+        """The slice whose interval contains ``x`` (see :meth:`index_of`)."""
+        return self._slices[self.index_of(x)]
+
+    # ------------------------------------------------------------------
+    # Boundary geometry (used by the ranking algorithm and Theorem 5.1)
+    # ------------------------------------------------------------------
+
+    def nearest_boundary(self, x: float) -> float:
+        """Interior boundary closest to ``x``.
+
+        For a single-slice partition there is no interior boundary; the
+        outer edges 0 and 1 are returned instead.
+        """
+        if not self._interior:
+            return 0.0 if x <= 0.5 else 1.0
+        index = bisect.bisect_left(self._interior, x)
+        candidates = []
+        if index > 0:
+            candidates.append(self._interior[index - 1])
+        if index < len(self._interior):
+            candidates.append(self._interior[index])
+        return min(candidates, key=lambda b: abs(b - x))
+
+    def boundary_distance(self, x: float) -> float:
+        """Distance from ``x`` to the nearest interior boundary.
+
+        This is the ``dist`` of Figure 5 (line 8): nodes whose rank
+        estimate is near a slice boundary need the most samples, so the
+        ranking algorithm biases update messages toward them.
+        """
+        if not self._interior:
+            return min(abs(x - 0.0), abs(1.0 - x))
+        return abs(x - self.nearest_boundary(x))
+
+    def slice_margin(self, x: float) -> float:
+        """Theorem 5.1's ``d``: ``min(p - l, u - p)`` for ``x``'s slice.
+
+        Unlike :meth:`boundary_distance` this includes the outer edges
+        0 and 1, because the theorem measures the margin inside the
+        estimated slice.
+        """
+        current = self.slice_of(x)
+        return min(max(x - current.lower, 0.0), max(current.upper - x, 0.0))
+
+    def slice_distance(self, true_slice: Slice, estimated_slice: Slice) -> float:
+        """Per-node term of the slice disorder measure (Section 4.4):
+
+        ``|mid(true) - mid(estimated)| / width(true)``.
+
+        For equal-width partitions this equals the absolute difference
+        of slice indices.
+        """
+        return abs(true_slice.midpoint - estimated_slice.midpoint) / true_slice.width
+
+    def _validate(self) -> None:
+        if abs(self._slices[0].lower) > _EPSILON:
+            raise ValueError("partition must start at 0")
+        if abs(self._slices[-1].upper - 1.0) > _EPSILON:
+            raise ValueError("partition must end at 1")
+        for left, right in zip(self._slices, self._slices[1:]):
+            if abs(left.upper - right.lower) > _EPSILON:
+                raise ValueError(
+                    f"slices must be adjacent: ({left.lower}, {left.upper}] then "
+                    f"({right.lower}, {right.upper}]"
+                )
+        for index, each in enumerate(self._slices):
+            if each.index != index:
+                raise ValueError("slice indices must match their position")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlicePartition(slices={len(self._slices)})"

@@ -1,0 +1,246 @@
+"""Event-driven simulation engine (asynchrony extension).
+
+The paper's evaluation is cycle-based and injects concurrency
+artificially; this engine provides the *real thing* as a
+cross-validation substrate: every node fires its active thread on its
+own jittered period, and every protocol message is delivered after a
+latency drawn from a :class:`~repro.engine.latency.LatencyModel`.
+Overlapping messages — and hence unsuccessful swaps — emerge naturally
+from interleaving.
+
+The engine exposes the same context API as
+:class:`~repro.engine.simulator.CycleSimulation` (``now``, ``rng``,
+``node``, ``is_alive``, ``random_live_ids``, ``send``, ``bus_stats``,
+``partition``, ``trace``, ``live_nodes``, ``live_count``), so the
+protocol classes run on both unchanged.  ``sim.now`` is continuous
+here; one "cycle" corresponds to one time unit (the default node
+period), which keeps collector series comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.slices import SlicePartition
+from repro.engine.clock import ContinuousClock
+from repro.engine.latency import LatencyModel, UniformLatency
+from repro.engine.network import BusStats, Message
+from repro.engine.node import Node
+from repro.engine.random_source import RandomSource
+from repro.engine.scheduler import EventScheduler
+from repro.engine.trace import NULL_TRACE, TraceLog
+from repro.sampling.cyclon_variant import CyclonVariantSampler
+from repro.workloads.attributes import AttributeDistribution, UniformAttributes
+
+__all__ = ["EventSimulation"]
+
+
+class EventSimulation:
+    """Asynchronous slicing simulation.
+
+    Parameters mirror :class:`~repro.engine.simulator.CycleSimulation`;
+    additionally ``period`` sets the mean active-thread interval,
+    ``period_jitter`` the relative uniform jitter around it, and
+    ``latency`` the message-delay model.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        partition: SlicePartition,
+        slicer_factory: Callable[[], "object"],
+        attributes: Union[AttributeDistribution, Sequence[float], None] = None,
+        sampler_factory: Optional[Callable[[int], "object"]] = None,
+        view_size: int = 20,
+        period: float = 1.0,
+        period_jitter: float = 0.1,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        trace: TraceLog = NULL_TRACE,
+    ) -> None:
+        if size <= 1:
+            raise ValueError("a slicing system needs at least two nodes")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= period_jitter < 1.0:
+            raise ValueError("period_jitter must be in [0, 1)")
+        self.partition = partition
+        self.trace = trace
+        self.period = period
+        self.period_jitter = period_jitter
+        self.latency = latency if latency is not None else UniformLatency(0.05, 0.15)
+        self._slicer_factory = slicer_factory
+        if sampler_factory is None:
+            sampler_factory = lambda node_id: CyclonVariantSampler(node_id, view_size)
+        self._sampler_factory = sampler_factory
+        self.view_size = view_size
+
+        self._random_source = RandomSource(seed)
+        self.clock = ContinuousClock()
+        self.scheduler = EventScheduler()
+        self.nodes: Dict[int, Node] = {}
+        self._next_id = 0
+        self._stats = BusStats()
+
+        attribute_values = self._draw_attributes(size, attributes)
+        created: List[Node] = []
+        for attribute in attribute_values:
+            created.append(self._create_node(attribute))
+        for node in created:
+            self._bootstrap_view(node)
+        for node in created:
+            node.slicer.on_join(node, self)
+            self._schedule_activation(node, initial=True)
+
+    # ------------------------------------------------------------------
+    # Context API
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def rng(self, name: str) -> random.Random:
+        return self._random_source.stream(name)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def is_alive(self, node_id: int) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.alive
+
+    def random_live_ids(self, count: int, exclude: Optional[int] = None) -> List[int]:
+        pool = sorted(self.nodes)
+        if exclude is not None:
+            pool = [node_id for node_id in pool if node_id != exclude]
+        if count >= len(pool):
+            return pool
+        return self.rng("oracle").sample(pool, count)
+
+    def send(self, sender: int, receiver: int, kind: str, payload) -> None:
+        """Deliver ``payload`` to ``receiver`` after a sampled latency."""
+        message = Message(sender, receiver, kind, payload, self.now)
+        delay = self.latency.sample(self.rng("latency"))
+        self._stats.note_sent(kind, overlapped=True)
+        self.scheduler.schedule(self.now + delay, lambda: self._deliver(message))
+
+    @property
+    def bus_stats(self) -> BusStats:
+        return self._stats
+
+    def live_nodes(self) -> List[Node]:
+        return [self.nodes[node_id] for node_id in sorted(self.nodes)]
+
+    @property
+    def live_count(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Population management
+    # ------------------------------------------------------------------
+
+    def add_node(self, attribute: float) -> Node:
+        node = self._create_node(attribute)
+        self._bootstrap_view(node)
+        node.slicer.on_join(node, self)
+        self._schedule_activation(node, initial=True)
+        self.trace.record(self.now, "join", node.node_id, (attribute,))
+        return node
+
+    def remove_node(self, node_id: int) -> None:
+        node = self.nodes.get(node_id)
+        if node is None:
+            return
+        node.alive = False
+        del self.nodes[node_id]
+        self.trace.record(self.now, "leave", node_id)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_until(
+        self,
+        end_time: float,
+        collectors: Iterable = (),
+        sample_every: float = 1.0,
+    ) -> None:
+        """Advance simulated time to ``end_time``.
+
+        Collectors are sampled on a fixed grid (every ``sample_every``
+        time units) so their series align with cycle-model runs.
+        """
+        collectors = list(collectors)
+        next_sample = self.now
+        while True:
+            upcoming = self.scheduler.peek_time()
+            while next_sample <= end_time and (
+                upcoming is None or next_sample <= upcoming
+            ):
+                self.clock.advance_to(next_sample)
+                for collector in collectors:
+                    collector.collect(self)
+                next_sample += sample_every
+            if upcoming is None or upcoming > end_time:
+                break
+            self.clock.advance_to(upcoming)
+            self.scheduler.pop_and_run()
+        self.clock.advance_to(end_time)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _draw_attributes(self, size, attributes) -> List[float]:
+        if attributes is None:
+            attributes = UniformAttributes(0.0, 1.0)
+        if isinstance(attributes, AttributeDistribution):
+            return attributes.sample(self.rng("attributes"), size)
+        values = [float(a) for a in attributes]
+        if len(values) != size:
+            raise ValueError(f"got {len(values)} explicit attributes for size={size}")
+        return values
+
+    def _create_node(self, attribute: float) -> Node:
+        node = Node(self._next_id, attribute, joined_at=self.now)
+        self._next_id += 1
+        node.sampler = self._sampler_factory(node.node_id)
+        node.slicer = self._slicer_factory()
+        self.nodes[node.node_id] = node
+        return node
+
+    def _bootstrap_view(self, node: Node) -> None:
+        seeds = self.random_live_ids(node.sampler.view_size, exclude=node.node_id)
+        node.sampler.bootstrap(node, self, seeds)
+
+    def _schedule_activation(self, node: Node, initial: bool = False) -> None:
+        rng = self.rng("periods")
+        if initial:
+            # Desynchronize start phases across nodes.
+            delay = rng.uniform(0.0, self.period)
+        else:
+            jitter = self.period * self.period_jitter
+            delay = self.period + rng.uniform(-jitter, jitter)
+        node_id = node.node_id
+        self.scheduler.schedule(self.now + delay, lambda: self._activate(node_id))
+
+    def _activate(self, node_id: int) -> None:
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        node.sampler.refresh(node, self)
+        node.slicer.on_active(node, self)
+        self._schedule_activation(node)
+
+    def _deliver(self, message: Message) -> None:
+        node = self.nodes.get(message.receiver)
+        if node is None or not node.alive:
+            self._stats.dropped += 1
+            return
+        self._stats.delivered += 1
+        node.slicer.on_message(node, message, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventSimulation(nodes={self.live_count}, t={self.now:.2f})"

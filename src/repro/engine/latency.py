@@ -1,0 +1,71 @@
+"""Message-latency models for the event-driven engine.
+
+The cycle model abstracts latency away (a message arrives "within the
+cycle"); the event-driven engine makes it explicit so that the paper's
+staleness phenomenon — a value changing while a message carrying it is
+in flight — arises *naturally* instead of being injected artificially.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+]
+
+
+class LatencyModel(ABC):
+    """One-way message delay distribution."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one delay (must be > 0)."""
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay — deterministic pipelines, useful in tests."""
+
+    def __init__(self, delay: float = 0.1) -> None:
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Uniform delay on ``[low, high)``."""
+
+    def __init__(self, low: float = 0.05, high: float = 0.15) -> None:
+        if not 0 < low < high:
+            raise ValueError("need 0 < low < high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponential delay with the given mean (long-tailed, WAN-like).
+
+    A floor keeps delays strictly positive so event ordering stays
+    well-defined.
+    """
+
+    def __init__(self, mean: float = 0.1, floor: float = 1e-6) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if floor <= 0:
+            raise ValueError("floor must be positive")
+        self.mean = mean
+        self.floor = floor
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.expovariate(1.0 / self.mean))

@@ -1,0 +1,56 @@
+"""Simulated node.
+
+A :class:`Node` bundles the three things the paper attaches to a peer:
+
+* an immutable **attribute value** ``a_i`` (its capability);
+* a **peer sampler** — the membership protocol instance maintaining its
+  partial view (Section 4.3.1);
+* a **slicer** — the slicing-protocol instance (ordering or ranking)
+  holding its ``r`` value / rank estimate and its current slice guess.
+
+Nodes are dumb containers; all behaviour lives in the attached protocol
+objects, which makes every combination of sampler x slicer runnable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One peer of the simulated system."""
+
+    __slots__ = ("node_id", "attribute", "sampler", "slicer", "alive", "joined_at")
+
+    def __init__(self, node_id: int, attribute: float, joined_at: float = 0) -> None:
+        self.node_id = node_id
+        self.attribute = float(attribute)
+        self.sampler = None  # set by the simulator at join time
+        self.slicer = None  # set by the simulator at join time
+        self.alive = True
+        self.joined_at = joined_at
+
+    @property
+    def value(self) -> float:
+        """The node's current ``r`` — what gets published in view entries.
+
+        For the ordering algorithms this is the random value being
+        swapped; for the ranking algorithm it is the current rank
+        estimate.  Delegates to the attached slicer.
+        """
+        if self.slicer is None:
+            return 0.0
+        return self.slicer.value
+
+    @property
+    def slice_index(self) -> Optional[int]:
+        """Index of the slice this node currently believes it is in."""
+        if self.slicer is None:
+            return None
+        return self.slicer.slice_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "down"
+        return f"Node(id={self.node_id}, attr={self.attribute!r}, {status})"

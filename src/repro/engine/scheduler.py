@@ -1,0 +1,74 @@
+"""Event queue for the event-driven engine.
+
+A minimal, allocation-light priority scheduler: events are
+``(time, sequence, callback)`` triples in a binary heap; the sequence
+number makes ordering total and FIFO among simultaneous events, and
+cancellation is lazy (cancelled entries are skipped on pop), the
+standard heapq idiom.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "EventScheduler"]
+
+
+class EventHandle:
+    """Opaque handle allowing one scheduled event to be cancelled."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Time-ordered callback queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._executed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def executed(self) -> int:
+        """How many events have been dispatched so far."""
+        return self._executed
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at ``time``; return a cancel handle."""
+        if time < 0:
+            raise ValueError("cannot schedule in negative time")
+        handle = EventHandle(time)
+        heapq.heappush(self._heap, (time, next(self._sequence), handle, callback))
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` when empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def pop_and_run(self) -> Optional[float]:
+        """Dispatch the next event; return its time (None when empty)."""
+        while self._heap:
+            time, _seq, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._executed += 1
+            callback()
+            return time
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()

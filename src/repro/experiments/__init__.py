@@ -1,0 +1,53 @@
+"""Per-figure experiment harness (also a CLI: ``python -m repro.experiments``)."""
+
+from repro.experiments.config import PROTOCOLS, SAMPLERS, RunSpec, build_simulation
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_fig4d,
+    run_fig6a,
+    run_fig6b,
+    run_fig6c,
+    run_fig6d,
+    run_lemma41,
+    run_theorem51,
+)
+from repro.experiments.report import format_table, render_result
+from repro.experiments.results import FigureResult
+from repro.experiments.sweep import (
+    SweepPoint,
+    cycles_to_sdm,
+    final_gdm,
+    final_sdm,
+    replicate,
+    sweep,
+)
+
+__all__ = [
+    "PROTOCOLS",
+    "SAMPLERS",
+    "RunSpec",
+    "build_simulation",
+    "ALL_FIGURES",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig4c",
+    "run_fig4d",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig6c",
+    "run_fig6d",
+    "run_lemma41",
+    "run_theorem51",
+    "format_table",
+    "render_result",
+    "FigureResult",
+    "SweepPoint",
+    "cycles_to_sdm",
+    "final_gdm",
+    "final_sdm",
+    "replicate",
+    "sweep",
+]

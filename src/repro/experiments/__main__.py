@@ -1,0 +1,88 @@
+"""CLI for regenerating the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig4b
+    python -m repro.experiments fig6c --full-scale
+    python -m repro.experiments all --seed 7
+    python -m repro.experiments fig6a --n 2000 --cycles 500
+
+``--full-scale`` runs the paper's exact parameters (n = 10^4, paper
+cycle counts); the default scale reproduces the same shapes in a
+fraction of the time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+from typing import List
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import render_result
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures of 'Distributed Slicing in Dynamic Systems'.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="which figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--full-scale",
+        action="store_true",
+        help="use the paper's exact scale (n=10^4; slower)",
+    )
+    parser.add_argument("--n", type=int, default=None, help="override population size")
+    parser.add_argument("--cycles", type=int, default=None, help="override cycle count")
+    parser.add_argument(
+        "--max-rows", type=int, default=20, help="table rows per series"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render the series as an ASCII chart (log scale)",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> None:
+    function = ALL_FIGURES[name]
+    accepted = set(inspect.signature(function).parameters)
+    kwargs = {"seed": args.seed}
+    if "full_scale" in accepted and args.full_scale:
+        kwargs["full_scale"] = True
+    if args.n is not None and "n" in accepted:
+        kwargs["n"] = args.n
+    if args.cycles is not None and "cycles" in accepted:
+        kwargs["cycles"] = args.cycles
+    started = time.time()
+    result = function(**kwargs)
+    elapsed = time.time() - started
+    print(render_result(result, max_rows=args.max_rows))
+    if args.chart and result.series:
+        from repro.experiments.report import ascii_chart
+
+        print()
+        print(ascii_chart(list(result.series.values())))
+    print(f"[{name} regenerated in {elapsed:.1f}s]")
+    print()
+
+
+def main(argv: List[str] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        _run_one(name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Declarative run specification for slicing experiments.
+
+A :class:`RunSpec` names everything a single simulation run needs —
+population, partition, protocol variant, sampler, concurrency, churn —
+and :func:`build_simulation` turns it into a ready
+:class:`~repro.engine.simulator.CycleSimulation`.  The per-figure
+experiment functions, the benchmarks, and the examples all build runs
+through this one path, so a figure's configuration is a data value you
+can read, copy and sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence, Union
+
+from repro.churn.correlated import DistributionArrivals, UniformDepartures
+from repro.churn.models import BurstChurn, ChurnModel, NoChurn, RegularChurn
+from repro.core.ordering import (
+    SELECTION_MAX_GAIN,
+    SELECTION_RANDOM,
+    SELECTION_RANDOM_MISPLACED,
+    OrderingProtocol,
+)
+from repro.core.ranking import RankingProtocol
+from repro.core.slices import SlicePartition
+from repro.engine.simulator import CycleSimulation
+from repro.sampling.cyclon import CyclonSampler
+from repro.sampling.cyclon_variant import CyclonVariantSampler
+from repro.sampling.newscast import NewscastSampler
+from repro.sampling.uniform import UniformOracleSampler
+from repro.workloads.attributes import AttributeDistribution
+
+__all__ = ["RunSpec", "build_simulation", "PROTOCOLS", "SAMPLERS"]
+
+#: Protocol spec names accepted by :class:`RunSpec.protocol`.
+PROTOCOLS = ("jk", "mod-jk", "random-misplaced", "ranking", "ranking-window")
+
+#: Sampler spec names accepted by :class:`RunSpec.sampler`.
+SAMPLERS = ("cyclon-variant", "cyclon", "newscast", "uniform")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything one simulation run depends on.
+
+    Attributes
+    ----------
+    n:
+        Initial population size.
+    cycles:
+        How long the run lasts (consumed by the caller, not the builder).
+    slice_count:
+        Number of equal-width slices.
+    view_size:
+        View capacity ``c``.
+    protocol:
+        One of :data:`PROTOCOLS`: ``"jk"`` (random partner ordering),
+        ``"mod-jk"`` (max-gain ordering), ``"random-misplaced"``
+        (ablation ordering), ``"ranking"``, ``"ranking-window"``.
+    window:
+        Sliding-window length (``"ranking-window"`` only).
+    boundary_bias:
+        Ranking's boundary-biased ``j1`` targeting (ablation switch).
+    sampler:
+        One of :data:`SAMPLERS`.
+    concurrency:
+        ``"none"`` / ``"half"`` / ``"full"`` or an overlap probability.
+    churn:
+        ``None``, a ready :class:`~repro.churn.models.ChurnModel`, or
+        one of the shorthand strings ``"burst"`` (Figure 6(c)) and
+        ``"regular"`` (Figure 6(d)).
+    churn_rate, churn_burst_end, churn_period:
+        Parameters of the shorthand churn models.
+    correlated_churn:
+        Paper's policy (lowest leave / above-max join) when ``True``;
+        uniform departures + same-distribution arrivals when ``False``.
+    attributes:
+        ``None`` (uniform), a distribution, or explicit values.
+    seed:
+        Root seed — a run is a pure function of its spec.
+    """
+
+    n: int = 1000
+    cycles: int = 200
+    slice_count: int = 100
+    view_size: int = 20
+    protocol: str = "mod-jk"
+    window: Optional[int] = None
+    boundary_bias: bool = True
+    sampler: str = "cyclon-variant"
+    concurrency: Union[str, float] = "none"
+    churn: Union[None, str, ChurnModel] = None
+    churn_rate: float = 0.001
+    churn_burst_end: int = 200
+    churn_period: int = 10
+    correlated_churn: bool = True
+    attributes: Union[AttributeDistribution, Sequence[float], None] = None
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "RunSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def partition(self) -> SlicePartition:
+        return SlicePartition.equal(self.slice_count)
+
+    def describe(self) -> str:
+        """One-line human summary for reports."""
+        bits = [
+            f"n={self.n}",
+            f"cycles={self.cycles}",
+            f"slices={self.slice_count}",
+            f"view={self.view_size}",
+            f"protocol={self.protocol}",
+            f"sampler={self.sampler}",
+        ]
+        if self.window is not None:
+            bits.append(f"window={self.window}")
+        if self.concurrency != "none":
+            bits.append(f"concurrency={self.concurrency}")
+        if self.churn is not None:
+            bits.append(f"churn={self.churn}")
+        bits.append(f"seed={self.seed}")
+        return ", ".join(bits)
+
+
+def _slicer_factory(spec: RunSpec, partition: SlicePartition) -> Callable:
+    if spec.protocol == "jk":
+        return lambda: OrderingProtocol(partition, selection=SELECTION_RANDOM)
+    if spec.protocol == "mod-jk":
+        return lambda: OrderingProtocol(partition, selection=SELECTION_MAX_GAIN)
+    if spec.protocol == "random-misplaced":
+        return lambda: OrderingProtocol(
+            partition, selection=SELECTION_RANDOM_MISPLACED
+        )
+    if spec.protocol == "ranking":
+        return lambda: RankingProtocol(partition, boundary_bias=spec.boundary_bias)
+    if spec.protocol == "ranking-window":
+        window = spec.window if spec.window is not None else 10_000
+        return lambda: RankingProtocol(
+            partition, window=window, boundary_bias=spec.boundary_bias
+        )
+    raise ValueError(f"unknown protocol {spec.protocol!r}; expected one of {PROTOCOLS}")
+
+
+def _sampler_factory(spec: RunSpec) -> Callable:
+    view_size = spec.view_size
+    if spec.sampler == "cyclon-variant":
+        return lambda node_id: CyclonVariantSampler(node_id, view_size)
+    if spec.sampler == "cyclon":
+        return lambda node_id: CyclonSampler(node_id, view_size)
+    if spec.sampler == "newscast":
+        return lambda node_id: NewscastSampler(node_id, view_size)
+    if spec.sampler == "uniform":
+        return lambda node_id: UniformOracleSampler(node_id, view_size)
+    raise ValueError(f"unknown sampler {spec.sampler!r}; expected one of {SAMPLERS}")
+
+
+def _churn_model(spec: RunSpec) -> Optional[ChurnModel]:
+    if spec.churn is None:
+        return None
+    if isinstance(spec.churn, ChurnModel):
+        return spec.churn
+    kwargs = {}
+    if not spec.correlated_churn:
+        if spec.attributes is None or not isinstance(
+            spec.attributes, AttributeDistribution
+        ):
+            raise ValueError(
+                "uncorrelated churn needs an AttributeDistribution for arrivals"
+            )
+        kwargs = {
+            "departures": UniformDepartures(),
+            "arrivals": DistributionArrivals(spec.attributes),
+        }
+    if spec.churn == "burst":
+        return BurstChurn(rate=spec.churn_rate, start=0, end=spec.churn_burst_end, **kwargs)
+    if spec.churn == "regular":
+        return RegularChurn(rate=spec.churn_rate, period=spec.churn_period, **kwargs)
+    raise ValueError(f"unknown churn shorthand {spec.churn!r}")
+
+
+def build_simulation(spec: RunSpec) -> CycleSimulation:
+    """Instantiate the :class:`CycleSimulation` a spec describes."""
+    partition = spec.partition()
+    return CycleSimulation(
+        size=spec.n,
+        partition=partition,
+        slicer_factory=_slicer_factory(spec, partition),
+        attributes=spec.attributes,
+        sampler_factory=_sampler_factory(spec),
+        view_size=spec.view_size,
+        concurrency=spec.concurrency,
+        churn=_churn_model(spec),
+        seed=spec.seed,
+    )

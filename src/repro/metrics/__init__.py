@@ -1,0 +1,51 @@
+"""Disorder measures, time-series collectors and statistics."""
+
+from repro.metrics.collectors import (
+    Collector,
+    DistinctValueCollector,
+    FunctionCollector,
+    GlobalDisorderCollector,
+    MessageCountCollector,
+    PopulationCollector,
+    SliceDisorderCollector,
+    TimeSeries,
+    UnsuccessfulSwapCollector,
+)
+from repro.metrics.disorder import (
+    attribute_ranks,
+    global_disorder,
+    per_node_slice_error,
+    slice_disorder,
+    true_slice_indices,
+    value_ranks,
+)
+from repro.metrics.statistics import (
+    SummaryStats,
+    mean_confidence_interval,
+    summarize,
+    wald_interval,
+    z_value,
+)
+
+__all__ = [
+    "Collector",
+    "DistinctValueCollector",
+    "FunctionCollector",
+    "GlobalDisorderCollector",
+    "MessageCountCollector",
+    "PopulationCollector",
+    "SliceDisorderCollector",
+    "TimeSeries",
+    "UnsuccessfulSwapCollector",
+    "attribute_ranks",
+    "global_disorder",
+    "per_node_slice_error",
+    "slice_disorder",
+    "true_slice_indices",
+    "value_ranks",
+    "SummaryStats",
+    "mean_confidence_interval",
+    "summarize",
+    "wald_interval",
+    "z_value",
+]

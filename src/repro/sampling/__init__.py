@@ -1,0 +1,29 @@
+"""Peer-sampling protocols and overlay analysis."""
+
+from repro.sampling.base import PeerSampler, fresh_entry
+from repro.sampling.cyclon import CyclonSampler
+from repro.sampling.cyclon_variant import CyclonVariantSampler
+from repro.sampling.graph_analysis import (
+    OverlayStats,
+    analyze_overlay,
+    build_overlay_graph,
+    indegree_counts,
+)
+from repro.sampling.newscast import NewscastSampler
+from repro.sampling.uniform import UniformOracleSampler
+from repro.sampling.view import View, ViewEntry
+
+__all__ = [
+    "PeerSampler",
+    "fresh_entry",
+    "CyclonSampler",
+    "CyclonVariantSampler",
+    "NewscastSampler",
+    "UniformOracleSampler",
+    "View",
+    "ViewEntry",
+    "OverlayStats",
+    "analyze_overlay",
+    "build_overlay_graph",
+    "indegree_counts",
+]

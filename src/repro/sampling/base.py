@@ -1,0 +1,110 @@
+"""Peer-sampling service interface.
+
+The slicing protocols are built on a *peer sampling service* (Section
+4.3.1): a membership layer giving every node a small, continuously
+refreshed view that approximates a uniform random sample of the live
+network.  The paper evaluates its algorithms on a variant of Cyclon and
+argues (Figure 6(b)) that an idealized uniform sampler gives the same
+results.  We therefore make the sampler pluggable; four implementations
+are provided:
+
+* :class:`~repro.sampling.cyclon_variant.CyclonVariantSampler` — the
+  paper's Figure 3 protocol (oldest-peer selection, full-view swap);
+* :class:`~repro.sampling.cyclon.CyclonSampler` — original Cyclon with
+  a shuffle length;
+* :class:`~repro.sampling.newscast.NewscastSampler` — Newscast, used by
+  the original JK paper;
+* :class:`~repro.sampling.uniform.UniformOracleSampler` — an idealized
+  oracle drawing a fresh uniform view every cycle.
+
+In the cycle model, view exchanges are atomic: the requester invokes
+the target's :meth:`PeerSampler.handle_request` directly, mirroring the
+PeerSim execution the paper uses (views are always up to date when a
+slicing message is sent; only slicing messages may overlap).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.sampling.view import View, ViewEntry
+
+__all__ = ["PeerSampler", "fresh_entry"]
+
+
+def fresh_entry(node) -> ViewEntry:
+    """A zero-age descriptor of ``node``'s current state.
+
+    This is the ``<i, 0, a_i, r_i>`` tuple a node inserts into the view
+    copy it ships to a gossip partner (Figure 3, line 3).
+    """
+    return ViewEntry(node.node_id, 0, node.attribute, node.value)
+
+
+class PeerSampler(ABC):
+    """Per-node membership-protocol instance owning that node's view."""
+
+    def __init__(self, owner_id: int, view_size: int) -> None:
+        self.view = View(owner_id, view_size)
+
+    @property
+    def owner_id(self) -> int:
+        return self.view.owner_id
+
+    @property
+    def view_size(self) -> int:
+        return self.view.capacity
+
+    def bootstrap(self, node, ctx, seed_ids: Sequence[int]) -> None:
+        """Fill the initial view from ``seed_ids`` (fresh descriptors)."""
+        self.view.clear()
+        for node_id in seed_ids:
+            if node_id == self.owner_id or not ctx.is_alive(node_id):
+                continue
+            self.view.add(fresh_entry(ctx.node(node_id)))
+            if self.view.is_full():
+                break
+
+    @abstractmethod
+    def refresh(self, node, ctx) -> None:
+        """Run one membership gossip round (``recompute-view()``)."""
+
+    def handle_request(self, incoming: List[ViewEntry], requester_id: int, node, ctx):
+        """Serve a view-exchange request; return the reply entries.
+
+        Default implementation suits symmetric full-view exchanges;
+        protocol subclasses override as needed.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def drop_dead_neighbors(self, ctx) -> int:
+        """Remove entries whose node has left; return how many."""
+        dead = [entry.node_id for entry in self.view if not ctx.is_alive(entry.node_id)]
+        for node_id in dead:
+            self.view.remove(node_id)
+        return len(dead)
+
+    def _select_live_oldest(self, ctx):
+        """Oldest live neighbor, pruning dead entries along the way."""
+        while True:
+            oldest = self.view.oldest()
+            if oldest is None:
+                return None
+            if ctx.is_alive(oldest.node_id):
+                return oldest
+            self.view.remove(oldest.node_id)
+
+    def _recover_empty_view(self, node, ctx) -> None:
+        """Re-bootstrap from the oracle when the view has run dry.
+
+        With churn a node can lose every neighbor; real deployments
+        re-contact a bootstrap service.  We model that with a uniform
+        redraw from the live population.
+        """
+        seed_ids = ctx.random_live_ids(self.view_size, exclude=node.node_id)
+        self.bootstrap(node, ctx, seed_ids)

@@ -1,0 +1,87 @@
+"""Original Cyclon shuffle (Voulgaris, Gavidia, van Steen 2005).
+
+Provided as an ablation substrate: the paper replaces this with a
+full-view-exchange variant (see
+:mod:`repro.sampling.cyclon_variant`); keeping the original lets the
+benchmarks quantify what that change buys.
+
+One shuffle round at node *i* with shuffle length ``ell``:
+
+1. age all entries, select the oldest neighbor *j*;
+2. pick ``ell - 1`` other random entries, add a fresh self-descriptor,
+   send these to *j* and remove *j*'s entry from the view;
+3. *j* replies with ``ell`` random entries of its own view and stores
+   the received ones, preferring empty slots, then replacing the
+   entries it just sent away;
+4. *i* stores the reply the same way.
+
+Duplicates and self-pointers are discarded on both sides.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sampling.base import PeerSampler, fresh_entry
+from repro.sampling.view import ViewEntry
+
+__all__ = ["CyclonSampler"]
+
+
+class CyclonSampler(PeerSampler):
+    """Classic Cyclon with a configurable shuffle length."""
+
+    def __init__(self, owner_id: int, view_size: int, shuffle_length: int = 3) -> None:
+        super().__init__(owner_id, view_size)
+        if shuffle_length <= 0:
+            raise ValueError(f"shuffle length must be positive, got {shuffle_length}")
+        self.shuffle_length = min(shuffle_length, view_size)
+
+    def refresh(self, node, ctx) -> None:
+        rng: random.Random = ctx.rng("sampling")
+        self.view.age_all()
+        partner_entry = self._select_live_oldest(ctx)
+        if partner_entry is None:
+            self._recover_empty_view(node, ctx)
+            partner_entry = self._select_live_oldest(ctx)
+            if partner_entry is None:
+                return
+        partner = ctx.node(partner_entry.node_id)
+
+        others = [
+            entry for entry in self.view if entry.node_id != partner_entry.node_id
+        ]
+        rng.shuffle(others)
+        outgoing = [entry.copy() for entry in others[: self.shuffle_length - 1]]
+        outgoing.append(fresh_entry(node))
+
+        # The requester removes the partner's entry: its slot will be
+        # refilled by the reply, and the partner will re-enter the view
+        # through future exchanges with a fresh age.
+        self.view.remove(partner_entry.node_id)
+
+        reply = partner.sampler.handle_request(outgoing, node.node_id, partner, ctx)
+        self._store(reply)
+        ctx.trace.record(ctx.now, "view-exchange", node.node_id, (partner.node_id,))
+
+    def handle_request(self, incoming: List[ViewEntry], requester_id: int, node, ctx):
+        rng: random.Random = ctx.rng("sampling")
+        candidates = [entry for entry in self.view if entry.node_id != requester_id]
+        rng.shuffle(candidates)
+        reply = [entry.copy() for entry in candidates[: self.shuffle_length]]
+        self._store(incoming)
+        return reply
+
+    def _store(self, received: List[ViewEntry]) -> None:
+        """Insert received entries, replacing older duplicates, evicting
+        the oldest residents when full (Cyclon's replacement policy)."""
+        for entry in received:
+            if entry.node_id == self.owner_id:
+                continue
+            resident = self.view.get(entry.node_id)
+            if resident is not None:
+                if entry.age < resident.age:
+                    self.view.add(entry, replace=True)
+                continue
+            self.view.add(entry)

@@ -1,0 +1,92 @@
+"""The paper's Cyclon variant (Figure 3).
+
+This is the membership protocol the paper actually simulates: "This
+variant of Cyclon, as opposed to the original version, exchanges all
+entries of the view at each step" — i.e. Cyclon with the shuffle
+length set to the whole view.  One refresh round at node *i*:
+
+1. age every entry (line 1);
+2. pick the *oldest* neighbor *j* (line 2);
+3. send *i*'s view minus *j*'s entry, plus a fresh ``<i, 0, a_i, r_i>``
+   descriptor (line 3);
+4. *j* replies with its own view, discarding pointers to *i*
+   (lines 7–8), and *keeps the received entries* (lines 9–10);
+5. *i* keeps the reply (lines 5–6), discarding duplicates and
+   self-pointers.
+
+Like Cyclon — and unlike a naive "copy and merge" reading — the
+exchange *moves* entries: each side adopts what it received and refills
+any remaining capacity with its own freshest previous entries.  This
+conservation is essential: if entries were copied instead, young
+entries would replicate in a rich-get-richer cascade and the overlay
+would collapse onto a few hubs, disconnecting everyone else (we
+verified exactly that failure mode empirically; the in-degree
+concentration makes gossip partner choice grossly non-uniform).  With
+the swap semantics the entry population is conserved, in-degrees stay
+balanced around ``c``, and the overlay remains connected and
+random-graph-like — the property the slicing layer relies on.
+
+Dead neighbors discovered during partner selection are pruned and the
+next-oldest is tried, modelling a failed connection attempt under
+churn.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sampling.base import PeerSampler, fresh_entry
+from repro.sampling.view import ViewEntry
+
+__all__ = ["CyclonVariantSampler"]
+
+
+class CyclonVariantSampler(PeerSampler):
+    """Figure 3's full-view-exchange (swap) Cyclon variant."""
+
+    def refresh(self, node, ctx) -> None:
+        self.view.age_all()
+        partner_entry = self._select_live_oldest(ctx)
+        if partner_entry is None:
+            self._recover_empty_view(node, ctx)
+            partner_entry = self._select_live_oldest(ctx)
+            if partner_entry is None:  # system of one live node
+                return
+        partner = ctx.node(partner_entry.node_id)
+
+        # Line 3: N_i \ {e_j} U {<i, 0, a_i, r_i>}.
+        outgoing: List[ViewEntry] = [
+            entry
+            for entry in self.view.entries()
+            if entry.node_id != partner_entry.node_id
+        ]
+        outgoing.append(fresh_entry(node))
+
+        reply = partner.sampler.handle_request(outgoing, node.node_id, partner, ctx)
+
+        # Lines 5-6: adopt the received entries (duplicates and
+        # self-pointers discarded), refilling leftover capacity with our
+        # own freshest previous entries.
+        self._adopt(reply, previous=self.view.entries())
+        ctx.trace.record(ctx.now, "view-exchange", node.node_id, (partner.node_id,))
+
+    def handle_request(self, incoming: List[ViewEntry], requester_id: int, node, ctx):
+        """Passive side (lines 7–10): reply with our view minus pointers
+        to the requester, then adopt the received entries."""
+        previous = self.view.entries()
+        reply = [entry for entry in previous if entry.node_id != requester_id]
+        self._adopt(incoming, previous=previous)
+        return reply
+
+    def _adopt(self, received: Iterable[ViewEntry], previous: List[ViewEntry]) -> None:
+        """Replace the view with ``received``, topped up from
+        ``previous`` (freshest first) when the reply ran short."""
+        self.view.clear()
+        for entry in received:
+            self.view.add(entry)
+            if self.view.is_full():
+                return
+        for entry in sorted(previous, key=lambda e: (e.age, e.node_id)):
+            if self.view.is_full():
+                return
+            self.view.add(entry, replace=False)

@@ -1,0 +1,30 @@
+"""Idealized uniform peer sampler (the "uniform" curve of Figure 6(b)).
+
+The paper validates the ranking algorithm against "an artificial
+protocol, drawing neighbors randomly at uniform in each cycle".  This
+oracle does exactly that: every refresh replaces the whole view with
+``c`` live nodes drawn uniformly at random (without replacement,
+excluding the owner), each described by a fresh zero-age entry.
+
+It needs global knowledge (the live-node set), so it is a simulation
+instrument, not a deployable protocol — its role is to isolate the
+slicing layer from membership imperfections.
+"""
+
+from __future__ import annotations
+
+from repro.sampling.base import PeerSampler, fresh_entry
+
+__all__ = ["UniformOracleSampler"]
+
+
+class UniformOracleSampler(PeerSampler):
+    """Oracle drawing a fresh uniform random view each cycle."""
+
+    def refresh(self, node, ctx) -> None:
+        chosen = ctx.random_live_ids(self.view_size, exclude=node.node_id)
+        self.view.replace_with(fresh_entry(ctx.node(node_id)) for node_id in chosen)
+
+    def handle_request(self, incoming, requester_id, node, ctx):
+        """Oracle views are never requested; kept for interface parity."""
+        return []

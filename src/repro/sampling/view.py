@@ -1,0 +1,210 @@
+"""Partial views and view entries (Table 1 of the paper).
+
+Every node maintains a *view*: a small array of neighbor descriptors.
+Table 1 defines the per-neighbor entry as the tuple
+
+    (j, t_j, a_j, r_j)
+
+i.e. the neighbor's identifier, its *age* (cycles since the entry was
+created), its attribute value, and its ``r`` value — the random value
+for the ordering algorithms, or the rank estimate for the ranking
+algorithm.  :class:`ViewEntry` realizes exactly this tuple;
+:class:`View` is the fixed-capacity container with the operations the
+peer-sampling protocols need (aging, oldest selection, merge with
+duplicate suppression, trimming).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["ViewEntry", "View"]
+
+
+class ViewEntry:
+    """One neighbor descriptor: ``(id, age, attribute, value)``.
+
+    ``value`` is the neighbor's ``r`` as known at snapshot time — a
+    random value in the ordering algorithms, a rank estimate in the
+    ranking algorithm.  Entries are intentionally mutable: ages are
+    incremented in place each cycle (Figure 3, line 1).
+    """
+
+    __slots__ = ("node_id", "age", "attribute", "value")
+
+    def __init__(self, node_id: int, age: int, attribute: float, value: float) -> None:
+        self.node_id = node_id
+        self.age = age
+        self.attribute = attribute
+        self.value = value
+
+    def copy(self) -> "ViewEntry":
+        """An independent copy of this entry."""
+        return ViewEntry(self.node_id, self.age, self.attribute, self.value)
+
+    def as_tuple(self):
+        """The Table-1 tuple ``(id, age, attribute, value)``."""
+        return (self.node_id, self.age, self.attribute, self.value)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ViewEntry):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ViewEntry(id={self.node_id}, age={self.age}, "
+            f"attr={self.attribute!r}, value={self.value!r})"
+        )
+
+
+class View:
+    """A bounded set of :class:`ViewEntry`, keyed by node id.
+
+    Invariants maintained by every mutating operation:
+
+    * at most one entry per neighbor id;
+    * never an entry for ``owner_id`` (a node is not its own neighbor);
+    * at most ``capacity`` entries.
+    """
+
+    __slots__ = ("owner_id", "capacity", "_entries")
+
+    def __init__(self, owner_id: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"view capacity must be positive, got {capacity}")
+        self.owner_id = owner_id
+        self.capacity = capacity
+        self._entries: Dict[int, ViewEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ViewEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def get(self, node_id: int) -> Optional[ViewEntry]:
+        """The entry for ``node_id``, or ``None``."""
+        return self._entries.get(node_id)
+
+    def ids(self) -> List[int]:
+        """Neighbor ids currently in the view."""
+        return list(self._entries)
+
+    def entries(self) -> List[ViewEntry]:
+        """The entries as a list (insertion order)."""
+        return list(self._entries.values())
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, entry: ViewEntry, replace: bool = True) -> bool:
+        """Insert ``entry``; return ``True`` if the view changed.
+
+        Self-pointers are ignored.  If an entry for the same id exists,
+        it is replaced when ``replace`` is true (the incoming entry is
+        assumed fresher), otherwise kept.  Inserting into a full view
+        evicts the oldest entry (largest age) to make room — standard
+        freshness-preferring behavior for gossip membership protocols.
+        """
+        if entry.node_id == self.owner_id:
+            return False
+        existing = self._entries.get(entry.node_id)
+        if existing is not None:
+            if replace:
+                self._entries[entry.node_id] = entry
+                return True
+            return False
+        if len(self._entries) >= self.capacity:
+            self._evict_oldest()
+        self._entries[entry.node_id] = entry
+        return True
+
+    def remove(self, node_id: int) -> bool:
+        """Remove the entry for ``node_id``; return whether it existed."""
+        return self._entries.pop(node_id, None) is not None
+
+    def age_all(self) -> None:
+        """Increment every entry's age by one (Figure 3, line 1)."""
+        for entry in self._entries.values():
+            entry.age += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def replace_with(self, entries: Iterable[ViewEntry]) -> None:
+        """Replace the whole content (used by oracle samplers)."""
+        self._entries.clear()
+        for entry in entries:
+            self.add(entry)
+
+    def merge(self, incoming: Iterable[ViewEntry]) -> None:
+        """Merge ``incoming``, discarding duplicates and self-pointers.
+
+        This is the union of Figure 3 lines 5–6 / 9–10: duplicated
+        entries (ids already present) are discarded — the resident entry
+        is kept — and the result is trimmed back to ``capacity`` by
+        dropping the oldest entries.
+        """
+        for entry in incoming:
+            if entry.node_id == self.owner_id or entry.node_id in self._entries:
+                continue
+            self._entries[entry.node_id] = entry
+        self.trim()
+
+    def trim(self) -> None:
+        """Drop the oldest entries until the view fits its capacity."""
+        excess = len(self._entries) - self.capacity
+        if excess <= 0:
+            return
+        by_age = sorted(
+            self._entries.values(), key=lambda e: (e.age, e.node_id), reverse=True
+        )
+        for entry in by_age[:excess]:
+            del self._entries[entry.node_id]
+
+    # ------------------------------------------------------------------
+    # Selection helpers
+    # ------------------------------------------------------------------
+
+    def oldest(self) -> Optional[ViewEntry]:
+        """The entry with the largest age (ties broken by id)."""
+        if not self._entries:
+            return None
+        return max(self._entries.values(), key=lambda e: (e.age, -e.node_id))
+
+    def random_entry(self, rng: random.Random) -> Optional[ViewEntry]:
+        """A uniformly random entry, or ``None`` if the view is empty."""
+        if not self._entries:
+            return None
+        return rng.choice(list(self._entries.values()))
+
+    def snapshot(self) -> List[ViewEntry]:
+        """Deep-copied entries (safe to ship inside a message)."""
+        return [entry.copy() for entry in self._entries.values()]
+
+    def _evict_oldest(self) -> None:
+        oldest = self.oldest()
+        if oldest is not None:
+            del self._entries[oldest.node_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"View(owner={self.owner_id}, size={len(self._entries)}/"
+            f"{self.capacity})"
+        )

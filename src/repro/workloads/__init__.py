@@ -1,0 +1,25 @@
+"""Attribute-value workload generators."""
+
+from repro.workloads.attributes import (
+    AttributeDistribution,
+    BimodalAttributes,
+    ConstantAttributes,
+    DiscreteAttributes,
+    ExplicitAttributes,
+    ExponentialAttributes,
+    NormalAttributes,
+    ParetoAttributes,
+    UniformAttributes,
+)
+
+__all__ = [
+    "AttributeDistribution",
+    "BimodalAttributes",
+    "ConstantAttributes",
+    "DiscreteAttributes",
+    "ExplicitAttributes",
+    "ExponentialAttributes",
+    "NormalAttributes",
+    "ParetoAttributes",
+    "UniformAttributes",
+]

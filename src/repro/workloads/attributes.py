@@ -1,0 +1,173 @@
+"""Attribute-value workloads.
+
+The slicing problem is interesting precisely because attribute values
+"might have an arbitrary skewed distribution" (Section 3.1): measured
+P2P systems show heavy-tailed storage, bandwidth and uptime
+distributions.  These generators provide the populations used by the
+examples, tests and benchmarks.  Slicing operates on *ranks*, so a
+correct algorithm's convergence must be distribution-insensitive — a
+property the test suite checks across all of these.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+__all__ = [
+    "AttributeDistribution",
+    "UniformAttributes",
+    "ParetoAttributes",
+    "ExponentialAttributes",
+    "NormalAttributes",
+    "BimodalAttributes",
+    "ConstantAttributes",
+    "DiscreteAttributes",
+    "ExplicitAttributes",
+]
+
+
+class AttributeDistribution(ABC):
+    """A source of attribute values."""
+
+    @abstractmethod
+    def sample_one(self, rng: random.Random) -> float:
+        """Draw a single attribute value."""
+
+    def sample(self, rng: random.Random, count: int) -> List[float]:
+        """Draw ``count`` attribute values."""
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        return [self.sample_one(rng) for _ in range(count)]
+
+
+class UniformAttributes(AttributeDistribution):
+    """Uniform on ``[low, high)`` — the unskewed baseline."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if high <= low:
+            raise ValueError(f"need low < high, got [{low}, {high})")
+        self.low = low
+        self.high = high
+
+    def sample_one(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ParetoAttributes(AttributeDistribution):
+    """Pareto (heavy-tailed) — the shape of measured P2P capacities.
+
+    ``shape`` is the tail index (smaller = heavier tail); ``scale`` is
+    the minimum value.
+    """
+
+    def __init__(self, shape: float = 1.5, scale: float = 1.0) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        self.shape = shape
+        self.scale = scale
+
+    def sample_one(self, rng: random.Random) -> float:
+        # Inverse-CDF sampling; (0,1] draw avoids a zero denominator.
+        u = 1.0 - rng.random()
+        return self.scale / (u ** (1.0 / self.shape))
+
+
+class ExponentialAttributes(AttributeDistribution):
+    """Exponential with the given mean (e.g. session lengths)."""
+
+    def __init__(self, mean: float = 1.0) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self.mean = mean
+
+    def sample_one(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+
+class NormalAttributes(AttributeDistribution):
+    """Gaussian (e.g. the human-height example of Figure 1)."""
+
+    def __init__(self, mu: float = 0.0, sigma: float = 1.0) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.mu = mu
+        self.sigma = sigma
+
+    def sample_one(self, rng: random.Random) -> float:
+        return rng.gauss(self.mu, self.sigma)
+
+
+class BimodalAttributes(AttributeDistribution):
+    """Mixture of two Gaussians — models a two-class population
+    (e.g. dial-up vs fiber peers)."""
+
+    def __init__(
+        self,
+        mu_low: float = 0.0,
+        mu_high: float = 10.0,
+        sigma: float = 1.0,
+        high_fraction: float = 0.2,
+    ) -> None:
+        if not 0.0 <= high_fraction <= 1.0:
+            raise ValueError("high_fraction must be in [0, 1]")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.mu_low = mu_low
+        self.mu_high = mu_high
+        self.sigma = sigma
+        self.high_fraction = high_fraction
+
+    def sample_one(self, rng: random.Random) -> float:
+        mu = self.mu_high if rng.random() < self.high_fraction else self.mu_low
+        return rng.gauss(mu, self.sigma)
+
+
+class ConstantAttributes(AttributeDistribution):
+    """Every node has the same attribute — the all-ties stress case.
+
+    The attribute-based total order then degenerates to the id order
+    (Section 3.1's tie-breaking rule); slicing must still terminate.
+    """
+
+    def __init__(self, value: float = 1.0) -> None:
+        self.value = value
+
+    def sample_one(self, rng: random.Random) -> float:
+        return self.value
+
+
+class DiscreteAttributes(AttributeDistribution):
+    """Uniform over a small set of levels — many ties, few classes
+    (e.g. advertised link speeds)."""
+
+    def __init__(self, levels: Sequence[float]) -> None:
+        if not levels:
+            raise ValueError("need at least one level")
+        self.levels = list(levels)
+
+    def sample_one(self, rng: random.Random) -> float:
+        return rng.choice(self.levels)
+
+
+class ExplicitAttributes(AttributeDistribution):
+    """Replay a fixed sequence of attribute values (deterministic
+    populations in tests; real traces in applications)."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        if not values:
+            raise ValueError("need at least one value")
+        self.values = list(values)
+        self._cursor = 0
+
+    def sample_one(self, rng: random.Random) -> float:
+        value = self.values[self._cursor % len(self.values)]
+        self._cursor += 1
+        return value
+
+    def sample(self, rng: random.Random, count: int) -> List[float]:
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        return [self.sample_one(rng) for _ in range(count)]

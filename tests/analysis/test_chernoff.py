@@ -1,0 +1,89 @@
+"""Unit + Monte-Carlo tests for Lemma 4.1."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.chernoff import (
+    cardinality_bounds,
+    deviation_probability_bound,
+    maximum_beta,
+    minimum_slice_width,
+)
+
+
+class TestDeviationBound:
+    def test_formula(self):
+        bound = deviation_probability_bound(1000, 0.1, 0.5)
+        assert bound == pytest.approx(2.0 * math.exp(-0.25 * 100 / 3.0))
+
+    def test_capped_at_one(self):
+        assert deviation_probability_bound(10, 0.01, 0.1) == 1.0
+
+    def test_decreases_with_n(self):
+        small = deviation_probability_bound(100, 0.1, 0.5)
+        large = deviation_probability_bound(10_000, 0.1, 0.5)
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            deviation_probability_bound(0, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            deviation_probability_bound(10, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            deviation_probability_bound(10, 0.1, 1.5)
+
+
+class TestMinimumSliceWidth:
+    def test_lemma_statement_roundtrip(self):
+        # p >= 3 ln(2/eps) / (beta^2 n) must make the bound <= eps.
+        n, beta, eps = 10_000, 0.5, 0.01
+        p = minimum_slice_width(n, beta, eps)
+        assert deviation_probability_bound(n, p, beta) <= eps + 1e-12
+
+    def test_shrinks_with_n(self):
+        assert minimum_slice_width(100_000, 0.5, 0.01) < minimum_slice_width(
+            1000, 0.5, 0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_slice_width(0, 0.5, 0.01)
+
+
+class TestMaximumBeta:
+    def test_inverse_of_min_width(self):
+        n, eps = 10_000, 0.05
+        p = 0.1
+        beta = maximum_beta(n, p, eps)
+        if beta < 1.0:
+            assert minimum_slice_width(n, beta, eps) == pytest.approx(p)
+
+    def test_clamped(self):
+        assert maximum_beta(10, 0.01, 0.01) == 1.0
+
+
+class TestCardinalityBounds:
+    def test_interval_brackets_mean(self):
+        bound = cardinality_bounds(10_000, 0.1, 0.05)
+        assert bound.low < bound.expected < bound.high
+        assert bound.expected == 1000
+
+    def test_monte_carlo_violation_rate(self):
+        # The Chernoff guarantee: violations occur with prob <= eps.
+        n, p, eps = 2000, 0.2, 0.05
+        bound = cardinality_bounds(n, p, eps)
+        rng = random.Random(0)
+        trials = 300
+        violations = 0
+        for _ in range(trials):
+            count = sum(1 for _ in range(n) if rng.random() < p)
+            if not bound.low <= count <= bound.high:
+                violations += 1
+        assert violations / trials <= eps
+
+    def test_tighter_with_larger_slice(self):
+        narrow = cardinality_bounds(10_000, 0.01, 0.05)
+        wide = cardinality_bounds(10_000, 0.5, 0.05)
+        assert wide.beta < narrow.beta

@@ -1,0 +1,93 @@
+"""Unit + Monte-Carlo tests for Theorem 5.1."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.sample_size import (
+    confidence_achieved,
+    required_samples,
+    samples_by_rank,
+    slice_estimate_is_confident,
+)
+from repro.core.slices import SlicePartition
+
+
+class TestRequiredSamples:
+    def test_formula(self):
+        # z_{0.025} ~ 1.96; p=0.5, d=0.05 -> (1.96*0.5/0.05)^2 ~ 384.
+        k = required_samples(0.5, 0.05, confidence=0.95)
+        assert k == pytest.approx(384.1, rel=0.01)
+
+    def test_grows_quadratically_near_boundary(self):
+        far = required_samples(0.5, 0.1)
+        near = required_samples(0.5, 0.01)
+        assert near == pytest.approx(100 * far, rel=1e-9)
+
+    def test_degenerate_estimate_needs_nothing(self):
+        assert required_samples(0.0, 0.05) == 0.0
+        assert required_samples(1.0, 0.05) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_samples(1.5, 0.05)
+        with pytest.raises(ValueError):
+            required_samples(0.5, 0.0)
+
+
+class TestConfidenceAchieved:
+    def test_inverse_of_required(self):
+        p, d, confidence = 0.3, 0.04, 0.9
+        k = required_samples(p, d, confidence)
+        achieved = confidence_achieved(p, d, int(math.ceil(k)))
+        assert achieved >= confidence - 0.01
+
+    def test_zero_samples(self):
+        assert confidence_achieved(0.5, 0.1, 0) == 0.0
+
+    def test_degenerate_estimate(self):
+        assert confidence_achieved(0.0, 0.1, 10) == 1.0
+
+    def test_monotone_in_samples(self):
+        values = [confidence_achieved(0.5, 0.05, k) for k in (10, 100, 1000)]
+        assert values[0] < values[1] < values[2]
+
+
+class TestSliceConfidencePredicate:
+    def test_confident_far_from_boundary(self):
+        partition = SlicePartition.equal(2)
+        assert slice_estimate_is_confident(0.25, 1000, partition)
+
+    def test_not_confident_near_boundary(self):
+        partition = SlicePartition.equal(2)
+        assert not slice_estimate_is_confident(0.501, 50, partition)
+
+    def test_monte_carlo_calibration(self):
+        # Nodes with the theorem's sample count classify correctly at
+        # least ~confidence of the time.
+        partition = SlicePartition.equal(4)
+        p = 0.6
+        margin = partition.slice_margin(p)
+        needed = int(math.ceil(required_samples(p, margin, 0.9)))
+        rng = random.Random(1)
+        correct = 0
+        trials = 400
+        for _ in range(trials):
+            estimate = sum(1 for _ in range(needed) if rng.random() < p) / needed
+            if partition.index_of(estimate) == partition.index_of(p):
+                correct += 1
+        assert correct / trials >= 0.88
+
+
+class TestSamplesByRank:
+    def test_boundary_rank_is_infinite(self):
+        partition = SlicePartition.equal(2)
+        table = samples_by_rank(partition, [0.5])
+        assert math.isinf(table[0].required)
+
+    def test_monotone_toward_boundary(self):
+        partition = SlicePartition.equal(2)
+        table = samples_by_rank(partition, [0.3, 0.4, 0.45, 0.48])
+        requirements = [entry.required for entry in table]
+        assert requirements == sorted(requirements)

@@ -1,0 +1,67 @@
+"""Unit tests for departure/arrival policies."""
+
+from repro.churn.correlated import (
+    CorrelatedArrivals,
+    DistributionArrivals,
+    HighestAttributeDepartures,
+    LowestAttributeDepartures,
+    UniformDepartures,
+)
+from repro.workloads.attributes import UniformAttributes
+from tests.conftest import make_ordering_sim
+
+
+def make_sim_with_attrs():
+    return make_ordering_sim(n=20, attributes=[float(i) for i in range(20)])
+
+
+class TestDepartures:
+    def test_lowest_selected(self):
+        sim = make_sim_with_attrs()
+        chosen = LowestAttributeDepartures().select(sim, 3)
+        attrs = sorted(sim.node(node_id).attribute for node_id in chosen)
+        assert attrs == [0.0, 1.0, 2.0]
+
+    def test_highest_selected(self):
+        sim = make_sim_with_attrs()
+        chosen = HighestAttributeDepartures().select(sim, 2)
+        attrs = sorted(sim.node(node_id).attribute for node_id in chosen)
+        assert attrs == [18.0, 19.0]
+
+    def test_uniform_selects_requested_count(self):
+        sim = make_sim_with_attrs()
+        chosen = UniformDepartures().select(sim, 5)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+
+    def test_zero_count(self):
+        sim = make_sim_with_attrs()
+        assert LowestAttributeDepartures().select(sim, 0) == []
+        assert UniformDepartures().select(sim, 0) == []
+
+    def test_ties_broken_by_id(self):
+        sim = make_ordering_sim(n=10, attributes=[1.0] * 10)
+        chosen = LowestAttributeDepartures().select(sim, 2)
+        assert chosen == [0, 1]
+
+
+class TestArrivals:
+    def test_correlated_above_current_max(self):
+        sim = make_sim_with_attrs()
+        values = CorrelatedArrivals().attributes(sim, 5)
+        assert len(values) == 5
+        assert min(values) > 19.0
+        # Successive arrivals stack strictly upward.
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_distribution_arrivals(self):
+        sim = make_sim_with_attrs()
+        policy = DistributionArrivals(UniformAttributes(5.0, 6.0))
+        values = policy.attributes(sim, 10)
+        assert len(values) == 10
+        assert all(5.0 <= v < 6.0 for v in values)
+
+    def test_zero_count(self):
+        sim = make_sim_with_attrs()
+        assert CorrelatedArrivals().attributes(sim, 0) == []

@@ -1,0 +1,102 @@
+"""Unit + behaviour tests for the churn schedules."""
+
+import pytest
+
+from repro.churn.models import BurstChurn, NoChurn, RegularChurn, TraceChurn
+from tests.conftest import make_ordering_sim
+
+
+class TestNoChurn:
+    def test_population_constant(self):
+        sim = make_ordering_sim(n=50, churn=NoChurn())
+        sim.run(10)
+        assert sim.live_count == 50
+
+
+class TestBurstChurn:
+    def test_population_roughly_stable(self):
+        # Equal leave/join rates keep n constant (up to carry rounding).
+        churn = BurstChurn(rate=0.02, start=0, end=10)
+        sim = make_ordering_sim(n=100, churn=churn)
+        sim.run(10)
+        assert 98 <= sim.live_count <= 102
+
+    def test_inactive_outside_window(self):
+        churn = BurstChurn(rate=0.5, start=5, end=6)
+        sim = make_ordering_sim(n=100, churn=churn)
+        sim.run(5)  # cycles 0..4: no churn yet
+        ids_before = {node.node_id for node in sim.live_nodes()}
+        assert ids_before == set(range(100))
+        sim.run(1)  # cycle 5: churn fires
+        ids_after = {node.node_id for node in sim.live_nodes()}
+        assert ids_after != ids_before
+        sim.run(5)  # cycles 6+: inactive again
+        assert {node.node_id for node in sim.live_nodes()} == ids_after
+
+    def test_fractional_rate_accumulates(self):
+        # rate 0.004 at n=100 is 0.4 nodes/cycle: over 10 cycles,
+        # exactly 4 leave events must have happened.
+        churn = BurstChurn(rate=0.004, start=0, end=100)
+        sim = make_ordering_sim(n=100, churn=churn)
+        events = [churn.apply(sim) for _ in range(10)]
+        total_departed = sum(len(event.departed) for event in events)
+        assert total_departed == 4
+
+    def test_correlated_default_policies(self):
+        churn = BurstChurn(rate=0.05, start=0, end=5)
+        sim = make_ordering_sim(
+            n=100, churn=churn, attributes=[float(i) for i in range(100)]
+        )
+        max_before = max(node.attribute for node in sim.live_nodes())
+        sim.run(5)
+        attrs = sorted(node.attribute for node in sim.live_nodes())
+        # Lowest attributes gone, arrivals above the previous maximum.
+        assert attrs[0] > 0.0
+        assert attrs[-1] > max_before
+
+    def test_never_empties_system(self):
+        churn = BurstChurn(rate=0.9, start=0, end=50)
+        sim = make_ordering_sim(n=20, churn=churn)
+        sim.run(20)
+        assert sim.live_count >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstChurn(rate=-0.1)
+        with pytest.raises(ValueError):
+            BurstChurn(start=10, end=5)
+
+
+class TestRegularChurn:
+    def test_fires_on_period_only(self):
+        churn = RegularChurn(rate=0.1, period=10)
+        sim = make_ordering_sim(n=100, churn=churn)
+        event0 = churn.apply(sim)  # cycle 0: active
+        assert event0.total > 0
+        sim.clock.advance(1)
+        event1 = churn.apply(sim)  # cycle 1: inactive
+        assert event1.total == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegularChurn(period=0)
+
+
+class TestTraceChurn:
+    def test_replays_schedule(self):
+        schedule = {0: (2, [100.0]), 2: (0, [200.0, 300.0])}
+        churn = TraceChurn(schedule)
+        sim = make_ordering_sim(
+            n=10, churn=churn, attributes=[float(i) for i in range(10)]
+        )
+        sim.run(3)
+        attrs = sorted(node.attribute for node in sim.live_nodes())
+        assert sim.live_count == 11  # 10 - 2 + 3
+        assert 100.0 in attrs and 200.0 in attrs and 300.0 in attrs
+        assert 0.0 not in attrs and 1.0 not in attrs  # lowest two left
+
+    def test_quiet_cycles(self):
+        churn = TraceChurn({5: (1, [])})
+        sim = make_ordering_sim(n=10, churn=churn)
+        sim.run(4)
+        assert sim.live_count == 10

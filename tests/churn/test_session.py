@@ -1,0 +1,62 @@
+"""Unit tests for the session-trace generator."""
+
+import random
+
+import pytest
+
+from repro.churn.models import TraceChurn
+from repro.churn.session import SessionTraceConfig, generate_session_trace
+from tests.conftest import make_ordering_sim
+
+
+class TestGenerateSessionTrace:
+    def test_schedule_within_bounds(self):
+        config = SessionTraceConfig(cycles=100, arrival_rate=1.0)
+        schedule = generate_session_trace(config, random.Random(0))
+        assert all(0 <= cycle < 100 for cycle in schedule)
+
+    def test_joins_and_leaves_balance(self):
+        # Every leave corresponds to a prior join (leaves can't exceed joins).
+        config = SessionTraceConfig(cycles=200, arrival_rate=2.0)
+        schedule = generate_session_trace(config, random.Random(1))
+        joins = sum(len(attrs) for _leave, attrs in schedule.values())
+        leaves = sum(leave for leave, _attrs in schedule.values())
+        assert 0 < leaves <= joins
+
+    def test_uptime_attribute_equals_session(self):
+        config = SessionTraceConfig(cycles=50, arrival_rate=3.0, attribute_is_uptime=True)
+        schedule = generate_session_trace(config, random.Random(2))
+        for _leave, attrs in schedule.values():
+            assert all(value >= 1.0 for value in attrs)
+
+    def test_deterministic(self):
+        config = SessionTraceConfig(cycles=100, arrival_rate=1.5)
+        first = generate_session_trace(config, random.Random(7))
+        second = generate_session_trace(config, random.Random(7))
+        assert first == second
+
+    def test_heavy_tail_shape(self):
+        # With shape < 1 the session lengths must be heavy-tailed:
+        # the max should dwarf the median.
+        config = SessionTraceConfig(
+            cycles=2000, arrival_rate=1.0, session_shape=0.5, session_scale=20.0,
+            attribute_is_uptime=True,
+        )
+        schedule = generate_session_trace(config, random.Random(3))
+        sessions = [v for _l, attrs in schedule.values() for v in attrs]
+        sessions.sort()
+        median = sessions[len(sessions) // 2]
+        assert sessions[-1] > 10 * median
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ValueError):
+            generate_session_trace(SessionTraceConfig(cycles=0), random.Random(0))
+
+
+class TestTraceIntegration:
+    def test_simulation_runs_on_trace(self):
+        config = SessionTraceConfig(cycles=30, arrival_rate=1.0)
+        schedule = generate_session_trace(config, random.Random(5))
+        sim = make_ordering_sim(n=50, churn=TraceChurn(schedule))
+        sim.run(30)
+        assert sim.live_count >= 2

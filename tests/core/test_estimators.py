@@ -1,0 +1,110 @@
+"""Unit tests for the rank estimators."""
+
+import pytest
+
+from repro.core.estimators import CumulativeRankEstimator, SlidingWindowRankEstimator
+
+
+class TestCumulativeRankEstimator:
+    def test_no_samples_no_estimate(self):
+        assert CumulativeRankEstimator().estimate() is None
+
+    def test_fraction_of_lower(self):
+        estimator = CumulativeRankEstimator()
+        for outcome in (True, True, False, True):
+            estimator.observe(outcome)
+        assert estimator.estimate() == pytest.approx(0.75)
+        assert estimator.sample_count == 4
+
+    def test_all_lower(self):
+        estimator = CumulativeRankEstimator()
+        for _ in range(5):
+            estimator.observe(True)
+        assert estimator.estimate() == 1.0
+
+    def test_none_lower(self):
+        estimator = CumulativeRankEstimator()
+        for _ in range(5):
+            estimator.observe(False)
+        assert estimator.estimate() == 0.0
+
+    def test_reset(self):
+        estimator = CumulativeRankEstimator()
+        estimator.observe(True)
+        estimator.reset()
+        assert estimator.estimate() is None
+        assert estimator.sample_count == 0
+
+    def test_old_samples_keep_weight(self):
+        # The cumulative estimator never forgets: after many early
+        # "lower" samples, later "higher" samples shift it only slowly.
+        estimator = CumulativeRankEstimator()
+        for _ in range(100):
+            estimator.observe(True)
+        for _ in range(10):
+            estimator.observe(False)
+        assert estimator.estimate() == pytest.approx(100 / 110)
+
+
+class TestSlidingWindowRankEstimator:
+    def test_no_samples_no_estimate(self):
+        assert SlidingWindowRankEstimator(4).estimate() is None
+
+    def test_fraction_before_window_full(self):
+        estimator = SlidingWindowRankEstimator(10)
+        estimator.observe(True)
+        estimator.observe(False)
+        assert estimator.estimate() == pytest.approx(0.5)
+        assert estimator.sample_count == 2
+
+    def test_eviction(self):
+        estimator = SlidingWindowRankEstimator(3)
+        for outcome in (True, True, True):
+            estimator.observe(outcome)
+        assert estimator.estimate() == 1.0
+        estimator.observe(False)  # evicts one True
+        assert estimator.estimate() == pytest.approx(2 / 3)
+        estimator.observe(False)
+        estimator.observe(False)
+        assert estimator.estimate() == 0.0
+
+    def test_sample_count_capped_at_window(self):
+        estimator = SlidingWindowRankEstimator(5)
+        for _ in range(20):
+            estimator.observe(True)
+        assert estimator.sample_count == 5
+
+    def test_adapts_to_population_shift(self):
+        # The motivating property: after a shift, the estimate tracks
+        # the *recent* stream regardless of history length.
+        estimator = SlidingWindowRankEstimator(10)
+        for _ in range(1000):
+            estimator.observe(True)
+        for _ in range(10):
+            estimator.observe(False)
+        assert estimator.estimate() == 0.0
+
+    def test_running_sum_consistency(self):
+        # The O(1) running sum must always equal a recount of the bits.
+        estimator = SlidingWindowRankEstimator(7)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(500):
+            estimator.observe(rng.random() < 0.6)
+            expected = sum(estimator._bits) / len(estimator._bits)
+            assert estimator.estimate() == pytest.approx(expected)
+
+    def test_memory_bits(self):
+        assert SlidingWindowRankEstimator(10_000).memory_bits == 10_000
+
+    def test_reset(self):
+        estimator = SlidingWindowRankEstimator(4)
+        estimator.observe(True)
+        estimator.reset()
+        assert estimator.estimate() is None
+        assert estimator.sample_count == 0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowRankEstimator(0)

@@ -1,0 +1,206 @@
+"""Unit + behaviour tests for the JK / mod-JK ordering protocols."""
+
+import pytest
+
+from repro.core.ordering import (
+    SELECTION_MAX_GAIN,
+    SELECTION_RANDOM,
+    SELECTION_RANDOM_MISPLACED,
+    OrderingProtocol,
+    exchange_gain,
+    is_misplaced,
+    local_disorder,
+    local_sequences,
+    pairwise_gain,
+)
+from repro.core.slices import SlicePartition
+from repro.metrics.disorder import global_disorder
+from tests.conftest import make_ordering_sim
+
+
+class TestMisplacementPredicate:
+    def test_paper_example(self):
+        # Nodes 1..3: a=(50,120,25), r=(0.85,0.1,0.35).  Node 1 vs 2:
+        # a1<a2 but r1>r2 -> misplaced.
+        assert is_misplaced(50, 0.85, 120, 0.1)
+
+    def test_ordered_pair_not_misplaced(self):
+        assert not is_misplaced(50, 0.1, 120, 0.85)
+
+    def test_equal_attributes_not_misplaced(self):
+        assert not is_misplaced(5, 0.1, 5, 0.9)
+
+    def test_equal_values_not_misplaced(self):
+        assert not is_misplaced(1, 0.5, 2, 0.5)
+
+    def test_symmetry(self):
+        assert is_misplaced(1, 0.9, 2, 0.1) == is_misplaced(2, 0.1, 1, 0.9)
+
+
+class TestLocalSequences:
+    def test_indices_follow_sort_orders(self):
+        items = [(1, 50.0, 0.85), (2, 120.0, 0.10), (3, 25.0, 0.35)]
+        l_alpha, l_rho = local_sequences(items)
+        assert l_alpha == {3: 0, 1: 1, 2: 2}
+        assert l_rho == {2: 0, 3: 1, 1: 2}
+
+    def test_ties_broken_by_id(self):
+        items = [(2, 1.0, 0.5), (1, 1.0, 0.5)]
+        l_alpha, l_rho = local_sequences(items)
+        assert l_alpha == {1: 0, 2: 1}
+        assert l_rho == {1: 0, 2: 1}
+
+
+class TestLocalDisorder:
+    def test_zero_when_ordered(self):
+        items = [(1, 1.0, 0.1), (2, 2.0, 0.2), (3, 3.0, 0.3)]
+        assert local_disorder(items) == 0.0
+
+    def test_positive_when_disordered(self):
+        items = [(1, 1.0, 0.9), (2, 2.0, 0.2), (3, 3.0, 0.3)]
+        assert local_disorder(items) > 0.0
+
+    def test_empty(self):
+        assert local_disorder([]) == 0.0
+
+    def test_swap_of_extremes_maximal(self):
+        base = [(i, float(i), i / 10) for i in range(1, 6)]
+        swapped = list(base)
+        swapped[0] = (1, 1.0, 0.5)
+        swapped[4] = (5, 5.0, 0.1)
+        adjacent = list(base)
+        adjacent[0] = (1, 1.0, 0.2)
+        adjacent[1] = (2, 2.0, 0.1)
+        assert local_disorder(swapped) > local_disorder(adjacent)
+
+
+class TestGain:
+    def test_selection_score_agrees_with_exact_gain(self):
+        # Maximizing the Equation-2 score over candidates must select
+        # the same neighbor as maximizing the exact Equation-1 gain.
+        items = [(0, 5.0, 0.55), (1, 1.0, 0.9), (2, 9.0, 0.1), (3, 3.0, 0.6)]
+        l_alpha, l_rho = local_sequences(items)
+        candidates = [1, 2, 3]
+        by_score = max(candidates, key=lambda j: pairwise_gain(l_alpha, l_rho, 0, j))
+        by_exact = max(
+            candidates, key=lambda j: exchange_gain(l_alpha, l_rho, 0, j, len(items))
+        )
+        assert by_score == by_exact
+
+    def test_exact_gain_positive_for_misplaced_swap(self):
+        items = [(0, 1.0, 0.9), (1, 2.0, 0.1)]
+        l_alpha, l_rho = local_sequences(items)
+        assert exchange_gain(l_alpha, l_rho, 0, 1, 2) > 0
+
+
+class TestProtocolUnit:
+    def _ctx_free_protocol(self, value, selection=SELECTION_MAX_GAIN):
+        partition = SlicePartition.equal(4)
+        protocol = OrderingProtocol(partition, selection, initial_value=value)
+        protocol._update_slice()
+        return protocol
+
+    def test_initial_value_respected(self):
+        protocol = self._ctx_free_protocol(0.3)
+        assert protocol.value == 0.3
+        assert protocol.rank_estimate == 0.3
+        assert protocol.slice_index == 1
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError):
+            OrderingProtocol(SlicePartition.equal(2), selection="greedy")
+
+    def test_initial_values_in_unit_interval(self):
+        sim = make_ordering_sim(n=100)
+        for node in sim.live_nodes():
+            assert 0.0 < node.value <= 1.0
+
+
+class TestSwapBehaviour:
+    def test_two_node_swap(self):
+        # A deterministic miniature: two nodes whose random values are
+        # inverted relative to their attributes must swap exactly once.
+        sim = make_ordering_sim(n=2, view_size=1, attributes=[1.0, 2.0])
+        low, high = sorted(sim.live_nodes(), key=lambda node: node.attribute)
+        low.slicer._value, high.slicer._value = 0.9, 0.2
+        low.slicer._update_slice()
+        high.slicer._update_slice()
+        sim.run(2)
+        assert low.value == 0.2
+        assert high.value == 0.9
+
+    def test_values_conserved_without_concurrency(self):
+        sim = make_ordering_sim(n=80, concurrency="none")
+        before = sorted(node.value for node in sim.live_nodes())
+        sim.run(15)
+        after = sorted(node.value for node in sim.live_nodes())
+        assert before == pytest.approx(after)
+
+    def test_gdm_converges_to_zero(self):
+        sim = make_ordering_sim(n=80, view_size=10)
+        sim.run(60)
+        assert global_disorder(sim.live_nodes()) == 0.0
+
+    def test_jk_also_converges(self):
+        sim = make_ordering_sim(n=80, view_size=10, selection=SELECTION_RANDOM)
+        sim.run(150)
+        assert global_disorder(sim.live_nodes()) < 1.0
+
+    def test_random_misplaced_converges(self):
+        sim = make_ordering_sim(
+            n=80, view_size=10, selection=SELECTION_RANDOM_MISPLACED
+        )
+        sim.run(80)
+        assert global_disorder(sim.live_nodes()) < 1.0
+
+    def test_modjk_faster_than_jk(self):
+        disorder = {}
+        for selection in (SELECTION_MAX_GAIN, SELECTION_RANDOM):
+            sim = make_ordering_sim(n=150, view_size=10, selection=selection, seed=21)
+            sim.run(12)
+            disorder[selection] = global_disorder(sim.live_nodes())
+        assert disorder[SELECTION_MAX_GAIN] < disorder[SELECTION_RANDOM]
+
+    def test_converges_with_tied_attributes(self):
+        # All-equal attributes: nothing is ever misplaced, values stay put.
+        sim = make_ordering_sim(n=30, attributes=[5.0] * 30)
+        before = {n.node_id: n.value for n in sim.live_nodes()}
+        sim.run(10)
+        after = {n.node_id: n.value for n in sim.live_nodes()}
+        assert before == after
+
+
+class TestSwapAccounting:
+    def test_no_unsuccessful_swaps_when_atomic(self):
+        sim = make_ordering_sim(n=80, concurrency="none")
+        sim.run(20)
+        assert sim.bus_stats.unsuccessful_swaps == 0
+        assert sim.bus_stats.intended_swaps > 0
+
+    def test_unsuccessful_swaps_under_full_concurrency(self):
+        sim = make_ordering_sim(n=80, concurrency="full")
+        sim.run(20)
+        assert sim.bus_stats.unsuccessful_swaps > 0
+
+    def test_full_concurrency_still_converges(self):
+        sim = make_ordering_sim(n=80, view_size=10, concurrency="full")
+        sim.run(80)
+        assert global_disorder(sim.live_nodes()) < 5.0
+
+    def test_jk_sends_even_without_misplaced_neighbor(self):
+        # JK gossips with a random neighbor regardless of misplacement,
+        # so REQ traffic continues even after convergence.
+        sim = make_ordering_sim(n=30, selection=SELECTION_RANDOM)
+        sim.run(100)
+        sent_before = sim.bus_stats.per_kind.get("REQ", 0)
+        sim.run(1)
+        assert sim.bus_stats.per_kind["REQ"] > sent_before
+
+    def test_modjk_goes_quiet_after_convergence(self):
+        # mod-JK only messages misplaced neighbors: once sorted, silence.
+        sim = make_ordering_sim(n=30, view_size=8)
+        sim.run(120)
+        assert global_disorder(sim.live_nodes()) == 0.0
+        sent_before = sim.bus_stats.per_kind.get("REQ", 0)
+        sim.run(3)
+        assert sim.bus_stats.per_kind.get("REQ", 0) == sent_before

@@ -1,0 +1,139 @@
+"""Wire-level conformance with the paper's pseudocode.
+
+These tests pin down the exact message contents and ordering of
+Figures 2 and 5 — e.g. that an ordering ACK carries the responder's
+*pre-swap* random value (Figure 2 sends the ACK on line 16, before the
+swap on lines 17-18), which is what makes the exchange a true swap.
+"""
+
+from repro.core.ordering import OrderingProtocol
+from repro.core.protocol import MSG_ACK, MSG_REQ, MSG_UPD
+from repro.core.ranking import RankingProtocol
+from repro.core.slices import SlicePartition
+from repro.engine.network import Message
+
+
+class _RecordingCtx:
+    """Context stub that records sends and supports swap accounting."""
+
+    def __init__(self):
+        self.sent = []
+        self.now = 0
+
+        class _Stats:
+            def __init__(self):
+                self.intended = 0
+                self.unsuccessful = 0
+
+            def note_intended_swap(self):
+                self.intended += 1
+
+            def note_unsuccessful_swap(self):
+                self.unsuccessful += 1
+
+        self.bus_stats = _Stats()
+
+        class _Trace:
+            def record(self, *args, **kwargs):
+                pass
+
+        self.trace = _Trace()
+
+    def send(self, sender, receiver, kind, payload):
+        self.sent.append((sender, receiver, kind, payload))
+
+    def rng(self, name):
+        import random
+
+        return random.Random(0)
+
+
+class _StubNode:
+    def __init__(self, node_id, attribute, slicer):
+        self.node_id = node_id
+        self.attribute = attribute
+        self.slicer = slicer
+
+
+class TestOrderingWireFormat:
+    def _make(self, attribute, value):
+        partition = SlicePartition.equal(4)
+        protocol = OrderingProtocol(partition, initial_value=value)
+        return _StubNode(1, attribute, protocol), protocol
+
+    def test_req_triggers_ack_with_preswap_value(self):
+        # Responder: a=10, r=0.8.  REQ from a misplaced sender
+        # (a=20, r=0.2): responder must swap DOWN to 0.2, but the ACK
+        # must carry the pre-swap 0.8 so the requester can take it.
+        node, protocol = self._make(attribute=10.0, value=0.8)
+        ctx = _RecordingCtx()
+        req = Message(2, 1, MSG_REQ, (0.2, 20.0, True), 0)
+        protocol.on_message(node, req, ctx)
+
+        assert protocol.value == 0.2  # responder swapped
+        assert len(ctx.sent) == 1
+        sender, receiver, kind, payload = ctx.sent[0]
+        assert (sender, receiver, kind) == (1, 2, MSG_ACK)
+        r_pre, attribute, intended, swapped = payload
+        assert r_pre == 0.8  # pre-swap value, per Figure 2 line 16
+        assert attribute == 10.0
+        assert intended is True
+        assert swapped is True
+
+    def test_req_not_misplaced_no_swap_but_still_acks(self):
+        node, protocol = self._make(attribute=10.0, value=0.2)
+        ctx = _RecordingCtx()
+        req = Message(2, 1, MSG_REQ, (0.8, 20.0, True), 0)
+        protocol.on_message(node, req, ctx)
+
+        assert protocol.value == 0.2  # correctly ordered, no swap
+        _s, _r, kind, payload = ctx.sent[0]
+        assert kind == MSG_ACK
+        assert payload[0] == 0.2
+        assert payload[3] is False  # swapped flag
+
+    def test_ack_completes_the_swap(self):
+        node, protocol = self._make(attribute=20.0, value=0.2)
+        ctx = _RecordingCtx()
+        ack = Message(2, 1, MSG_ACK, (0.8, 10.0, True, True), 0)
+        protocol.on_message(node, ack, ctx)
+        assert protocol.value == 0.8
+        assert ctx.sent == []  # ACKs are terminal
+        assert ctx.bus_stats.unsuccessful == 0
+
+    def test_stale_ack_counts_unsuccessful(self):
+        # The requester's value changed meanwhile such that the
+        # exchange no longer applies on its side.
+        node, protocol = self._make(attribute=20.0, value=0.9)
+        ctx = _RecordingCtx()
+        ack = Message(2, 1, MSG_ACK, (0.8, 10.0, True, True), 0)
+        protocol.on_message(node, ack, ctx)
+        assert protocol.value == 0.9  # no swap: 0.9 > 0.8 is ordered
+        assert ctx.bus_stats.unsuccessful == 1
+
+    def test_one_sided_responder_failure_counts_once(self):
+        # responder_swapped=False and requester predicate holds: the
+        # requester still applies its side, and the exchange is counted
+        # unsuccessful exactly once.
+        node, protocol = self._make(attribute=20.0, value=0.2)
+        ctx = _RecordingCtx()
+        ack = Message(2, 1, MSG_ACK, (0.8, 10.0, True, False), 0)
+        protocol.on_message(node, ack, ctx)
+        assert ctx.bus_stats.unsuccessful == 1
+
+
+class TestRankingWireFormat:
+    def test_upd_payload_is_just_the_attribute(self):
+        partition = SlicePartition.equal(4)
+        protocol = RankingProtocol(partition, initial_value=0.5)
+        node = _StubNode(1, 10.0, protocol)
+        ctx = _RecordingCtx()
+        protocol.on_message(node, Message(2, 1, MSG_UPD, (3.0,), 0), ctx)
+        # One-way: receiving an UPD never generates traffic.
+        assert ctx.sent == []
+        assert protocol.rank_estimate == 1.0
+
+    def test_req_constant_matches_paper(self):
+        assert MSG_REQ == "REQ"
+        assert MSG_ACK == "ACK"
+        assert MSG_UPD == "UPD"

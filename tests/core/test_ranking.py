@@ -1,0 +1,179 @@
+"""Unit + behaviour tests for the ranking protocol (Figure 5)."""
+
+import pytest
+
+from repro.core.protocol import MSG_UPD
+from repro.core.ranking import RankingProtocol
+from repro.core.slices import SlicePartition
+from repro.engine.network import Message
+from repro.metrics.disorder import slice_disorder, true_slice_indices
+from repro.sampling.uniform import UniformOracleSampler
+from tests.conftest import make_ranking_sim
+
+
+class _StubCtx:
+    """Minimal context for exercising the passive thread in isolation."""
+
+    def __init__(self):
+        self.sent = []
+        self.now = 0
+
+    def rng(self, name):
+        import random
+
+        return random.Random(0)
+
+    def send(self, sender, receiver, kind, payload):
+        self.sent.append((sender, receiver, kind, payload))
+
+
+class _StubNode:
+    def __init__(self, node_id, attribute):
+        self.node_id = node_id
+        self.attribute = attribute
+
+
+class TestPassiveThread:
+    def test_upd_updates_estimate(self):
+        partition = SlicePartition.equal(4)
+        protocol = RankingProtocol(partition, initial_value=0.5)
+        node = _StubNode(1, attribute=10.0)
+        ctx = _StubCtx()
+        protocol.on_message(node, Message(2, 1, MSG_UPD, (5.0,), 0), ctx)
+        assert protocol.rank_estimate == 1.0  # one sample, lower
+        protocol.on_message(node, Message(3, 1, MSG_UPD, (20.0,), 0), ctx)
+        assert protocol.rank_estimate == 0.5
+        assert protocol.updates_received == 2
+
+    def test_equal_attribute_counts_as_lower(self):
+        # Figure 5 line 18 uses <=.
+        partition = SlicePartition.equal(4)
+        protocol = RankingProtocol(partition, initial_value=0.5)
+        node = _StubNode(1, attribute=10.0)
+        protocol.on_message(node, Message(2, 1, MSG_UPD, (10.0,), 0), _StubCtx())
+        assert protocol.rank_estimate == 1.0
+
+    def test_non_upd_messages_ignored(self):
+        partition = SlicePartition.equal(4)
+        protocol = RankingProtocol(partition, initial_value=0.5)
+        node = _StubNode(1, attribute=10.0)
+        protocol.on_message(node, Message(2, 1, "REQ", (0.5, 1.0, True), 0), _StubCtx())
+        assert protocol.updates_received == 0
+        assert protocol.rank_estimate == 0.5
+
+    def test_slice_follows_estimate(self):
+        partition = SlicePartition.equal(4)
+        protocol = RankingProtocol(partition, initial_value=0.1)
+        node = _StubNode(1, attribute=10.0)
+        ctx = _StubCtx()
+        for _ in range(10):
+            protocol.on_message(node, Message(2, 1, MSG_UPD, (5.0,), 0), ctx)
+        assert protocol.slice_index == 3
+
+
+class TestActiveThread:
+    def test_sends_two_updates_per_cycle(self):
+        sim = make_ranking_sim(n=30)
+        sim.run(1)
+        # Every node sends exactly 2 UPD messages per cycle.
+        assert sim.bus_stats.per_kind["UPD"] == 2 * 30
+
+    def test_view_entries_feed_estimator(self):
+        sim = make_ranking_sim(n=30, view_size=8)
+        sim.run(1)
+        for node in sim.live_nodes():
+            assert node.slicer.sample_count >= 8
+
+    def test_estimates_stay_in_unit_interval(self):
+        sim = make_ranking_sim(n=50)
+        sim.run(20)
+        for node in sim.live_nodes():
+            assert 0.0 <= node.value <= 1.0
+
+
+class TestConvergence:
+    def test_sdm_decreases(self):
+        sim = make_ranking_sim(n=100, slice_count=4)
+        partition = sim.partition
+        initial = slice_disorder(sim.live_nodes(), partition)
+        sim.run(40)
+        assert slice_disorder(sim.live_nodes(), partition) < initial / 3
+
+    def test_rank_estimates_approach_truth(self):
+        sim = make_ranking_sim(n=100)
+        sim.run(80)
+        nodes = sorted(sim.live_nodes(), key=lambda n: (n.attribute, n.node_id))
+        n = len(nodes)
+        errors = [abs(node.value - (k + 1) / n) for k, node in enumerate(nodes)]
+        assert sum(errors) / n < 0.06
+
+    def test_eventually_exact_with_uniform_sampler(self):
+        sim = make_ranking_sim(
+            n=60,
+            slice_count=4,
+            sampler_factory=lambda nid: UniformOracleSampler(nid, 8),
+            seed=3,
+        )
+        sim.run(250)
+        partition = sim.partition
+        truth = true_slice_indices(sim.live_nodes(), partition)
+        wrong = sum(
+            1 for node in sim.live_nodes() if node.slice_index != truth[node.node_id]
+        )
+        # "guarantees eventually perfect assignment in a static
+        # environment" — allow a node or two still near a boundary.
+        assert wrong <= 2
+
+    def test_boundary_bias_targets_boundary_nodes(self):
+        # With bias on, nodes near slice boundaries receive more UPDs.
+        sim = make_ranking_sim(n=100, slice_count=4, seed=5)
+        partition = sim.partition
+        sim.run(60)
+        truth = true_slice_indices(sim.live_nodes(), partition)
+        nodes = sim.live_nodes()
+        n = len(nodes)
+        ranks = {
+            node.node_id: rank / n
+            for rank, node in enumerate(
+                sorted(nodes, key=lambda x: (x.attribute, x.node_id)), start=1
+            )
+        }
+        near = [
+            node.slicer.updates_received
+            for node in nodes
+            if partition.boundary_distance(ranks[node.node_id]) < 0.03
+        ]
+        far = [
+            node.slicer.updates_received
+            for node in nodes
+            if partition.boundary_distance(ranks[node.node_id]) > 0.08
+        ]
+        assert near and far
+        assert sum(near) / len(near) > sum(far) / len(far)
+
+    def test_window_variant_converges_too(self):
+        sim = make_ranking_sim(n=100, slice_count=4, window=500)
+        partition = sim.partition
+        initial = slice_disorder(sim.live_nodes(), partition)
+        sim.run(40)
+        assert slice_disorder(sim.live_nodes(), partition) < initial / 3
+
+    def test_concurrency_harmless_for_ranking(self):
+        # One-way messages: overlap cannot invalidate anything.
+        partition = SlicePartition.equal(4)
+        finals = {}
+        for concurrency in ("none", "full"):
+            from repro.engine.simulator import CycleSimulation
+
+            sim = CycleSimulation(
+                size=100,
+                partition=partition,
+                slicer_factory=lambda: RankingProtocol(partition),
+                view_size=8,
+                concurrency=concurrency,
+                seed=13,
+            )
+            sim.run(40)
+            finals[concurrency] = slice_disorder(sim.live_nodes(), partition)
+        ratio = finals["full"] / max(finals["none"], 1e-9)
+        assert 0.5 < ratio < 2.0

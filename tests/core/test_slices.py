@@ -1,0 +1,162 @@
+"""Unit tests for slices and slice partitions."""
+
+import pytest
+
+from repro.core.slices import Slice, SlicePartition
+
+
+class TestSlice:
+    def test_contains_half_open(self):
+        s = Slice(0.2, 0.4, 1)
+        assert not s.contains(0.2)
+        assert s.contains(0.3)
+        assert s.contains(0.4)
+        assert not s.contains(0.41)
+
+    def test_width_and_midpoint(self):
+        s = Slice(0.2, 0.6, 0)
+        assert s.width == pytest.approx(0.4)
+        assert s.midpoint == pytest.approx(0.4)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Slice(0.5, 0.5, 0)
+        with pytest.raises(ValueError):
+            Slice(-0.1, 0.5, 0)
+        with pytest.raises(ValueError):
+            Slice(0.5, 1.1, 0)
+
+    def test_equality_and_hash(self):
+        assert Slice(0.0, 0.5, 0) == Slice(0.0, 0.5, 0)
+        assert hash(Slice(0.0, 0.5, 0)) == hash(Slice(0.0, 0.5, 0))
+        assert Slice(0.0, 0.5, 0) != Slice(0.5, 1.0, 1)
+
+
+class TestEqualPartition:
+    def test_count_and_bounds(self):
+        partition = SlicePartition.equal(5)
+        assert len(partition) == 5
+        assert partition[0].lower == 0.0
+        assert partition[4].upper == 1.0
+
+    def test_slices_adjacent(self):
+        partition = SlicePartition.equal(7)
+        for left, right in zip(partition, list(partition)[1:]):
+            assert left.upper == pytest.approx(right.lower)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            SlicePartition.equal(0)
+
+    def test_single_slice(self):
+        partition = SlicePartition.equal(1)
+        assert partition.index_of(0.5) == 0
+        assert partition.interior_boundaries == []
+
+
+class TestFromBoundaries:
+    def test_two_slices_80_20(self):
+        # The paper's "20% best nodes" example.
+        partition = SlicePartition.from_boundaries([0.8])
+        assert len(partition) == 2
+        assert partition.index_of(0.8) == 0
+        assert partition.index_of(0.81) == 1
+
+    def test_unsorted_input_ok(self):
+        partition = SlicePartition.from_boundaries([0.7, 0.3])
+        assert [s.upper for s in partition] == [0.3, 0.7, 1.0]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SlicePartition.from_boundaries([0.0])
+        with pytest.raises(ValueError):
+            SlicePartition.from_boundaries([1.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SlicePartition.from_boundaries([0.5, 0.5])
+
+
+class TestIndexOf:
+    def test_interior_points(self):
+        partition = SlicePartition.equal(10)
+        assert partition.index_of(0.05) == 0
+        assert partition.index_of(0.15) == 1
+        assert partition.index_of(0.95) == 9
+
+    def test_boundary_points_belong_below(self):
+        # (l, u] intervals: an exact boundary belongs to the lower slice.
+        partition = SlicePartition.equal(10)
+        assert partition.index_of(0.1) == 0
+        assert partition.index_of(0.2) == 1
+
+    def test_clamping(self):
+        partition = SlicePartition.equal(10)
+        assert partition.index_of(0.0) == 0
+        assert partition.index_of(-5.0) == 0
+        assert partition.index_of(1.0) == 9
+        assert partition.index_of(5.0) == 9
+
+    def test_consistency_with_contains(self):
+        partition = SlicePartition.equal(7)
+        for i in range(1, 200):
+            x = i / 200
+            assert partition[partition.index_of(x)].contains(x)
+
+    def test_slice_of_matches_index_of(self):
+        partition = SlicePartition.equal(4)
+        assert partition.slice_of(0.6).index == partition.index_of(0.6)
+
+
+class TestBoundaryGeometry:
+    def test_nearest_boundary(self):
+        partition = SlicePartition.equal(4)
+        assert partition.nearest_boundary(0.26) == pytest.approx(0.25)
+        assert partition.nearest_boundary(0.49) == pytest.approx(0.5)
+        assert partition.nearest_boundary(0.74) == pytest.approx(0.75)
+
+    def test_boundary_distance(self):
+        partition = SlicePartition.equal(4)
+        assert partition.boundary_distance(0.3) == pytest.approx(0.05)
+        assert partition.boundary_distance(0.25) == 0.0
+
+    def test_boundary_distance_single_slice_uses_edges(self):
+        partition = SlicePartition.equal(1)
+        assert partition.boundary_distance(0.1) == pytest.approx(0.1)
+        assert partition.boundary_distance(0.9) == pytest.approx(0.1)
+
+    def test_slice_margin_includes_outer_edges(self):
+        partition = SlicePartition.equal(4)
+        # For 0.05 (first slice), the margin is min(0.05-0, 0.25-0.05).
+        assert partition.slice_margin(0.05) == pytest.approx(0.05)
+        assert partition.slice_margin(0.2) == pytest.approx(0.05)
+
+    def test_slice_distance_equal_widths_is_index_gap(self):
+        partition = SlicePartition.equal(10)
+        assert partition.slice_distance(partition[1], partition[4]) == pytest.approx(3)
+        assert partition.slice_distance(partition[4], partition[4]) == 0.0
+
+    def test_slice_distance_unequal_widths_normalized(self):
+        partition = SlicePartition.from_boundaries([0.8])
+        # true slice (0, 0.8], believed (0.8, 1]: |0.4 - 0.9| / 0.8
+        assert partition.slice_distance(partition[0], partition[1]) == pytest.approx(
+            0.5 / 0.8
+        )
+
+
+class TestValidation:
+    def test_rejects_gap(self):
+        with pytest.raises(ValueError):
+            SlicePartition([Slice(0.0, 0.4, 0), Slice(0.5, 1.0, 1)])
+
+    def test_rejects_not_starting_at_zero(self):
+        with pytest.raises(ValueError):
+            SlicePartition([Slice(0.1, 1.0, 0)])
+
+    def test_rejects_wrong_indices(self):
+        with pytest.raises(ValueError):
+            SlicePartition([Slice(0.0, 0.5, 0), Slice(0.5, 1.0, 5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SlicePartition([])

@@ -1,0 +1,69 @@
+"""Unit tests for simulation clocks."""
+
+import pytest
+
+from repro.engine.clock import ContinuousClock, CycleClock
+
+
+class TestCycleClock:
+    def test_starts_at_zero(self):
+        assert CycleClock().now == 0
+
+    def test_custom_start(self):
+        assert CycleClock(start=5).now == 5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            CycleClock(start=-1)
+
+    def test_advance_default(self):
+        clock = CycleClock()
+        assert clock.advance() == 1
+        assert clock.now == 1
+
+    def test_advance_many(self):
+        clock = CycleClock()
+        clock.advance(10)
+        assert clock.now == 10
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            CycleClock().advance(-1)
+
+    def test_reset(self):
+        clock = CycleClock()
+        clock.advance(3)
+        clock.reset()
+        assert clock.now == 0
+
+
+class TestContinuousClock:
+    def test_starts_at_zero(self):
+        assert ContinuousClock().now == 0.0
+
+    def test_advance_to(self):
+        clock = ContinuousClock()
+        clock.advance_to(2.5)
+        assert clock.now == 2.5
+
+    def test_advance_to_same_time_ok(self):
+        clock = ContinuousClock()
+        clock.advance_to(1.0)
+        clock.advance_to(1.0)
+        assert clock.now == 1.0
+
+    def test_backwards_rejected(self):
+        clock = ContinuousClock()
+        clock.advance_to(3.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(2.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousClock(start=-0.5)
+
+    def test_reset(self):
+        clock = ContinuousClock()
+        clock.advance_to(9.0)
+        clock.reset()
+        assert clock.now == 0.0

@@ -1,0 +1,52 @@
+"""Unit tests for message-latency models."""
+
+import random
+
+import pytest
+
+from repro.engine.latency import ExponentialLatency, FixedLatency, UniformLatency
+
+
+class TestFixedLatency:
+    def test_constant(self, rng):
+        model = FixedLatency(0.2)
+        assert all(model.sample(rng) == 0.2 for _ in range(10))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedLatency(0.0)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self, rng):
+        model = UniformLatency(0.1, 0.3)
+        for _ in range(200):
+            delay = model.sample(rng)
+            assert 0.1 <= delay <= 0.3
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.3, 0.1)
+        with pytest.raises(ValueError):
+            UniformLatency(0.0, 0.1)
+
+
+class TestExponentialLatency:
+    def test_positive(self, rng):
+        model = ExponentialLatency(mean=0.1)
+        assert all(model.sample(rng) > 0 for _ in range(200))
+
+    def test_mean_roughly_right(self, rng):
+        model = ExponentialLatency(mean=0.5)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert 0.45 < sum(samples) / len(samples) < 0.55
+
+    def test_floor_applied(self, rng):
+        model = ExponentialLatency(mean=1e-9, floor=0.01)
+        assert all(model.sample(rng) >= 0.01 for _ in range(50))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(mean=0.0)
+        with pytest.raises(ValueError):
+            ExponentialLatency(mean=1.0, floor=0.0)

@@ -1,0 +1,165 @@
+"""Unit tests for the message bus and concurrency models."""
+
+import random
+
+import pytest
+
+from repro.engine.network import BusStats, ConcurrencyModel, Message, MessageBus
+
+
+def make_message(sender=1, receiver=2, kind="REQ", payload=(0.5,), time=0):
+    return Message(sender, receiver, kind, payload, time)
+
+
+class TestConcurrencyModel:
+    def test_none_never_overlaps(self):
+        model = ConcurrencyModel.none()
+        rng = random.Random(0)
+        assert not any(model.overlaps(rng) for _ in range(100))
+
+    def test_full_always_overlaps(self):
+        model = ConcurrencyModel.full()
+        rng = random.Random(0)
+        assert all(model.overlaps(rng) for _ in range(100))
+
+    def test_half_overlaps_about_half(self):
+        model = ConcurrencyModel.half()
+        rng = random.Random(0)
+        hits = sum(model.overlaps(rng) for _ in range(10_000))
+        assert 4500 < hits < 5500
+
+    def test_from_spec_strings(self):
+        assert ConcurrencyModel.from_spec("none").probability == 0.0
+        assert ConcurrencyModel.from_spec("half").probability == 0.5
+        assert ConcurrencyModel.from_spec("full").probability == 1.0
+
+    def test_from_spec_float(self):
+        assert ConcurrencyModel.from_spec(0.25).probability == 0.25
+
+    def test_from_spec_passthrough(self):
+        model = ConcurrencyModel(0.3)
+        assert ConcurrencyModel.from_spec(model) is model
+
+    def test_from_spec_unknown_string(self):
+        with pytest.raises(ValueError):
+            ConcurrencyModel.from_spec("sometimes")
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ConcurrencyModel(1.5)
+        with pytest.raises(ValueError):
+            ConcurrencyModel(-0.1)
+
+
+class TestMessageBus:
+    def _bus(self, concurrency="none", is_alive=None):
+        delivered = []
+        bus = MessageBus(
+            deliver=delivered.append,
+            rng=random.Random(0),
+            concurrency=concurrency,
+            is_alive=is_alive,
+        )
+        return bus, delivered
+
+    def test_atomic_delivery_is_synchronous(self):
+        bus, delivered = self._bus("none")
+        bus.send(make_message())
+        assert len(delivered) == 1
+        assert bus.pending() == 0
+
+    def test_full_concurrency_queues(self):
+        bus, delivered = self._bus("full")
+        bus.send(make_message())
+        assert delivered == []
+        assert bus.pending() == 1
+
+    def test_flush_delivers_queued(self):
+        bus, delivered = self._bus("full")
+        for index in range(5):
+            bus.send(make_message(sender=index))
+        count = bus.flush()
+        assert count == 5
+        assert len(delivered) == 5
+        assert bus.pending() == 0
+
+    def test_flush_handles_cascading_sends(self):
+        # A delivery that triggers a reply: the reply must also be
+        # delivered before flush returns.
+        bus_holder = {}
+
+        def deliver(message):
+            delivered.append(message)
+            if message.kind == "REQ":
+                bus_holder["bus"].send(make_message(kind="ACK"))
+
+        delivered = []
+        bus = MessageBus(deliver=deliver, rng=random.Random(0), concurrency="full")
+        bus_holder["bus"] = bus
+        bus.send(make_message(kind="REQ"))
+        bus.flush()
+        kinds = [message.kind for message in delivered]
+        assert kinds == ["REQ", "ACK"]
+
+    def test_full_concurrency_batches_reqs_before_acks(self):
+        # All first-batch messages are delivered before any message
+        # generated during the flush — the paper's "all messages of the
+        # cycle are sent before any is received".
+        order = []
+
+        def deliver(message):
+            order.append(message.kind)
+            if message.kind == "REQ":
+                bus.send(make_message(kind="ACK"))
+
+        bus = MessageBus(deliver=deliver, rng=random.Random(0), concurrency="full")
+        for _ in range(3):
+            bus.send(make_message(kind="REQ"))
+        bus.flush()
+        assert order == ["REQ", "REQ", "REQ", "ACK", "ACK", "ACK"]
+
+    def test_dead_receiver_drops(self):
+        bus, delivered = self._bus("none", is_alive=lambda node_id: node_id != 2)
+        bus.send(make_message(receiver=2))
+        assert delivered == []
+        assert bus.stats.dropped == 1
+
+    def test_stats_sent_per_kind(self):
+        bus, _ = self._bus("none")
+        bus.send(make_message(kind="REQ"))
+        bus.send(make_message(kind="REQ"))
+        bus.send(make_message(kind="UPD"))
+        assert bus.stats.per_kind == {"REQ": 2, "UPD": 1}
+        assert bus.stats.sent == 3
+
+    def test_overlapping_counter(self):
+        bus, _ = self._bus("full")
+        bus.send(make_message())
+        assert bus.stats.overlapping == 1
+
+
+class TestBusStats:
+    def test_cycle_swap_accounting(self):
+        stats = BusStats()
+        stats.begin_cycle()
+        stats.note_intended_swap()
+        stats.note_intended_swap()
+        stats.note_unsuccessful_swap()
+        assert stats.cycle_unsuccessful_ratio() == 0.5
+        assert stats.intended_swaps == 2
+        assert stats.unsuccessful_swaps == 1
+
+    def test_ratio_zero_without_intents(self):
+        stats = BusStats()
+        stats.begin_cycle()
+        assert stats.cycle_unsuccessful_ratio() == 0.0
+
+    def test_begin_cycle_resets_only_cycle_counters(self):
+        stats = BusStats()
+        stats.note_intended_swap()
+        stats.note_unsuccessful_swap()
+        stats.begin_cycle()
+        assert stats.cycle_intended == 0
+        assert stats.cycle_unsuccessful == 0
+        assert stats.intended_swaps == 1
+        assert stats.unsuccessful_swaps == 1

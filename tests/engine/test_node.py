@@ -1,0 +1,34 @@
+"""Unit tests for the node container."""
+
+from repro.core.ordering import OrderingProtocol
+from repro.core.slices import SlicePartition
+from repro.engine.node import Node
+
+
+class TestNode:
+    def test_basic_fields(self):
+        node = Node(3, 42.0, joined_at=7)
+        assert node.node_id == 3
+        assert node.attribute == 42.0
+        assert node.joined_at == 7
+        assert node.alive
+
+    def test_attribute_coerced_to_float(self):
+        assert isinstance(Node(0, 5).attribute, float)
+
+    def test_value_without_slicer_is_zero(self):
+        assert Node(0, 1.0).value == 0.0
+
+    def test_slice_index_without_slicer_is_none(self):
+        assert Node(0, 1.0).slice_index is None
+
+    def test_value_delegates_to_slicer(self):
+        partition = SlicePartition.equal(4)
+        node = Node(0, 1.0)
+        node.slicer = OrderingProtocol(partition, initial_value=0.6)
+        # on_join not needed when an explicit initial value is given to
+        # the constructor and we set it manually for the test.
+        node.slicer._value = 0.6
+        node.slicer._update_slice()
+        assert node.value == 0.6
+        assert node.slice_index == 2

@@ -1,0 +1,86 @@
+"""Unit tests for the event scheduler."""
+
+import pytest
+
+from repro.engine.scheduler import EventScheduler
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(3.0, lambda: order.append("c"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(2.0, lambda: order.append("b"))
+        while scheduler.pop_and_run() is not None:
+            pass
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append("first"))
+        scheduler.schedule(1.0, lambda: order.append("second"))
+        scheduler.pop_and_run()
+        scheduler.pop_and_run()
+        assert order == ["first", "second"]
+
+    def test_pop_returns_event_time(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(4.5, lambda: None)
+        assert scheduler.pop_and_run() == 4.5
+
+    def test_pop_empty_returns_none(self):
+        assert EventScheduler().pop_and_run() is None
+
+    def test_peek_time(self):
+        scheduler = EventScheduler()
+        assert scheduler.peek_time() is None
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.schedule(1.0, lambda: None)
+        assert scheduler.peek_time() == 1.0
+
+    def test_cancel(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        assert scheduler.pop_and_run() is None
+        assert fired == []
+
+    def test_cancelled_skipped_in_peek(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        first.cancel()
+        assert scheduler.peek_time() == 2.0
+
+    def test_executed_counter(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.pop_and_run()
+        assert scheduler.executed == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        order = []
+
+        def chain():
+            order.append("first")
+            scheduler.schedule(2.0, lambda: order.append("second"))
+
+        scheduler.schedule(1.0, chain)
+        while scheduler.pop_and_run() is not None:
+            pass
+        assert order == ["first", "second"]
+
+    def test_clear(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.clear()
+        assert len(scheduler) == 0

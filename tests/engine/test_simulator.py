@@ -1,0 +1,182 @@
+"""Unit + behaviour tests for the cycle-based engine."""
+
+import pytest
+
+from repro.core.ordering import OrderingProtocol
+from repro.core.slices import SlicePartition
+from repro.engine.simulator import CycleSimulation
+from repro.engine.trace import TraceLog
+from repro.metrics.collectors import PopulationCollector
+from tests.conftest import make_ordering_sim, make_ranking_sim
+
+
+class TestConstruction:
+    def test_creates_requested_population(self):
+        sim = make_ordering_sim(n=50)
+        assert sim.live_count == 50
+        assert len(sim.live_nodes()) == 50
+
+    def test_rejects_tiny_systems(self):
+        partition = SlicePartition.equal(2)
+        with pytest.raises(ValueError):
+            CycleSimulation(
+                size=1,
+                partition=partition,
+                slicer_factory=lambda: OrderingProtocol(partition),
+            )
+
+    def test_explicit_attributes(self):
+        attributes = [float(i) for i in range(30)]
+        sim = make_ordering_sim(n=30, attributes=attributes)
+        observed = sorted(node.attribute for node in sim.live_nodes())
+        assert observed == attributes
+
+    def test_explicit_attributes_length_mismatch(self):
+        partition = SlicePartition.equal(2)
+        with pytest.raises(ValueError):
+            CycleSimulation(
+                size=5,
+                partition=partition,
+                slicer_factory=lambda: OrderingProtocol(partition),
+                attributes=[1.0, 2.0],
+            )
+
+    def test_views_bootstrapped_full(self):
+        sim = make_ordering_sim(n=50, view_size=8)
+        for node in sim.live_nodes():
+            assert len(node.sampler.view) == 8
+
+    def test_views_never_contain_self(self):
+        sim = make_ordering_sim(n=50, view_size=8)
+        for node in sim.live_nodes():
+            assert node.node_id not in node.sampler.view
+
+    def test_slicers_initialized(self):
+        sim = make_ordering_sim(n=20)
+        for node in sim.live_nodes():
+            assert 0.0 < node.value <= 1.0
+            assert node.slice_index is not None
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        results = []
+        for _ in range(2):
+            sim = make_ordering_sim(n=60, seed=11)
+            sim.run(10)
+            results.append(
+                sorted((n.node_id, n.attribute, n.value) for n in sim.live_nodes())
+            )
+        assert results[0] == results[1]
+
+    def test_different_seed_different_trajectory(self):
+        trajectories = []
+        for seed in (1, 2):
+            sim = make_ordering_sim(n=60, seed=seed)
+            sim.run(5)
+            trajectories.append(
+                sorted((n.node_id, n.value) for n in sim.live_nodes())
+            )
+        assert trajectories[0] != trajectories[1]
+
+
+class TestContextApi:
+    def test_random_live_ids_excludes(self):
+        sim = make_ordering_sim(n=30)
+        ids = sim.random_live_ids(10, exclude=0)
+        assert 0 not in ids
+        assert len(ids) == 10
+        assert len(set(ids)) == 10
+
+    def test_random_live_ids_caps_at_population(self):
+        sim = make_ordering_sim(n=10)
+        ids = sim.random_live_ids(100, exclude=0)
+        assert len(ids) == 9
+
+    def test_is_alive(self):
+        sim = make_ordering_sim(n=10)
+        node_id = sim.live_nodes()[0].node_id
+        assert sim.is_alive(node_id)
+        sim.remove_node(node_id)
+        assert not sim.is_alive(node_id)
+        assert not sim.is_alive(99999)
+
+    def test_now_advances(self):
+        sim = make_ordering_sim(n=10)
+        assert sim.now == 0
+        sim.run_cycle()
+        assert sim.now == 1
+
+
+class TestPopulationChanges:
+    def test_add_node_gets_view_and_state(self):
+        sim = make_ordering_sim(n=20, view_size=8)
+        node = sim.add_node(attribute=3.5)
+        assert sim.is_alive(node.node_id)
+        assert len(node.sampler.view) == 8
+        assert 0.0 < node.value <= 1.0
+        assert sim.live_count == 21
+
+    def test_remove_node(self):
+        sim = make_ordering_sim(n=20)
+        victim = sim.live_nodes()[0]
+        sim.remove_node(victim.node_id)
+        assert sim.live_count == 19
+        assert not victim.alive
+
+    def test_remove_twice_is_noop(self):
+        sim = make_ordering_sim(n=20)
+        victim = sim.live_nodes()[0].node_id
+        sim.remove_node(victim)
+        sim.remove_node(victim)
+        assert sim.live_count == 19
+
+    def test_node_ids_never_reused(self):
+        sim = make_ordering_sim(n=20)
+        sim.remove_node(sim.live_nodes()[0].node_id)
+        node = sim.add_node(attribute=1.0)
+        assert node.node_id == 20  # ids 0..19 were taken
+
+    def test_simulation_survives_heavy_churn(self):
+        sim = make_ordering_sim(n=40, view_size=6)
+        sim.run(3)
+        for node in list(sim.live_nodes())[:30]:
+            sim.remove_node(node.node_id)
+        sim.run(5)  # views must recover via the bootstrap fallback
+        assert sim.live_count == 10
+        for node in sim.live_nodes():
+            assert len(node.sampler.view) > 0
+
+
+class TestRunLoop:
+    def test_collectors_sample_time_zero(self):
+        sim = make_ordering_sim(n=20)
+        collector = PopulationCollector()
+        sim.run(3, collectors=[collector])
+        assert collector.series.times[0] == 0
+        assert len(collector.series) == 4
+
+    def test_messages_flow(self):
+        sim = make_ordering_sim(n=40)
+        sim.run(2)
+        assert sim.bus_stats.sent > 0
+        assert sim.bus_stats.delivered > 0
+
+    def test_trace_records_exchanges(self):
+        partition = SlicePartition.equal(4)
+        trace = TraceLog(categories=["view-exchange"])
+        sim = CycleSimulation(
+            size=20,
+            partition=partition,
+            slicer_factory=lambda: OrderingProtocol(partition),
+            seed=3,
+            trace=trace,
+        )
+        sim.run(2)
+        assert trace.count("view-exchange") > 0
+
+    def test_ranking_sim_runs(self):
+        sim = make_ranking_sim(n=40)
+        sim.run(5)
+        for node in sim.live_nodes():
+            assert 0.0 <= node.value <= 1.0

@@ -1,0 +1,58 @@
+"""Unit tests for the trace log."""
+
+from repro.engine.trace import NULL_TRACE, TraceEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_records_events(self):
+        log = TraceLog()
+        log.record(1, "swap", node=3, details=(4,))
+        assert len(log) == 1
+        event = log.events()[0]
+        assert event == TraceEvent(1, "swap", 3, (4,))
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(1, "swap")
+        assert len(log) == 0
+        assert log.count("swap") == 0
+
+    def test_null_trace_is_disabled(self):
+        NULL_TRACE.record(1, "anything")
+        assert len(NULL_TRACE) == 0
+
+    def test_category_filter(self):
+        log = TraceLog(categories=["join"])
+        log.record(1, "join", node=1)
+        log.record(1, "swap", node=2)
+        assert len(log) == 1
+        assert log.events()[0].category == "join"
+
+    def test_events_by_category(self):
+        log = TraceLog()
+        log.record(1, "a")
+        log.record(2, "b")
+        log.record(3, "a")
+        assert [e.time for e in log.events("a")] == [1, 3]
+
+    def test_count_tracks_recorded(self):
+        log = TraceLog()
+        for time in range(5):
+            log.record(time, "x")
+        assert log.count("x") == 5
+        assert log.count("missing") == 0
+
+    def test_capacity_drops_oldest(self):
+        log = TraceLog(capacity=2)
+        for time in range(5):
+            log.record(time, "x")
+        assert [e.time for e in log.events()] == [3, 4]
+        # Counter still reflects everything recorded.
+        assert log.count("x") == 5
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(1, "x")
+        log.clear()
+        assert len(log) == 0
+        assert log.count("x") == 0

@@ -1,0 +1,37 @@
+"""Tests for the experiments CLI entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_runs_one_figure(self, capsys):
+        code = main(["fig4b", "--n", "120", "--cycles", "10", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig4b" in out
+        assert "jk" in out
+
+    def test_runs_theory(self, capsys):
+        code = main(["theorem51"])
+        assert code == 0
+        assert "theorem51" in capsys.readouterr().out
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_max_rows_respected(self, capsys):
+        main(["fig4b", "--n", "120", "--cycles", "30", "--max-rows", "5"])
+        out = capsys.readouterr().out
+        table_lines = [
+            line for line in out.splitlines() if line and line[0].isdigit()
+        ]
+        assert len(table_lines) <= 6
+
+    def test_chart_flag(self, capsys):
+        main(["fig4b", "--n", "120", "--cycles", "20", "--chart"])
+        out = capsys.readouterr().out
+        assert "[log10]" in out
+        assert "*=jk" in out

@@ -1,0 +1,117 @@
+"""Unit tests for RunSpec and the simulation builder."""
+
+import pytest
+
+from repro.churn.models import BurstChurn, NoChurn, RegularChurn
+from repro.core.ordering import OrderingProtocol
+from repro.core.ranking import RankingProtocol
+from repro.experiments.config import PROTOCOLS, SAMPLERS, RunSpec, build_simulation
+from repro.sampling.cyclon import CyclonSampler
+from repro.sampling.cyclon_variant import CyclonVariantSampler
+from repro.sampling.newscast import NewscastSampler
+from repro.sampling.uniform import UniformOracleSampler
+from repro.workloads.attributes import UniformAttributes
+
+
+class TestRunSpec:
+    def test_with_overrides(self):
+        spec = RunSpec(n=100)
+        other = spec.with_overrides(n=200, protocol="jk")
+        assert other.n == 200
+        assert other.protocol == "jk"
+        assert spec.n == 100  # original untouched
+
+    def test_partition_size(self):
+        assert len(RunSpec(slice_count=7).partition()) == 7
+
+    def test_describe_mentions_key_fields(self):
+        text = RunSpec(n=50, protocol="ranking", churn="burst").describe()
+        assert "n=50" in text
+        assert "protocol=ranking" in text
+        assert "churn=burst" in text
+
+
+class TestBuildProtocols:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_all_protocols_build_and_run(self, protocol):
+        spec = RunSpec(n=30, cycles=3, protocol=protocol, view_size=6, window=100)
+        sim = build_simulation(spec)
+        sim.run(3)
+        assert sim.live_count == 30
+
+    def test_protocol_types(self):
+        sim = build_simulation(RunSpec(n=10, protocol="jk", view_size=4))
+        assert isinstance(sim.live_nodes()[0].slicer, OrderingProtocol)
+        assert sim.live_nodes()[0].slicer.selection == "random"
+        sim = build_simulation(RunSpec(n=10, protocol="mod-jk", view_size=4))
+        assert sim.live_nodes()[0].slicer.selection == "max_gain"
+        sim = build_simulation(RunSpec(n=10, protocol="ranking", view_size=4))
+        assert isinstance(sim.live_nodes()[0].slicer, RankingProtocol)
+
+    def test_window_default_for_window_protocol(self):
+        sim = build_simulation(RunSpec(n=10, protocol="ranking-window", view_size=4))
+        assert sim.live_nodes()[0].slicer.window == 10_000
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            build_simulation(RunSpec(n=10, protocol="magic"))
+
+
+class TestBuildSamplers:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("cyclon-variant", CyclonVariantSampler),
+            ("cyclon", CyclonSampler),
+            ("newscast", NewscastSampler),
+            ("uniform", UniformOracleSampler),
+        ],
+    )
+    def test_sampler_types(self, name, cls):
+        assert name in SAMPLERS
+        sim = build_simulation(RunSpec(n=10, sampler=name, view_size=4))
+        assert isinstance(sim.live_nodes()[0].sampler, cls)
+
+    def test_unknown_sampler(self):
+        with pytest.raises(ValueError):
+            build_simulation(RunSpec(n=10, sampler="magic"))
+
+
+class TestBuildChurn:
+    def test_none(self):
+        assert build_simulation(RunSpec(n=10, view_size=4)).churn is None
+
+    def test_burst_shorthand(self):
+        sim = build_simulation(
+            RunSpec(n=10, view_size=4, churn="burst", churn_burst_end=50)
+        )
+        assert isinstance(sim.churn, BurstChurn)
+        assert sim.churn.end == 50
+
+    def test_regular_shorthand(self):
+        sim = build_simulation(RunSpec(n=10, view_size=4, churn="regular"))
+        assert isinstance(sim.churn, RegularChurn)
+
+    def test_model_passthrough(self):
+        model = NoChurn()
+        sim = build_simulation(RunSpec(n=10, view_size=4, churn=model))
+        assert sim.churn is model
+
+    def test_uncorrelated_needs_distribution(self):
+        with pytest.raises(ValueError):
+            build_simulation(
+                RunSpec(n=10, view_size=4, churn="burst", correlated_churn=False)
+            )
+
+    def test_uncorrelated_with_distribution(self):
+        spec = RunSpec(
+            n=10, view_size=4, churn="regular", correlated_churn=False,
+            attributes=UniformAttributes(),
+        )
+        sim = build_simulation(spec)
+        sim.run(3)
+        assert sim.live_count >= 8
+
+    def test_unknown_churn(self):
+        with pytest.raises(ValueError):
+            build_simulation(RunSpec(n=10, view_size=4, churn="tsunami"))

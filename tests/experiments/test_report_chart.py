@@ -1,0 +1,51 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from repro.experiments.report import ascii_chart
+from repro.metrics.collectors import TimeSeries
+
+
+def series_of(name, pairs):
+    series = TimeSeries(name)
+    for t, v in pairs:
+        series.append(t, v)
+    return series
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        sdm = series_of("sdm", [(0, 1000.0), (10, 100.0), (20, 10.0)])
+        chart = ascii_chart([sdm])
+        assert "*" in chart
+        assert "*=sdm" in chart
+        assert "[log10]" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        a = series_of("a", [(0, 10.0), (1, 20.0)])
+        b = series_of("b", [(0, 30.0), (1, 40.0)])
+        chart = ascii_chart([a, b])
+        assert "*=a" in chart
+        assert "o=b" in chart
+        assert "o" in chart
+
+    def test_linear_scale(self):
+        a = series_of("a", [(0, 1.0), (5, 5.0)])
+        chart = ascii_chart([a], log_scale=False)
+        assert "[linear]" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart([TimeSeries("empty")]) == "(no data)"
+
+    def test_all_zero_on_log_scale(self):
+        zero = series_of("zero", [(0, 0.0), (1, 0.0)])
+        assert "no positive data" in ascii_chart([zero])
+
+    def test_dimensions_respected(self):
+        a = series_of("a", [(t, float(t + 1)) for t in range(50)])
+        chart = ascii_chart([a], width=30, height=8)
+        data_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(data_lines) == 8
+
+    def test_constant_series_no_crash(self):
+        a = series_of("a", [(0, 5.0), (10, 5.0)])
+        chart = ascii_chart([a])
+        assert "*" in chart

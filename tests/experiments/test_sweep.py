@@ -1,0 +1,78 @@
+"""Unit + behaviour tests for sweeps and replication."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import RunSpec
+from repro.experiments.sweep import (
+    cycles_to_sdm,
+    final_gdm,
+    final_sdm,
+    replicate,
+    sweep,
+)
+
+SMALL = RunSpec(n=80, cycles=25, slice_count=4, view_size=6, protocol="ranking")
+
+
+class TestReplicate:
+    def test_summary_over_seeds(self):
+        stats = replicate(SMALL, final_sdm, seeds=[0, 1, 2])
+        assert stats.count == 3
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    def test_different_seeds_give_variance(self):
+        stats = replicate(SMALL, final_sdm, seeds=[0, 1, 2])
+        assert stats.std > 0.0
+
+    def test_single_seed_deterministic(self):
+        first = replicate(SMALL, final_sdm, seeds=[7])
+        second = replicate(SMALL, final_sdm, seeds=[7])
+        assert first == second
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(SMALL, final_sdm, seeds=[])
+
+    def test_gdm_outcome(self):
+        spec = SMALL.with_overrides(protocol="mod-jk", cycles=60)
+        stats = replicate(spec, final_gdm, seeds=[0])
+        assert stats.mean < 5.0
+
+
+class TestCyclesToSdm:
+    def test_converging_run_has_finite_hit(self):
+        spec = SMALL.with_overrides(cycles=60)
+        stats = replicate(spec, cycles_to_sdm(threshold=30.0), seeds=[0])
+        assert math.isfinite(stats.mean)
+        assert stats.mean > 0
+
+    def test_impossible_threshold_is_inf(self):
+        stats = replicate(SMALL, cycles_to_sdm(threshold=-1.0), seeds=[0])
+        assert math.isinf(stats.mean)
+
+
+class TestSweep:
+    def test_sweep_orders_points(self):
+        points = sweep(SMALL, "view_size", [4, 8], final_sdm, seeds=[0])
+        assert [p.value for p in points] == [4, 8]
+
+    def test_larger_views_converge_at_least_as_well(self):
+        spec = SMALL.with_overrides(cycles=30)
+        points = sweep(spec, "view_size", [3, 12], final_sdm, seeds=[0, 1])
+        assert points[1].stats.mean <= points[0].stats.mean * 1.5
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(AttributeError):
+            sweep(SMALL, "warp_factor", [1, 2])
+
+    def test_sweep_protocols(self):
+        points = sweep(
+            SMALL.with_overrides(cycles=40),
+            "protocol",
+            ["jk", "mod-jk"],
+            final_sdm,
+            seeds=[0],
+        )
+        assert len(points) == 2

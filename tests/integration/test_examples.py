@@ -1,0 +1,44 @@
+"""The example scripts must stay runnable.
+
+Every example is compile-checked; the fastest one runs end-to-end in a
+subprocess.  (The heavier examples are exercised implicitly: they are
+thin drivers over code paths the integration tests already cover.)
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "height_population.py",
+        "bandwidth_allocation.py",
+        "churn_uptime.py",
+        "super_peers.py",
+        "slicing_service.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_height_population_runs():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "height_population.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "correct slice" in completed.stdout

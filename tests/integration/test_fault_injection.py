@@ -1,0 +1,108 @@
+"""Fault injection: message loss (robustness extension).
+
+The paper assumes reliable links; real gossip deployments lose
+messages.  These tests verify the graceful-degradation story:
+
+* the ranking algorithm is *oblivious* to loss (one-way messages, each
+  sample independent) — convergence merely slows in proportion;
+* the ordering algorithms still sort, but a lost ACK can leave a
+  one-sided swap that duplicates a random value, raising the SDM floor
+  — the same hazard concurrency creates, now from the loss side.
+"""
+
+import pytest
+
+from repro.core.ordering import OrderingProtocol
+from repro.core.ranking import RankingProtocol
+from repro.core.slices import SlicePartition
+from repro.engine.simulator import CycleSimulation
+from repro.metrics.disorder import global_disorder, slice_disorder
+
+
+def make_lossy_sim(protocol, loss, n=120, seed=3):
+    partition = SlicePartition.equal(5)
+    factory = {
+        "ordering": lambda: OrderingProtocol(partition),
+        "ranking": lambda: RankingProtocol(partition),
+    }[protocol]
+    sim = CycleSimulation(
+        size=n,
+        partition=partition,
+        slicer_factory=factory,
+        view_size=10,
+        loss_probability=loss,
+        seed=seed,
+    )
+    return sim, partition
+
+
+class TestLossAccounting:
+    def test_losses_counted(self):
+        sim, _ = make_lossy_sim("ranking", loss=0.2)
+        sim.run(10)
+        assert sim.bus_stats.lost > 0
+        assert sim.bus_stats.delivered > 0
+
+    def test_no_loss_by_default(self):
+        sim, _ = make_lossy_sim("ranking", loss=0.0)
+        sim.run(5)
+        assert sim.bus_stats.lost == 0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            make_lossy_sim("ranking", loss=1.0)
+        with pytest.raises(ValueError):
+            make_lossy_sim("ranking", loss=-0.1)
+
+    def test_loss_rate_roughly_matches(self):
+        sim, _ = make_lossy_sim("ranking", loss=0.3)
+        sim.run(20)
+        total = sim.bus_stats.sent
+        observed = sim.bus_stats.lost / total
+        assert 0.25 < observed < 0.35
+
+
+class TestRankingUnderLoss:
+    def test_converges_at_10_percent_loss(self):
+        sim, partition = make_lossy_sim("ranking", loss=0.1)
+        initial = slice_disorder(sim.live_nodes(), partition)
+        sim.run(60)
+        assert slice_disorder(sim.live_nodes(), partition) < initial / 3
+
+    def test_converges_at_50_percent_loss(self):
+        sim, partition = make_lossy_sim("ranking", loss=0.5)
+        initial = slice_disorder(sim.live_nodes(), partition)
+        sim.run(100)
+        assert slice_disorder(sim.live_nodes(), partition) < initial / 3
+
+    def test_loss_only_slows_convergence(self):
+        finals = {}
+        for loss in (0.0, 0.3):
+            sim, partition = make_lossy_sim("ranking", loss=loss)
+            sim.run(120)
+            finals[loss] = slice_disorder(sim.live_nodes(), partition)
+        # With enough cycles both land in the same converged regime.
+        assert finals[0.3] < 3.0 * max(finals[0.0], 1.0)
+
+
+class TestOrderingUnderLoss:
+    def test_still_sorts_under_loss(self):
+        sim, partition = make_lossy_sim("ordering", loss=0.1)
+        sim.run(100)
+        # Values may be duplicated by one-sided swaps, but the order
+        # must still be essentially established.
+        assert global_disorder(sim.live_nodes()) < 20.0
+
+    def test_one_sided_swaps_can_duplicate_values(self):
+        sim, _ = make_lossy_sim("ordering", loss=0.3, seed=1)
+        before = len({node.value for node in sim.live_nodes()})
+        sim.run(40)
+        after = len({node.value for node in sim.live_nodes()})
+        # Distinct-value count shrinks when ACK losses orphan swaps.
+        assert after < before
+
+    def test_unsuccessful_swap_accounting_still_sane(self):
+        sim, _ = make_lossy_sim("ordering", loss=0.2)
+        sim.run(30)
+        stats = sim.bus_stats
+        assert stats.unsuccessful_swaps <= stats.intended_swaps

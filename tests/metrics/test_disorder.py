@@ -1,0 +1,140 @@
+"""Unit tests for GDM / SDM and rank computations."""
+
+import pytest
+
+from repro.core.slices import SlicePartition
+from repro.metrics.disorder import (
+    attribute_ranks,
+    global_disorder,
+    per_node_slice_error,
+    slice_disorder,
+    true_slice_indices,
+    value_ranks,
+)
+
+
+class _FakeSlicer:
+    def __init__(self, value, slice_index):
+        self.value = value
+        self.slice_index = slice_index
+
+
+class _FakeNode:
+    def __init__(self, node_id, attribute, value, slice_index=None, alive=True):
+        self.node_id = node_id
+        self.attribute = attribute
+        self.alive = alive
+        self._value = value
+        self._slice_index = slice_index
+
+    @property
+    def value(self):
+        return self._value
+
+    @property
+    def slice_index(self):
+        return self._slice_index
+
+
+def make_nodes(attrs_values):
+    return [
+        _FakeNode(i, attr, value) for i, (attr, value) in enumerate(attrs_values)
+    ]
+
+
+class TestRanks:
+    def test_attribute_ranks_paper_example(self):
+        # a1=50, a2=120, a3=25 -> alpha = 2, 3, 1 (1-based).
+        nodes = make_nodes([(50, 0.0), (120, 0.0), (25, 0.0)])
+        ranks = attribute_ranks(nodes)
+        assert ranks == {0: 2, 1: 3, 2: 1}
+
+    def test_value_ranks_paper_example(self):
+        # r1=0.85, r2=0.1, r3=0.35 -> rho = 3, 1, 2.
+        nodes = make_nodes([(0, 0.85), (0, 0.1), (0, 0.35)])
+        ranks = value_ranks(nodes)
+        assert ranks == {0: 3, 1: 1, 2: 2}
+
+    def test_ties_broken_by_id(self):
+        nodes = make_nodes([(5, 0.5), (5, 0.5)])
+        assert attribute_ranks(nodes) == {0: 1, 1: 2}
+        assert value_ranks(nodes) == {0: 1, 1: 2}
+
+    def test_dead_nodes_excluded(self):
+        nodes = make_nodes([(1, 0.1), (2, 0.2), (3, 0.3)])
+        nodes[1].alive = False
+        assert set(attribute_ranks(nodes)) == {0, 2}
+
+
+class TestGlobalDisorder:
+    def test_zero_when_sorted(self):
+        nodes = make_nodes([(1, 0.1), (2, 0.2), (3, 0.3)])
+        assert global_disorder(nodes) == 0.0
+
+    def test_paper_example_value(self):
+        # alpha=(2,3,1), rho=(3,1,2): GDM = ((2-3)^2+(3-1)^2+(1-2)^2)/3 = 2.
+        nodes = make_nodes([(50, 0.85), (120, 0.1), (25, 0.35)])
+        assert global_disorder(nodes) == pytest.approx(2.0)
+
+    def test_reversed_is_maximal(self):
+        ordered = make_nodes([(i, i / 10) for i in range(1, 6)])
+        reversed_nodes = make_nodes([(i, (6 - i) / 10) for i in range(1, 6)])
+        assert global_disorder(reversed_nodes) > global_disorder(ordered)
+
+    def test_empty(self):
+        assert global_disorder([]) == 0.0
+
+
+class TestSliceDisorder:
+    def test_zero_when_every_node_knows_its_slice(self):
+        partition = SlicePartition.equal(2)
+        # 4 nodes: true slices 0,0,1,1 by attribute rank.
+        nodes = [
+            _FakeNode(0, 1.0, 0.2, slice_index=0),
+            _FakeNode(1, 2.0, 0.4, slice_index=0),
+            _FakeNode(2, 3.0, 0.7, slice_index=1),
+            _FakeNode(3, 4.0, 0.9, slice_index=1),
+        ]
+        assert slice_disorder(nodes, partition) == 0.0
+
+    def test_counts_index_distance(self):
+        partition = SlicePartition.equal(4)
+        # One node, rank 1/1=1.0 -> true slice 3; believes slice 0.
+        nodes = [_FakeNode(0, 1.0, 0.1, slice_index=0)]
+        assert slice_disorder(nodes, partition) == pytest.approx(3.0)
+
+    def test_falls_back_to_value_when_no_slice_index(self):
+        partition = SlicePartition.equal(4)
+        nodes = [_FakeNode(0, 1.0, 0.1, slice_index=None)]
+        assert slice_disorder(nodes, partition) == pytest.approx(3.0)
+
+    def test_example_from_paper_text(self):
+        # "if node i belongs to the 1st slice while it thinks it belongs
+        # to the 3rd slice then the distance for node i is |1-3| = 2".
+        partition = SlicePartition.equal(10)
+        nodes = [
+            _FakeNode(0, 1.0, 0.25, slice_index=2),   # rank 1/2 -> slice 4
+            _FakeNode(1, 2.0, 0.95, slice_index=9),   # rank 2/2 -> slice 9
+        ]
+        errors = per_node_slice_error(nodes, partition)
+        assert errors[0] == pytest.approx(2.0)
+        assert errors[1] == 0.0
+
+    def test_true_slice_indices(self):
+        partition = SlicePartition.equal(2)
+        nodes = make_nodes([(10, 0.0), (20, 0.0), (30, 0.0), (40, 0.0)])
+        truth = true_slice_indices(nodes, partition)
+        assert truth == {0: 0, 1: 0, 2: 1, 3: 1}
+
+    def test_skewed_attributes_irrelevant(self):
+        # Slicing is rank-based: scaling attributes must not change SDM.
+        partition = SlicePartition.equal(2)
+        base = [
+            _FakeNode(0, 1.0, 0.9, slice_index=1),
+            _FakeNode(1, 2.0, 0.1, slice_index=0),
+        ]
+        scaled = [
+            _FakeNode(0, 1000.0, 0.9, slice_index=1),
+            _FakeNode(1, 2000000.0, 0.1, slice_index=0),
+        ]
+        assert slice_disorder(base, partition) == slice_disorder(scaled, partition)

@@ -1,0 +1,102 @@
+"""Property-based tests for the analysis (theory) module."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.analysis.binomial import (
+    perfect_split_probability,
+    perfect_split_upper_bound,
+    sdm_floor_of_values,
+)
+from repro.analysis.chernoff import (
+    cardinality_bounds,
+    deviation_probability_bound,
+    minimum_slice_width,
+)
+from repro.analysis.sample_size import confidence_achieved, required_samples
+from repro.core.slices import SlicePartition
+from repro.metrics.statistics import wald_interval
+
+ns = st.integers(min_value=2, max_value=100_000)
+probs = st.floats(min_value=0.001, max_value=1.0, allow_nan=False)
+betas = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+
+
+class TestChernoffProperties:
+    @given(n=ns, p=probs, beta=betas)
+    def test_bound_is_probability(self, n, p, beta):
+        bound = deviation_probability_bound(n, p, beta)
+        assert 0.0 <= bound <= 1.0
+
+    @given(n=ns, p=probs, beta=betas)
+    def test_bound_monotone_in_beta(self, n, p, beta):
+        assume(beta <= 0.99)
+        looser = deviation_probability_bound(n, p, beta)
+        tighter = deviation_probability_bound(n, p, min(1.0, beta + 0.01))
+        assert tighter <= looser
+
+    @given(n=ns, beta=betas, eps=st.floats(min_value=0.001, max_value=0.999))
+    def test_minimum_width_guarantee_roundtrip(self, n, beta, eps):
+        p = minimum_slice_width(n, beta, eps)
+        assume(p <= 1.0)
+        assert deviation_probability_bound(n, p, beta) <= eps + 1e-9
+
+    @given(n=ns, p=probs, eps=st.floats(min_value=0.001, max_value=0.5))
+    def test_cardinality_interval_brackets_mean(self, n, p, eps):
+        bound = cardinality_bounds(n, p, eps)
+        assert bound.low <= bound.expected <= bound.high
+
+
+class TestSampleSizeProperties:
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.99),
+        d=st.floats(min_value=0.001, max_value=0.5),
+    )
+    def test_required_samples_nonnegative(self, p, d):
+        assert required_samples(p, d) >= 0.0
+
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.99),
+        d=st.floats(min_value=0.001, max_value=0.2),
+        confidence=st.floats(min_value=0.5, max_value=0.999),
+    )
+    def test_roundtrip_required_then_achieved(self, p, d, confidence):
+        k = required_samples(p, d, confidence)
+        achieved = confidence_achieved(p, d, int(math.ceil(k)) + 1)
+        assert achieved >= confidence - 0.02
+
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.99),
+        k=st.integers(min_value=1, max_value=100_000),
+    )
+    def test_wald_interval_contains_estimate(self, p, k):
+        low, high = wald_interval(p, k)
+        assert low <= p <= high
+
+
+class TestBinomialProperties:
+    @given(n=st.integers(min_value=2, max_value=2000))
+    def test_perfect_split_bound_holds(self, n):
+        assert perfect_split_probability(n) <= perfect_split_upper_bound(n) + 1e-12
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, exclude_min=True),
+            min_size=1,
+            max_size=100,
+        ),
+        slice_count=st.integers(min_value=1, max_value=20),
+    )
+    def test_sdm_floor_nonnegative_and_bounded(self, values, slice_count):
+        partition = SlicePartition.equal(slice_count)
+        floor = sdm_floor_of_values(values, partition)
+        assert 0.0 <= floor <= len(values) * slice_count
+
+    @given(slice_count=st.integers(min_value=1, max_value=20))
+    def test_sdm_floor_zero_for_ideal_values(self, slice_count):
+        partition = SlicePartition.equal(slice_count)
+        n = slice_count * 4
+        values = [(k - 0.5) / n for k in range(1, n + 1)]
+        assert sdm_floor_of_values(values, partition) == 0.0

@@ -1,0 +1,69 @@
+"""Property-based tests for the rank estimators."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.estimators import CumulativeRankEstimator, SlidingWindowRankEstimator
+
+bit_streams = st.lists(st.booleans(), min_size=1, max_size=500)
+
+
+class TestCumulativeProperties:
+    @given(bits=bit_streams)
+    def test_estimate_equals_exact_fraction(self, bits):
+        estimator = CumulativeRankEstimator()
+        for bit in bits:
+            estimator.observe(bit)
+        assert estimator.estimate() == sum(bits) / len(bits)
+
+    @given(bits=bit_streams)
+    def test_estimate_in_unit_interval(self, bits):
+        estimator = CumulativeRankEstimator()
+        for bit in bits:
+            estimator.observe(bit)
+        assert 0.0 <= estimator.estimate() <= 1.0
+
+    @given(bits=bit_streams)
+    def test_order_invariance(self, bits):
+        forward = CumulativeRankEstimator()
+        backward = CumulativeRankEstimator()
+        for bit in bits:
+            forward.observe(bit)
+        for bit in reversed(bits):
+            backward.observe(bit)
+        assert forward.estimate() == backward.estimate()
+
+
+class TestSlidingWindowProperties:
+    @given(bits=bit_streams, window=st.integers(min_value=1, max_value=64))
+    def test_estimate_matches_last_window(self, bits, window):
+        estimator = SlidingWindowRankEstimator(window)
+        for bit in bits:
+            estimator.observe(bit)
+        recent = bits[-window:]
+        assert estimator.estimate() == sum(recent) / len(recent)
+
+    @given(bits=bit_streams, window=st.integers(min_value=1, max_value=64))
+    def test_sample_count_never_exceeds_window(self, bits, window):
+        estimator = SlidingWindowRankEstimator(window)
+        for bit in bits:
+            estimator.observe(bit)
+            assert estimator.sample_count <= window
+
+    @given(bits=bit_streams, window=st.integers(min_value=1, max_value=64))
+    def test_agrees_with_cumulative_until_window_full(self, bits, window):
+        windowed = SlidingWindowRankEstimator(window)
+        cumulative = CumulativeRankEstimator()
+        for bit in bits[:window]:
+            windowed.observe(bit)
+            cumulative.observe(bit)
+        assert windowed.estimate() == cumulative.estimate()
+
+    @given(window=st.integers(min_value=1, max_value=32))
+    def test_forgetting_is_complete(self, window):
+        estimator = SlidingWindowRankEstimator(window)
+        for _ in range(window * 3):
+            estimator.observe(True)
+        for _ in range(window):
+            estimator.observe(False)
+        assert estimator.estimate() == 0.0

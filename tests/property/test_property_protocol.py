@@ -1,0 +1,79 @@
+"""Property-based end-to-end invariants of whole simulations.
+
+Heavier than the other property tests (each example runs a miniature
+simulation), so example counts are tuned down.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.slices import SlicePartition
+from repro.metrics.disorder import global_disorder
+from tests.conftest import make_ordering_sim, make_ranking_sim
+
+
+class TestSimulationInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=60),
+        slice_count=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_ordering_conserves_value_multiset(self, n, slice_count, seed):
+        sim = make_ordering_sim(n=n, slice_count=slice_count, view_size=4, seed=seed)
+        before = sorted(node.value for node in sim.live_nodes())
+        sim.run(8)
+        after = sorted(node.value for node in sim.live_nodes())
+        assert before == after
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_ordering_never_increases_total_inversions(self, n, seed):
+        # Classic sorting invariant: every predicate-verified swap of a
+        # misplaced pair strictly reduces the total inversion count, so
+        # without concurrency the count is monotone non-increasing.
+        sim = make_ordering_sim(n=n, view_size=4, seed=seed)
+
+        def total_inversions():
+            nodes = sorted(
+                sim.live_nodes(), key=lambda node: (node.attribute, node.node_id)
+            )
+            values = [node.value for node in nodes]
+            return sum(
+                1
+                for i in range(len(values))
+                for j in range(i + 1, len(values))
+                if values[i] > values[j]
+            )
+
+        previous = total_inversions()
+        for _ in range(6):
+            sim.run_cycle()
+            current = total_inversions()
+            assert current <= previous
+            previous = current
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=60),
+        window=st.one_of(st.none(), st.integers(min_value=10, max_value=500)),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_ranking_estimates_always_valid(self, n, window, seed):
+        sim = make_ranking_sim(n=n, view_size=4, window=window, seed=seed)
+        sim.run(8)
+        for node in sim.live_nodes():
+            assert 0.0 <= node.value <= 1.0
+            assert 0 <= node.slice_index < len(sim.partition)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_gdm_trend_downward(self, seed):
+        sim = make_ordering_sim(n=50, view_size=6, seed=seed)
+        start = global_disorder(sim.live_nodes())
+        sim.run(25)
+        end = global_disorder(sim.live_nodes())
+        assert end <= start

@@ -1,0 +1,82 @@
+"""Property-based tests for the slice model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.slices import SlicePartition
+
+partitions = st.one_of(
+    st.integers(min_value=1, max_value=200).map(SlicePartition.equal),
+    st.lists(
+        st.floats(min_value=0.001, max_value=0.999),
+        min_size=1,
+        max_size=20,
+        unique=True,
+    ).map(SlicePartition.from_boundaries),
+)
+
+unit_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestPartitionProperties:
+    @given(partition=partitions)
+    def test_slices_cover_unit_interval_exactly(self, partition):
+        assert partition[0].lower == 0.0
+        assert abs(partition[len(partition) - 1].upper - 1.0) < 1e-12
+        total = sum(s.width for s in partition)
+        assert abs(total - 1.0) < 1e-9
+
+    @given(partition=partitions, x=unit_values)
+    def test_index_of_returns_containing_slice(self, partition, x):
+        index = partition.index_of(x)
+        s = partition[index]
+        if 0.0 < x <= 1.0:
+            # Allow boundary float fuzz of one slice.
+            assert s.lower - 1e-9 <= x <= s.upper + 1e-9
+
+    @given(partition=partitions, x=unit_values)
+    def test_every_value_lands_in_exactly_one_slice(self, partition, x):
+        if x <= 0.0:  # only (0, 1] is covered by the half-open intervals
+            return
+        containing = [s.index for s in partition if s.contains(x)]
+        assert len(containing) == 1
+        assert containing[0] == partition.index_of(x)
+
+    @given(partition=partitions, x=unit_values)
+    def test_boundary_distance_nonnegative_and_bounded(self, partition, x):
+        d = partition.boundary_distance(x)
+        assert 0.0 <= d <= 1.0
+
+    @given(partition=partitions, x=unit_values)
+    def test_slice_margin_at_most_half_width(self, partition, x):
+        margin = partition.slice_margin(x)
+        width = partition.slice_of(x).width
+        assert 0.0 <= margin <= width / 2 + 1e-12
+
+    @given(partition=partitions, x=unit_values, y=unit_values)
+    def test_slice_distance_symmetric_up_to_width(self, partition, x, y):
+        a, b = partition.slice_of(x), partition.slice_of(y)
+        # For equal widths, distance is symmetric (up to float rounding
+        # in the width computation).
+        if abs(a.width - b.width) < 1e-12:
+            forward = partition.slice_distance(a, b)
+            backward = partition.slice_distance(b, a)
+            assert abs(forward - backward) < 1e-9
+
+    @given(partition=partitions, x=unit_values)
+    def test_self_distance_zero(self, partition, x):
+        s = partition.slice_of(x)
+        assert partition.slice_distance(s, s) == 0.0
+
+    @given(count=st.integers(min_value=1, max_value=100))
+    def test_equal_partition_widths(self, count):
+        partition = SlicePartition.equal(count)
+        for s in partition:
+            assert abs(s.width - 1.0 / count) < 1e-9
+
+    @given(partition=partitions)
+    def test_interior_boundaries_sorted_and_interior(self, partition):
+        boundaries = partition.interior_boundaries
+        assert boundaries == sorted(boundaries)
+        assert all(0.0 < b < 1.0 for b in boundaries)
+        assert len(boundaries) == len(partition) - 1

@@ -1,0 +1,102 @@
+"""Property-based tests for the view container invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sampling.view import View, ViewEntry
+
+entries = st.builds(
+    ViewEntry,
+    node_id=st.integers(min_value=0, max_value=50),
+    age=st.integers(min_value=0, max_value=30),
+    attribute=st.floats(min_value=0, max_value=100, allow_nan=False),
+    value=st.floats(min_value=0, max_value=1, allow_nan=False),
+)
+
+
+class _Op:
+    """One random mutation applied to a view."""
+
+    def __init__(self, kind, entry=None, node_id=None):
+        self.kind = kind
+        self.entry = entry
+        self.node_id = node_id
+
+    def __repr__(self):  # pragma: no cover - hypothesis shrinking aid
+        return f"Op({self.kind}, {self.entry or self.node_id})"
+
+
+operations = st.one_of(
+    st.builds(_Op, kind=st.just("add"), entry=entries),
+    st.builds(_Op, kind=st.just("remove"), node_id=st.integers(0, 50)),
+    st.builds(_Op, kind=st.just("age")),
+    st.builds(_Op, kind=st.just("trim")),
+    st.builds(
+        _Op, kind=st.just("merge"),
+        entry=entries,  # merged as a single-entry batch
+    ),
+)
+
+
+def apply(view, op):
+    if op.kind == "add":
+        view.add(op.entry)
+    elif op.kind == "remove":
+        view.remove(op.node_id)
+    elif op.kind == "age":
+        view.age_all()
+    elif op.kind == "trim":
+        view.trim()
+    elif op.kind == "merge":
+        view.merge([op.entry])
+
+
+class TestViewInvariants:
+    @given(
+        capacity=st.integers(min_value=1, max_value=10),
+        owner=st.integers(min_value=0, max_value=50),
+        ops=st.lists(operations, max_size=60),
+    )
+    def test_invariants_hold_under_any_operation_sequence(self, capacity, owner, ops):
+        view = View(owner, capacity)
+        for op in ops:
+            apply(view, op)
+            # Invariant 1: bounded size.
+            assert len(view) <= capacity
+            # Invariant 2: never self.
+            assert owner not in view
+            # Invariant 3: unique ids.
+            ids = view.ids()
+            assert len(ids) == len(set(ids))
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        batch=st.lists(entries, max_size=30),
+    )
+    def test_merge_keeps_youngest_under_capacity_pressure(self, capacity, batch):
+        view = View(99, capacity)  # owner id outside entry range
+        view.merge(batch)
+        # Merge semantics (Figure 3): the FIRST occurrence of an id wins;
+        # later duplicates are discarded regardless of age.  Model that
+        # before reasoning about age-based trimming.
+        first_seen = {}
+        for e in batch:
+            if e.node_id != 99 and e.node_id not in first_seen:
+                first_seen[e.node_id] = e
+        if len(view) == capacity and len(first_seen) > capacity:
+            dropped = [
+                e for node_id, e in first_seen.items() if node_id not in view
+            ]
+            if dropped:
+                # No dropped entry may be strictly younger than every kept one.
+                kept_ages = sorted(e.age for e in view)
+                assert min(e.age for e in dropped) >= kept_ages[0]
+
+    @given(ops=st.lists(operations, max_size=40))
+    def test_oldest_is_maximal_age(self, ops):
+        view = View(99, 5)
+        for op in ops:
+            apply(view, op)
+        oldest = view.oldest()
+        if oldest is not None:
+            assert oldest.age == max(e.age for e in view)

@@ -1,0 +1,82 @@
+"""Unit tests for overlay graph analysis."""
+
+import random
+
+from repro.sampling.graph_analysis import (
+    OverlayStats,
+    analyze_overlay,
+    build_overlay_graph,
+    indegree_counts,
+)
+from repro.sampling.view import View, ViewEntry
+
+
+class _FakeSampler:
+    def __init__(self, owner_id, neighbor_ids):
+        self.view = View(owner_id, max(len(neighbor_ids), 1))
+        for node_id in neighbor_ids:
+            self.view.add(ViewEntry(node_id, 0, 0.0, 0.0))
+
+
+class _FakeNode:
+    def __init__(self, node_id, neighbor_ids, alive=True):
+        self.node_id = node_id
+        self.alive = alive
+        self.sampler = _FakeSampler(node_id, neighbor_ids)
+
+
+def ring(n):
+    return [_FakeNode(i, [(i + 1) % n]) for i in range(n)]
+
+
+class TestBuildOverlayGraph:
+    def test_edges_follow_views(self):
+        graph = build_overlay_graph(ring(4))
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 4
+        assert graph.has_edge(0, 1)
+
+    def test_dead_nodes_excluded(self):
+        nodes = ring(4)
+        nodes[2].alive = False
+        graph = build_overlay_graph(nodes)
+        assert 2 not in graph.nodes
+        assert not graph.has_edge(1, 2)
+
+    def test_edges_to_dead_nodes_dropped(self):
+        nodes = [_FakeNode(0, [1]), _FakeNode(1, [0], alive=False)]
+        graph = build_overlay_graph(nodes)
+        assert graph.number_of_edges() == 0
+
+
+class TestAnalyzeOverlay:
+    def test_ring_stats(self):
+        stats = analyze_overlay(ring(10))
+        assert stats.node_count == 10
+        assert stats.weakly_connected
+        assert stats.largest_component_fraction == 1.0
+        assert stats.mean_in_degree == 1.0
+        assert stats.in_degree_std == 0.0
+
+    def test_disconnected(self):
+        nodes = ring(4) + [_FakeNode(100 + i, [100 + ((i + 1) % 3)]) for i in range(3)]
+        stats = analyze_overlay(nodes)
+        assert not stats.weakly_connected
+        assert stats.largest_component_fraction == 4 / 7
+
+    def test_path_length_sampling(self):
+        stats = analyze_overlay(ring(10), path_length_samples=3, rng=random.Random(0))
+        # Average ring distance from one node is (1+2+..+5*2-ish)/9 ~ 2.78
+        assert stats.approx_avg_path_length is not None
+        assert 2.0 < stats.approx_avg_path_length < 3.5
+
+    def test_empty_system(self):
+        stats = analyze_overlay([])
+        assert stats == OverlayStats(0, 0, True, 1.0, 0.0, 0, 0, 0.0, 0.0, None)
+
+
+class TestIndegreeCounts:
+    def test_counts(self):
+        nodes = [_FakeNode(0, [2]), _FakeNode(1, [2]), _FakeNode(2, [0])]
+        degrees = indegree_counts(nodes)
+        assert degrees == {0: 1, 1: 0, 2: 2}

@@ -1,0 +1,155 @@
+"""Unit tests for views and view entries (Table 1)."""
+
+import random
+
+import pytest
+
+from repro.sampling.view import View, ViewEntry
+
+
+def entry(node_id, age=0, attribute=1.0, value=0.5):
+    return ViewEntry(node_id, age, attribute, value)
+
+
+class TestViewEntry:
+    def test_table1_tuple(self):
+        e = ViewEntry(7, 3, 42.0, 0.25)
+        assert e.as_tuple() == (7, 3, 42.0, 0.25)
+
+    def test_copy_is_independent(self):
+        e = entry(1)
+        c = e.copy()
+        c.age = 99
+        assert e.age == 0
+
+    def test_equality_and_hash(self):
+        assert entry(1) == entry(1)
+        assert hash(entry(1)) == hash(entry(1))
+        assert entry(1) != entry(2)
+
+
+class TestViewBasics:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            View(owner_id=0, capacity=0)
+
+    def test_add_and_get(self):
+        view = View(0, 4)
+        assert view.add(entry(1))
+        assert view.get(1).node_id == 1
+        assert 1 in view
+        assert len(view) == 1
+
+    def test_rejects_self_pointer(self):
+        view = View(0, 4)
+        assert not view.add(entry(0))
+        assert len(view) == 0
+
+    def test_replace_same_id(self):
+        view = View(0, 4)
+        view.add(entry(1, value=0.1))
+        assert view.add(entry(1, value=0.9))
+        assert view.get(1).value == 0.9
+
+    def test_no_replace_keeps_resident(self):
+        view = View(0, 4)
+        view.add(entry(1, value=0.1))
+        assert not view.add(entry(1, value=0.9), replace=False)
+        assert view.get(1).value == 0.1
+
+    def test_add_evicts_oldest_when_full(self):
+        view = View(0, 2)
+        view.add(entry(1, age=5))
+        view.add(entry(2, age=1))
+        view.add(entry(3, age=0))
+        assert len(view) == 2
+        assert 1 not in view  # oldest evicted
+        assert 2 in view and 3 in view
+
+    def test_remove(self):
+        view = View(0, 4)
+        view.add(entry(1))
+        assert view.remove(1)
+        assert not view.remove(1)
+
+
+class TestAging:
+    def test_age_all(self):
+        view = View(0, 4)
+        view.add(entry(1, age=0))
+        view.add(entry(2, age=3))
+        view.age_all()
+        assert view.get(1).age == 1
+        assert view.get(2).age == 4
+
+    def test_oldest(self):
+        view = View(0, 4)
+        view.add(entry(1, age=2))
+        view.add(entry(2, age=7))
+        view.add(entry(3, age=7))
+        # Ties broken toward the smaller id.
+        assert view.oldest().node_id == 2
+
+    def test_oldest_empty(self):
+        assert View(0, 4).oldest() is None
+
+
+class TestMergeAndTrim:
+    def test_merge_discards_duplicates(self):
+        view = View(0, 8)
+        view.add(entry(1, value=0.1))
+        view.merge([entry(1, value=0.9), entry(2)])
+        assert view.get(1).value == 0.1  # resident kept
+        assert 2 in view
+
+    def test_merge_discards_self(self):
+        view = View(0, 8)
+        view.merge([entry(0), entry(1)])
+        assert 0 not in view
+        assert 1 in view
+
+    def test_merge_trims_oldest_beyond_capacity(self):
+        view = View(0, 2)
+        view.add(entry(1, age=9))
+        view.merge([entry(2, age=0), entry(3, age=1)])
+        assert len(view) == 2
+        assert 1 not in view
+
+    def test_trim_noop_within_capacity(self):
+        view = View(0, 4)
+        view.add(entry(1))
+        view.trim()
+        assert len(view) == 1
+
+
+class TestSelection:
+    def test_random_entry(self):
+        view = View(0, 4)
+        for i in range(1, 4):
+            view.add(entry(i))
+        rng = random.Random(0)
+        picks = {view.random_entry(rng).node_id for _ in range(50)}
+        assert picks == {1, 2, 3}
+
+    def test_random_entry_empty(self):
+        assert View(0, 4).random_entry(random.Random(0)) is None
+
+    def test_snapshot_is_deep(self):
+        view = View(0, 4)
+        view.add(entry(1))
+        snap = view.snapshot()
+        snap[0].age = 99
+        assert view.get(1).age == 0
+
+    def test_replace_with(self):
+        view = View(0, 4)
+        view.add(entry(1))
+        view.replace_with([entry(2), entry(3)])
+        assert view.ids() == [2, 3]
+
+    def test_ids_and_entries(self):
+        view = View(0, 4)
+        view.add(entry(2))
+        view.add(entry(1))
+        assert set(view.ids()) == {1, 2}
+        assert {e.node_id for e in view.entries()} == {1, 2}

@@ -1,0 +1,125 @@
+"""Unit tests for the attribute distributions."""
+
+import pytest
+
+from repro.workloads.attributes import (
+    BimodalAttributes,
+    ConstantAttributes,
+    DiscreteAttributes,
+    ExplicitAttributes,
+    ExponentialAttributes,
+    NormalAttributes,
+    ParetoAttributes,
+    UniformAttributes,
+)
+
+ALL_DISTRIBUTIONS = [
+    UniformAttributes(),
+    ParetoAttributes(),
+    ExponentialAttributes(),
+    NormalAttributes(),
+    BimodalAttributes(),
+    ConstantAttributes(),
+    DiscreteAttributes([1.0, 2.0, 3.0]),
+    ExplicitAttributes([4.0, 5.0]),
+]
+
+
+@pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+class TestCommonContract:
+    def test_sample_count(self, distribution, rng):
+        assert len(distribution.sample(rng, 25)) == 25
+
+    def test_sample_zero(self, distribution, rng):
+        assert distribution.sample(rng, 0) == []
+
+    def test_sample_negative_rejected(self, distribution, rng):
+        with pytest.raises(ValueError):
+            distribution.sample(rng, -1)
+
+    def test_values_are_floats(self, distribution, rng):
+        assert all(isinstance(v, float) for v in distribution.sample(rng, 5))
+
+
+class TestUniform:
+    def test_range(self, rng):
+        values = UniformAttributes(2.0, 3.0).sample(rng, 500)
+        assert all(2.0 <= v < 3.0 for v in values)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformAttributes(1.0, 1.0)
+
+
+class TestPareto:
+    def test_minimum_is_scale(self, rng):
+        values = ParetoAttributes(shape=2.0, scale=5.0).sample(rng, 500)
+        assert all(v >= 5.0 for v in values)
+
+    def test_heavy_tail(self, rng):
+        values = sorted(ParetoAttributes(shape=1.1).sample(rng, 2000))
+        median = values[len(values) // 2]
+        assert values[-1] > 20 * median
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ParetoAttributes(shape=0)
+        with pytest.raises(ValueError):
+            ParetoAttributes(scale=0)
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        values = ExponentialAttributes(mean=4.0).sample(rng, 5000)
+        assert 3.6 < sum(values) / len(values) < 4.4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ExponentialAttributes(mean=0)
+
+
+class TestNormal:
+    def test_mean(self, rng):
+        values = NormalAttributes(mu=1.7, sigma=0.1).sample(rng, 5000)
+        assert 1.65 < sum(values) / len(values) < 1.75
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NormalAttributes(sigma=0)
+
+
+class TestBimodal:
+    def test_two_modes(self, rng):
+        dist = BimodalAttributes(mu_low=0.0, mu_high=100.0, sigma=1.0, high_fraction=0.3)
+        values = dist.sample(rng, 2000)
+        high = sum(1 for v in values if v > 50)
+        assert 450 < high < 750  # ~30%
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BimodalAttributes(high_fraction=1.5)
+        with pytest.raises(ValueError):
+            BimodalAttributes(sigma=0)
+
+
+class TestConstantAndDiscrete:
+    def test_constant(self, rng):
+        assert set(ConstantAttributes(7.0).sample(rng, 10)) == {7.0}
+
+    def test_discrete_levels_only(self, rng):
+        values = DiscreteAttributes([1.0, 2.0]).sample(rng, 100)
+        assert set(values) <= {1.0, 2.0}
+
+    def test_discrete_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteAttributes([])
+
+
+class TestExplicit:
+    def test_replays_in_order(self, rng):
+        dist = ExplicitAttributes([1.0, 2.0, 3.0])
+        assert dist.sample(rng, 5) == [1.0, 2.0, 3.0, 1.0, 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitAttributes([])
