@@ -1,0 +1,91 @@
+"""Vectorized-backend performance: cycles/sec across scale regimes.
+
+Records the bulk engine's throughput at n = 10^4, 10^5 and 10^6 — the
+band the reference engines cannot reach — and asserts the headline
+speedup: the vectorized ranking protocol runs at least 10x faster than
+the reference engine at the paper's own scale (n = 10^4).
+
+The scale points use few cycles (throughput is per-cycle and
+steady-state from cycle 1), keeping the whole module affordable inside
+the benchmark suite.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.config import RunSpec, build_simulation
+
+
+def run_cycles(spec, cycles):
+    sim = build_simulation(spec)
+    sim.run(cycles)
+    return sim
+
+
+def time_cycles(spec, cycles):
+    """Wall-clock seconds per cycle, excluding setup."""
+    sim = build_simulation(spec)
+    started = time.perf_counter()
+    sim.run(cycles)
+    return (time.perf_counter() - started) / cycles, sim
+
+
+class TestSpeedupOverReference:
+    def test_ranking_10k_at_least_10x_reference(self, benchmark, capsys):
+        """The ISSUE acceptance bar: >= 10x at n = 10^4 (ranking)."""
+        spec = RunSpec(n=10_000, slice_count=10, view_size=10, protocol="ranking")
+        cycles = 3
+        reference_per_cycle, ref_sim = time_cycles(spec, cycles)
+        vectorized = spec.with_overrides(backend="vectorized")
+        vec_sim = benchmark.pedantic(
+            run_cycles, args=(vectorized, cycles), rounds=3, iterations=1
+        )
+        vectorized_per_cycle, _sim = time_cycles(vectorized, cycles)
+        speedup = reference_per_cycle / vectorized_per_cycle
+        with capsys.disabled():
+            print(
+                f"\nranking n=10^4: reference {reference_per_cycle:.3f}s/cycle, "
+                f"vectorized {vectorized_per_cycle:.4f}s/cycle -> {speedup:.0f}x"
+            )
+        assert ref_sim.live_count == vec_sim.live_count == 10_000
+        assert speedup >= 10.0, f"only {speedup:.1f}x over the reference engine"
+
+
+class TestScaleRegimes:
+    @pytest.mark.parametrize(
+        "n,cycles",
+        [(10_000, 10), (100_000, 5), (1_000_000, 2)],
+        ids=["n=1e4", "n=1e5", "n=1e6"],
+    )
+    def test_ranking_cycles_per_second(self, benchmark, capsys, n, cycles):
+        spec = RunSpec(
+            n=n, slice_count=10, view_size=10, protocol="ranking",
+            backend="vectorized",
+        )
+        per_cycle, sim = time_cycles(spec, cycles)
+        benchmark.pedantic(
+            run_cycles, args=(spec.with_overrides(cycles=cycles), cycles),
+            rounds=1, iterations=1,
+        )
+        with capsys.disabled():
+            print(
+                f"\nvectorized ranking n={n:>9,}: {1.0 / per_cycle:8.2f} "
+                f"cycles/sec ({per_cycle:.3f}s/cycle)"
+            )
+        assert sim.live_count == n
+        assert sim.slice_disorder() >= 0.0
+
+    def test_ordering_100k_cycles_per_second(self, benchmark, capsys):
+        spec = RunSpec(
+            n=100_000, slice_count=10, view_size=10, protocol="mod-jk",
+            backend="vectorized",
+        )
+        per_cycle, sim = time_cycles(spec, 3)
+        benchmark.pedantic(run_cycles, args=(spec, 3), rounds=1, iterations=1)
+        with capsys.disabled():
+            print(
+                f"\nvectorized mod-jk  n=  100,000: {1.0 / per_cycle:8.2f} "
+                f"cycles/sec ({per_cycle:.3f}s/cycle)"
+            )
+        assert sim.live_count == 100_000

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Slicing a million-node system (the scale the paper could not reach).
+
+The paper's evaluation stops at n = 10^4 because its cycle-based
+simulator processes one object per node.  The vectorized backend turns
+a protocol cycle into batched array passes, so this example runs the
+*ranking* algorithm over 10^6 nodes — with the paper's correlated
+churn live the whole time — and watches Theorem 5.1 at scale: the
+fraction of nodes whose Wald confidence interval already fits inside
+one slice, i.e. whose slice assignment is *provably* trustworthy, and
+the time it takes that fraction to clear a target.
+
+Run:  python examples/million_nodes.py            (10^6 nodes, ~3 min)
+      python examples/million_nodes.py --n 100000 (smaller, ~20 s)
+"""
+
+import argparse
+import time
+
+from repro import RegularChurn, SlicingService
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1_000_000, help="population size")
+    parser.add_argument("--cycles", type=int, default=50, help="cycles to run")
+    parser.add_argument(
+        "--slices", type=int, default=10, help="equal slices to maintain"
+    )
+    parser.add_argument(
+        "--target", type=float, default=0.4,
+        help="confident fraction to report time-to-confidence for",
+    )
+    args = parser.parse_args()
+
+    print(f"building a {args.n:,}-node slicing service (vectorized backend)...")
+    started = time.perf_counter()
+    service = SlicingService(
+        size=args.n,
+        slices=args.slices,
+        algorithm="ranking",
+        backend="vectorized",
+        view_size=10,
+        churn=RegularChurn(rate=0.001, period=10),  # paper's Fig 6(d) schedule
+        seed=42,
+    )
+    print(f"  setup: {time.perf_counter() - started:.1f}s")
+
+    print(
+        f"\n{'cycle':>5}  {'SDM/n':>8}  {'accuracy':>8}  "
+        f"{'confident':>9}  {'elapsed':>8}"
+    )
+    time_to_target = None
+    started = time.perf_counter()
+    while service.cycle < args.cycles:
+        service.run(min(5, args.cycles - service.cycle))
+        confident = service.confident_fraction()
+        elapsed = time.perf_counter() - started
+        print(
+            f"{service.cycle:>5}  {service.disorder() / args.n:>8.3f}  "
+            f"{service.accuracy():>8.1%}  {confident:>9.1%}  {elapsed:>7.1f}s"
+        )
+        if time_to_target is None and confident >= args.target:
+            time_to_target = (service.cycle, elapsed)
+
+    print()
+    if time_to_target is not None:
+        cycle, elapsed = time_to_target
+        print(
+            f"Theorem 5.1 at scale: {args.target:.0%} of {args.n:,} nodes held "
+            f"a within-slice Wald interval by cycle {cycle} "
+            f"({elapsed:.1f}s wall clock), under continuous correlated churn."
+        )
+    else:
+        print(
+            f"confident fraction reached {service.confident_fraction():.1%} "
+            f"after {args.cycles} cycles (target {args.target:.0%} not yet hit; "
+            "boundary nodes need the most samples — Theorem 5.1's d^-2 term)."
+        )
+    print(f"final slice sizes: {service.slice_sizes()}")
+
+
+if __name__ == "__main__":
+    main()

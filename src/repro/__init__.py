@@ -8,7 +8,8 @@ The package provides:
   variant (:mod:`repro.core`);
 * the simulation substrate they run on — a PeerSim-style cycle engine
   with the paper's artificial-concurrency model, plus an event-driven
-  engine (:mod:`repro.engine`);
+  engine (:mod:`repro.engine`), plus a numpy bulk engine for
+  million-node runs (:mod:`repro.vectorized`);
 * pluggable peer-sampling protocols, including the paper's Cyclon
   variant (:mod:`repro.sampling`);
 * churn models, including attribute-correlated burst and regular churn
@@ -48,6 +49,7 @@ from repro.core import (
     SlicingService,
 )
 from repro.engine import CycleSimulation, EventSimulation
+from repro.vectorized import VectorSimulation
 from repro.metrics import (
     GlobalDisorderCollector,
     SliceDisorderCollector,
@@ -86,6 +88,7 @@ __all__ = [
     "SlicingService",
     "CycleSimulation",
     "EventSimulation",
+    "VectorSimulation",
     "GlobalDisorderCollector",
     "SliceDisorderCollector",
     "TimeSeries",

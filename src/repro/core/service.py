@@ -62,6 +62,12 @@ class SlicingService:
         ``"ranking-window"``, or ``"ordering"`` (mod-JK).
     window:
         Sliding-window length for ``"ranking-window"``.
+    backend:
+        ``"reference"`` (default) runs the object-per-node
+        :class:`~repro.engine.simulator.CycleSimulation`;
+        ``"vectorized"`` runs the numpy bulk engine
+        (:class:`~repro.vectorized.simulation.VectorSimulation`),
+        which serves the same API at million-node scale.
     attributes, view_size, seed, churn:
         Forwarded to the underlying simulation.
     """
@@ -72,6 +78,7 @@ class SlicingService:
         slices: Union[int, Sequence[float], SlicePartition] = 10,
         algorithm: str = "ranking",
         window: Optional[int] = None,
+        backend: str = "reference",
         attributes: Union[AttributeDistribution, Sequence[float], None] = None,
         view_size: int = 10,
         seed: int = 0,
@@ -79,16 +86,37 @@ class SlicingService:
     ) -> None:
         self.partition = self._build_partition(slices)
         self.algorithm = algorithm
-        factory = self._slicer_factory(algorithm, window)
-        self._sim = CycleSimulation(
-            size=size,
-            partition=self.partition,
-            slicer_factory=factory,
-            attributes=attributes,
-            view_size=view_size,
-            churn=churn,
-            seed=seed,
-        )
+        self.backend = backend
+        if backend == "reference":
+            factory = self._slicer_factory(algorithm, window)
+            self._sim = CycleSimulation(
+                size=size,
+                partition=self.partition,
+                slicer_factory=factory,
+                attributes=attributes,
+                view_size=view_size,
+                churn=churn,
+                seed=seed,
+            )
+        elif backend == "vectorized":
+            from repro.vectorized import VectorSimulation
+
+            protocol = {"ordering": "mod-jk"}.get(algorithm, algorithm)
+            self._sim = VectorSimulation(
+                size=size,
+                partition=self.partition,
+                protocol=protocol,
+                window=window,
+                attributes=attributes,
+                view_size=view_size,
+                churn=churn,
+                seed=seed,
+            )
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'reference' or "
+                "'vectorized'"
+            )
         self._subscribers: List[Callable[[SliceChange], None]] = []
         self._last_assignment: Dict[int, Optional[int]] = {}
 
@@ -190,6 +218,8 @@ class SlicingService:
 
     def slice_sizes(self) -> List[int]:
         """Current claimed membership count per slice."""
+        if hasattr(self._sim, "slice_sizes"):  # vectorized fast path
+            return self._sim.slice_sizes()
         counts = [0] * len(self.partition)
         for node in self._sim.live_nodes():
             counts[node.slice_index] += 1
@@ -197,10 +227,14 @@ class SlicingService:
 
     def disorder(self) -> float:
         """Current slice disorder measure (0 = perfect assignment)."""
+        if hasattr(self._sim, "slice_disorder"):  # vectorized fast path
+            return self._sim.slice_disorder()
         return slice_disorder(self._sim.live_nodes(), self.partition)
 
     def accuracy(self) -> float:
         """Fraction of nodes currently in their true slice."""
+        if hasattr(self._sim, "accuracy"):  # vectorized fast path
+            return self._sim.accuracy()
         nodes = self._sim.live_nodes()
         if not nodes:
             return 1.0
@@ -215,6 +249,8 @@ class SlicingService:
         fits inside one slice.  Only meaningful for ranking algorithms;
         ordering nodes carry no sample counts and report 0.
         """
+        if hasattr(self._sim, "confident_fraction"):  # vectorized fast path
+            return self._sim.confident_fraction(confidence)
         nodes = self._sim.live_nodes()
         if not nodes:
             return 1.0

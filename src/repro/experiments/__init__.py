@@ -1,6 +1,12 @@
 """Per-figure experiment harness (also a CLI: ``python -m repro.experiments``)."""
 
-from repro.experiments.config import PROTOCOLS, SAMPLERS, RunSpec, build_simulation
+from repro.experiments.config import (
+    BACKENDS,
+    PROTOCOLS,
+    SAMPLERS,
+    RunSpec,
+    build_simulation,
+)
 from repro.experiments.figures import (
     ALL_FIGURES,
     run_fig4a,
@@ -26,6 +32,7 @@ from repro.experiments.sweep import (
 )
 
 __all__ = [
+    "BACKENDS",
     "PROTOCOLS",
     "SAMPLERS",
     "RunSpec",

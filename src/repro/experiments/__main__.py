@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig6c --full-scale
     python -m repro.experiments all --seed 7
     python -m repro.experiments fig6a --n 2000 --cycles 500
+    python -m repro.experiments fig6a --n 100000 --backend vectorized
 
 ``--full-scale`` runs the paper's exact parameters (n = 10^4, paper
 cycle counts); the default scale reproduces the same shapes in a
@@ -43,6 +44,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--n", type=int, default=None, help="override population size")
     parser.add_argument("--cycles", type=int, default=None, help="override cycle count")
     parser.add_argument(
+        "--backend",
+        choices=["reference", "vectorized"],
+        default="reference",
+        help="simulation engine: per-node objects (reference) or the "
+        "numpy bulk engine (vectorized; reaches 10^6 nodes). The "
+        "concurrency studies (fig4c, fig4d) always use the reference "
+        "engine, which is the only one modelling message overlap",
+    )
+    parser.add_argument(
         "--max-rows", type=int, default=20, help="table rows per series"
     )
     parser.add_argument(
@@ -63,6 +73,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["n"] = args.n
     if args.cycles is not None and "cycles" in accepted:
         kwargs["cycles"] = args.cycles
+    if args.backend != "reference" and "backend" in accepted:
+        kwargs["backend"] = args.backend
     started = time.time()
     result = function(**kwargs)
     elapsed = time.time() - started

@@ -31,13 +31,16 @@ from repro.sampling.newscast import NewscastSampler
 from repro.sampling.uniform import UniformOracleSampler
 from repro.workloads.attributes import AttributeDistribution
 
-__all__ = ["RunSpec", "build_simulation", "PROTOCOLS", "SAMPLERS"]
+__all__ = ["RunSpec", "build_simulation", "PROTOCOLS", "SAMPLERS", "BACKENDS"]
 
 #: Protocol spec names accepted by :class:`RunSpec.protocol`.
 PROTOCOLS = ("jk", "mod-jk", "random-misplaced", "ranking", "ranking-window")
 
 #: Sampler spec names accepted by :class:`RunSpec.sampler`.
 SAMPLERS = ("cyclon-variant", "cyclon", "newscast", "uniform")
+
+#: Simulation backends accepted by :class:`RunSpec.backend`.
+BACKENDS = ("reference", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,11 @@ class RunSpec:
         uniform departures + same-distribution arrivals when ``False``.
     attributes:
         ``None`` (uniform), a distribution, or explicit values.
+    backend:
+        One of :data:`BACKENDS`: ``"reference"`` (object-per-node
+        engines) or ``"vectorized"`` (numpy bulk engine; supports the
+        ``cyclon-variant`` and ``uniform`` samplers and
+        ``concurrency="none"`` only).
     seed:
         Root seed — a run is a pure function of its spec.
     """
@@ -96,6 +104,7 @@ class RunSpec:
     churn_period: int = 10
     correlated_churn: bool = True
     attributes: Union[AttributeDistribution, Sequence[float], None] = None
+    backend: str = "reference"
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "RunSpec":
@@ -119,6 +128,8 @@ class RunSpec:
             bits.append(f"window={self.window}")
         if self.concurrency != "none":
             bits.append(f"concurrency={self.concurrency}")
+        if self.backend != "reference":
+            bits.append(f"backend={self.backend}")
         if self.churn is not None:
             bits.append(f"churn={self.churn}")
         bits.append(f"seed={self.seed}")
@@ -181,9 +192,42 @@ def _churn_model(spec: RunSpec) -> Optional[ChurnModel]:
     raise ValueError(f"unknown churn shorthand {spec.churn!r}")
 
 
-def build_simulation(spec: RunSpec) -> CycleSimulation:
-    """Instantiate the :class:`CycleSimulation` a spec describes."""
+def build_simulation(spec: RunSpec):
+    """Instantiate the simulation a spec describes.
+
+    Returns a :class:`CycleSimulation` (``backend="reference"``) or a
+    :class:`~repro.vectorized.simulation.VectorSimulation`
+    (``backend="vectorized"``); both expose the same
+    ``run(cycles, collectors)`` surface.
+    """
+    if spec.backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {spec.backend!r}; expected one of {BACKENDS}"
+        )
     partition = spec.partition()
+    if spec.backend == "vectorized":
+        from repro.vectorized import VectorSimulation
+
+        if spec.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {spec.protocol!r}; expected one of {PROTOCOLS}"
+            )
+        window = spec.window
+        if spec.protocol == "ranking-window" and window is None:
+            window = 10_000
+        return VectorSimulation(
+            size=spec.n,
+            partition=partition,
+            protocol=spec.protocol,
+            window=window,
+            boundary_bias=spec.boundary_bias,
+            attributes=spec.attributes,
+            view_size=spec.view_size,
+            sampler=spec.sampler,
+            churn=_churn_model(spec),
+            concurrency=spec.concurrency,
+            seed=spec.seed,
+        )
     return CycleSimulation(
         size=spec.n,
         partition=partition,

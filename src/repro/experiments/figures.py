@@ -113,6 +113,7 @@ def run_fig4a(
     view_size: int = 20,
     seed: int = 0,
     full_scale: bool = False,
+    backend: str = "reference",
 ) -> FigureResult:
     """Figure 4(a): SDM vs GDM along one mod-JK run.
 
@@ -124,7 +125,7 @@ def run_fig4a(
         n, cycles = 10_000, 100
     spec = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        protocol="mod-jk", seed=seed,
+        protocol="mod-jk", seed=seed, backend=backend,
     )
     partition = spec.partition()
     sim = build_simulation(spec)
@@ -156,6 +157,7 @@ def run_fig4b(
     view_size: int = 20,
     seed: int = 0,
     full_scale: bool = False,
+    backend: str = "reference",
 ) -> FigureResult:
     """Figure 4(b): SDM over time — JK vs mod-JK, 10 equal slices.
 
@@ -167,7 +169,7 @@ def run_fig4b(
     if full_scale:
         n, cycles = 10_000, 60
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed
+        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed, backend=backend,
     )
     partition = base.partition()
     jk_series, _sim, initial_values = _sdm_run(base.with_overrides(protocol="jk"))
@@ -214,8 +216,10 @@ def run_fig4c(
     """
     if full_scale:
         n, cycles = 10_000, 100
+    # Always the reference engine: this figure *studies* message overlap,
+    # which the vectorized backend's atomic exchanges cannot model.
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed
+        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed,
     )
     result = FigureResult(
         "fig4c", "Percentage of unsuccessful swaps",
@@ -267,6 +271,8 @@ def run_fig4d(
     """
     if full_scale:
         n, cycles = 10_000, 100
+    # Always the reference engine: the comparison point is full
+    # concurrency, which the vectorized backend cannot model.
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
         protocol="mod-jk", seed=seed,
@@ -315,6 +321,7 @@ def run_fig6a(
     view_size: int = 10,
     seed: int = 0,
     full_scale: bool = False,
+    backend: str = "reference",
 ) -> FigureResult:
     """Figure 6(a): SDM over time — ranking vs ordering, static system.
 
@@ -325,7 +332,7 @@ def run_fig6a(
     if full_scale:
         n, cycles = 10_000, 1000
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed
+        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed, backend=backend,
     )
     partition = base.partition()
     ordering_series, _sim, initial_values = _sdm_run(
@@ -356,6 +363,7 @@ def run_fig6b(
     view_size: int = 10,
     seed: int = 0,
     full_scale: bool = False,
+    backend: str = "reference",
 ) -> FigureResult:
     """Figure 6(b): ranking on an idealized uniform sampler vs on the
     Cyclon-variant views, plus the percentage deviation between the
@@ -369,7 +377,7 @@ def run_fig6b(
         n, cycles = 10_000, 1000
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        protocol="ranking", seed=seed,
+        protocol="ranking", seed=seed, backend=backend,
     )
     uniform_series, _sim, _values = _sdm_run(base.with_overrides(sampler="uniform"))
     views_series, _sim, _values = _sdm_run(
@@ -408,6 +416,7 @@ def run_fig6c(
     burst_end: int = 200,
     churn_rate: float = 0.001,
     full_scale: bool = False,
+    backend: str = "reference",
 ) -> FigureResult:
     """Figure 6(c): churn burst — ``churn_rate`` of the nodes leave and
     join per cycle (paper: 0.1%) for the first ``burst_end`` cycles,
@@ -422,7 +431,7 @@ def run_fig6c(
         n, cycles = 10_000, 1000
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        churn="burst", churn_rate=churn_rate, churn_burst_end=burst_end, seed=seed,
+        churn="burst", churn_rate=churn_rate, churn_burst_end=burst_end, seed=seed, backend=backend,
     )
     jk_series, _sim, _values = _sdm_run(base.with_overrides(protocol="jk"))
     ranking_series, _sim, _values = _sdm_run(
@@ -467,6 +476,7 @@ def run_fig6d(
     window: Optional[int] = None,
     churn_rate: float = 0.001,
     full_scale: bool = False,
+    backend: str = "reference",
 ) -> FigureResult:
     """Figure 6(d): low regular churn (``churn_rate`` every 10 cycles,
     paper: 0.1%, correlated) — ordering vs ranking vs sliding-window
@@ -482,7 +492,7 @@ def run_fig6d(
     window = window if window is not None else 2_000
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        churn="regular", churn_rate=churn_rate, churn_period=10, seed=seed,
+        churn="regular", churn_rate=churn_rate, churn_period=10, seed=seed, backend=backend,
     )
     ordering_series, _sim, _values = _sdm_run(
         base.with_overrides(protocol="mod-jk")

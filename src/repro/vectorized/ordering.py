@@ -1,0 +1,189 @@
+"""Batched ordering rounds: JK / mod-JK (Section 4, vectorized).
+
+One :func:`ordering_round` performs, for every live node at once, what
+:class:`~repro.core.ordering.OrderingProtocol` does per node:
+
+* evaluate the misplacement predicate ``(a_j - a_i)(r_j - r_i) < 0``
+  against every view neighbor's *current* values (the cycle model's
+  "view is up-to-date when a message is sent");
+* select a gossip partner per the configured policy — uniformly random
+  (JK), uniformly random misplaced, or the Equation-2 max-gain
+  misplaced neighbor (mod-JK), whose local-sequence ranks are computed
+  with per-row ``argsort`` over the view-plus-self items;
+* perform the ``REQ``/``ACK`` exchange: re-check the predicate at
+  processing time and swap random values when it holds.
+
+Exchanges are scheduled into node-disjoint waves
+(:mod:`repro.vectorized.matching`); values update between waves, so a
+swap sees the *current* state of both sides exactly as the reference
+engine's sequential processing does.  With atomic exchanges the
+predicate is symmetric, hence both sides swap together and the random
+values are conserved as a multiset — the invariant behind the SDM
+floor analysis (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ordering import (
+    SELECTION_MAX_GAIN,
+    SELECTION_RANDOM,
+    SELECTION_RANDOM_MISPLACED,
+)
+from repro.vectorized.matching import iter_disjoint_waves
+from repro.vectorized.state import EMPTY, ArrayState
+
+__all__ = ["ordering_round"]
+
+_SELECTIONS = (SELECTION_RANDOM, SELECTION_MAX_GAIN, SELECTION_RANDOM_MISPLACED)
+
+
+def _valid_slots(state: ArrayState, view: np.ndarray) -> np.ndarray:
+    """Occupied-and-alive mask over view slots.  The liveness gather is
+    skipped while no removal has happened since the last purge."""
+    occupied = view != EMPTY
+    if not state.maybe_dead_entries:
+        return occupied
+    return occupied & state.alive[np.where(occupied, view, 0)]
+
+
+def _random_valid_column(
+    valid: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Per row, a uniformly random column among the ``True`` ones.
+
+    Rows without any valid column return 0; callers mask them out.
+    """
+    counts = valid.sum(axis=1)
+    picks = (rng.random(len(valid)) * np.maximum(counts, 1)).astype(np.int64)
+    if counts.min() == valid.shape[1]:  # all slots valid: direct pick
+        return picks
+    cumulative = np.cumsum(valid, axis=1)
+    return np.argmax(cumulative > picks[:, None], axis=1)
+
+
+def _local_ranks(keys: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Per-row 0-based ranks of ``keys`` with ties broken by id —
+    the batched twin of ``ordering.local_sequences``."""
+    by_id = np.argsort(ids, axis=1, kind="stable")
+    keys_by_id = np.take_along_axis(keys, by_id, axis=1)
+    by_key = np.argsort(keys_by_id, axis=1, kind="stable")
+    order = np.take_along_axis(by_id, by_key, axis=1)
+    ranks = np.empty_like(order)
+    np.put_along_axis(
+        ranks, order, np.broadcast_to(np.arange(keys.shape[1]), keys.shape), axis=1
+    )
+    return ranks
+
+
+def ordering_round(
+    state: ArrayState,
+    rng: np.random.Generator,
+    selection: str = SELECTION_MAX_GAIN,
+    stats=None,
+) -> None:
+    """One batched active round of the configured ordering variant."""
+    if selection not in _SELECTIONS:
+        raise ValueError(
+            f"unknown selection {selection!r}; expected one of {_SELECTIONS}"
+        )
+    live = state.live_ids()
+    if len(live) < 2:
+        return
+    view = state.view_ids[live]
+    valid = _valid_slots(state, view)
+    safe = np.where(valid, view, 0)
+    a_self = state.attribute[live][:, None]
+    r_self = state.value[live][:, None]
+    a_peer = np.where(valid, state.attribute[safe], np.inf)
+    r_peer = np.where(valid, state.value[safe], np.inf)
+    misplaced = valid & ((a_peer - a_self) * (r_peer - r_self) < 0.0)
+
+    if selection == SELECTION_RANDOM:
+        rows = valid.any(axis=1)
+        cols = _random_valid_column(valid, rng)
+        intended = misplaced[np.arange(len(live)), cols]
+    elif selection == SELECTION_RANDOM_MISPLACED:
+        rows = misplaced.any(axis=1)
+        cols = _random_valid_column(misplaced, rng)
+        intended = rows.copy()
+    else:
+        rows = misplaced.any(axis=1)
+        cols = _max_gain_columns(live, view, valid, misplaced, state)
+        intended = rows.copy()
+
+    initiators = live[rows]
+    targets = view[np.arange(len(live)), cols][rows]
+    intended = intended[rows]
+    if stats is not None:
+        stats.note_round(
+            messages=2 * len(initiators), intended=int(intended.sum())
+        )
+    _apply_swaps(state, initiators, targets, intended, rng, stats)
+
+
+def _max_gain_columns(
+    live: np.ndarray,
+    view: np.ndarray,
+    valid: np.ndarray,
+    misplaced: np.ndarray,
+    state: ArrayState,
+) -> np.ndarray:
+    """mod-JK partner selection: per row, the misplaced neighbor
+    maximizing Equation 2's score over the view-plus-self items."""
+    n, c = view.shape
+    ids = np.concatenate([live[:, None], np.where(valid, view, EMPTY)], axis=1)
+    # Invalid slots sort to the tail of both local sequences (same
+    # +inf key in each), so valid items get the same local ranks the
+    # reference computes over the valid items alone.
+    attr = np.concatenate(
+        [
+            state.attribute[live][:, None],
+            np.where(valid, state.attribute[np.where(valid, view, 0)], np.inf),
+        ],
+        axis=1,
+    )
+    value = np.concatenate(
+        [
+            state.value[live][:, None],
+            np.where(valid, state.value[np.where(valid, view, 0)], np.inf),
+        ],
+        axis=1,
+    )
+    ids_for_ties = np.where(ids == EMPTY, np.iinfo(np.int64).max, ids)
+    l_alpha = _local_ranks(attr, ids_for_ties)
+    l_rho = _local_ranks(value, ids_for_ties)
+    la_self, lr_self = l_alpha[:, :1], l_rho[:, :1]
+    la_peer, lr_peer = l_alpha[:, 1:], l_rho[:, 1:]
+    gain = la_self * lr_peer + la_peer * lr_self - la_peer * lr_peer
+    gain = np.where(misplaced, gain, -np.inf)
+    return np.argmax(gain, axis=1)
+
+
+def _apply_swaps(
+    state: ArrayState,
+    initiators: np.ndarray,
+    targets: np.ndarray,
+    intended: np.ndarray,
+    rng: np.random.Generator,
+    stats,
+) -> None:
+    """Process every REQ/ACK exchange in node-disjoint waves."""
+    for side_i, side_j, wave_intended in iter_disjoint_waves(
+        initiators, targets, intended, rng, state.size
+    ):
+        if len(side_i) == 0:
+            continue
+        a_i, r_i = state.attribute[side_i], state.value[side_i]
+        a_j, r_j = state.attribute[side_j], state.value[side_j]
+        # Predicate re-checked at processing time (Figure 2 lines 10-19);
+        # atomic exchange, so both sides swap together or not at all.
+        swap = (a_j - a_i) * (r_j - r_i) < 0.0
+        state.value[side_i[swap]] = r_j[swap]
+        state.value[side_j[swap]] = r_i[swap]
+        if stats is not None:
+            stats.note_swaps(
+                swapped=int(swap.sum()),
+                unsuccessful=int((wave_intended & ~swap).sum()),
+            )

@@ -1,0 +1,122 @@
+"""Batched Cyclon-variant view refresh (Figure 3, vectorized).
+
+One :func:`refresh_views` call performs the membership round the
+reference :class:`~repro.sampling.cyclon_variant.CyclonVariantSampler`
+runs per node, as array passes over the whole population:
+
+1. every live node's entries age by one (line 1);
+2. view slots pointing at dead nodes are purged and empty slots are
+   refilled from the bootstrap service (the reference's failed
+   connection attempt + ``random_live_ids`` recovery);
+3. every live node proposes an exchange to its *oldest* neighbor
+   (line 2, ties broken uniformly at random);
+4. proposals are scheduled into node-disjoint waves
+   (:mod:`repro.vectorized.matching`) and each matched pair *swaps*
+   views: each side adopts the other's entries, drops pointers to
+   itself, and receives a fresh zero-age descriptor of its partner
+   (lines 3, 5-10).
+
+The swap semantics — adopt-what-you-received, never copy — is the
+property the reference implementation documents as essential: entries
+are conserved, in-degrees stay balanced around ``c`` and the overlay
+remains random-graph-like.  The vectorized exchange preserves it
+exactly because views are swapped wholesale between the two sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vectorized.matching import iter_disjoint_waves
+from repro.vectorized.state import EMPTY, ArrayState
+
+__all__ = ["refresh_views", "refresh_views_uniform"]
+
+_NEVER = -1  # age sentinel: slot cannot be chosen as partner
+
+
+def _oldest_columns(
+    ids: np.ndarray, ages: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Per row, the column of the oldest occupied slot (random ties).
+
+    Rows with no occupied slot return column 0; callers must mask them
+    via ``ids[row, col] == EMPTY``.
+    """
+    key = np.where(ids == EMPTY, _NEVER, ages).astype(np.float32)
+    # Random tie-break: jitter in (0, 1) cannot reorder distinct ages.
+    key += rng.random(ids.shape, dtype=np.float32) * (key > _NEVER)
+    return np.argmax(key, axis=1)
+
+
+def refresh_views(state: ArrayState, rng: np.random.Generator) -> None:
+    """One batched membership round over every live node."""
+    live = state.live_ids()
+    if len(live) < 2:
+        return
+
+    # Line 1: age all occupied entries of live nodes.
+    occupied = state.view_ids[live] != EMPTY
+    ages = state.view_ages[live]
+    ages[occupied] += 1
+    state.view_ages[live] = ages
+
+    # Failed-connection pruning + empty-view recovery.
+    state.purge_dead_entries(live)
+    state.fill_empty_slots(rng)
+
+    # Line 2: propose to the oldest live neighbor.
+    cols = _oldest_columns(state.view_ids[live], state.view_ages[live], rng)
+    partners = state.view_ids[live, cols]
+    has_partner = partners != EMPTY
+    initiators, partners = live[has_partner], partners[has_partner]
+
+    extra = np.zeros(len(initiators), dtype=bool)  # no payload needed
+    for side_a, side_b, _unused in iter_disjoint_waves(
+        initiators, partners, extra, rng, state.size
+    ):
+        _swap_views(state, side_a, side_b)
+
+
+def _swap_views(state: ArrayState, side_a: np.ndarray, side_b: np.ndarray) -> None:
+    """Exchange the full views of matched pairs (Figure 3, lines 3-10).
+
+    Each side adopts the other's current entries; pointers to itself
+    are dropped (lines 5-8) and one slot is overwritten with a fresh
+    zero-age descriptor of the partner, so both sides learn each
+    other's up-to-date existence.
+    """
+    if len(side_a) == 0:
+        return
+    # Fancy indexing already copies, and each donor snapshot is consumed
+    # by exactly one receiver, so it can be modified in place.
+    a_ids, a_ages = state.view_ids[side_a], state.view_ages[side_a]
+    b_ids, b_ages = state.view_ids[side_b], state.view_ages[side_b]
+    for receiver, donor_ids, donor_ages, partner in (
+        (side_a, b_ids, b_ages, side_b),
+        (side_b, a_ids, a_ages, side_a),
+    ):
+        new_ids, new_ages = donor_ids, donor_ages
+        self_ptr = new_ids == receiver[:, None]
+        new_ids[self_ptr] = EMPTY
+        new_ages[self_ptr] = 0
+        # Fresh partner descriptor replaces an empty slot if one
+        # exists, otherwise the oldest entry.
+        key = np.where(new_ids == EMPTY, np.iinfo(np.int32).max, new_ages)
+        col = np.argmax(key, axis=1)
+        rows = np.arange(len(receiver))
+        new_ids[rows, col] = partner
+        new_ages[rows, col] = 0
+        state.view_ids[receiver] = new_ids
+        state.view_ages[receiver] = new_ages
+
+
+def refresh_views_uniform(state: ArrayState, rng: np.random.Generator) -> None:
+    """The idealized uniform oracle (Figure 6(b)'s "uniform" curve):
+    every live node's view is redrawn uniformly from the live set."""
+    live = state.live_ids()
+    if len(live) < 2:
+        return
+    state.view_ids[live] = EMPTY
+    state.view_ages[live] = 0
+    state.fill_empty_slots(rng)

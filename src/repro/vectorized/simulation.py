@@ -1,0 +1,469 @@
+"""Bulk-simulation driver: the vectorized twin of ``CycleSimulation``.
+
+:class:`VectorSimulation` runs the paper's slicing protocols over an
+:class:`~repro.vectorized.state.ArrayState` instead of per-node
+objects.  One cycle is the same four steps as the reference engine —
+churn, view refresh, protocol round, clock advance — but each step is
+a batched array pass, which makes 10^6-node runs tractable on one
+machine (the scale regime the paper's evaluation could not reach).
+
+Two API surfaces are exposed:
+
+* the **reference-compatible surface** — ``run(cycles, collectors)``,
+  ``live_nodes()`` (lightweight row proxies), ``node()``,
+  ``add_node``/``remove_node``, ``rng()``, ``bus_stats`` — so existing
+  collectors, figures and churn models work unchanged;
+* the **bulk surface** — ``slice_disorder()``, ``global_disorder()``,
+  ``accuracy()``, ``confident_fraction()``, ``slice_index_array()`` —
+  vectorized metrics that stay cheap at a million nodes, where
+  building a proxy per node per cycle would dominate the run.
+
+Limitations compared to the reference engine: only the atomic-exchange
+concurrency model (``concurrency="none"``) and the Cyclon-variant /
+uniform-oracle samplers are supported, and the sliding-window ranking
+variant uses the rescaling approximation documented in
+:mod:`repro.vectorized.ranking`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.ordering import (
+    SELECTION_MAX_GAIN,
+    SELECTION_RANDOM,
+    SELECTION_RANDOM_MISPLACED,
+)
+from repro.core.slices import SlicePartition
+from repro.engine.random_source import RandomSource, derive_seed
+from repro.engine.trace import NULL_TRACE, TraceLog
+from repro.metrics.statistics import z_value
+from repro.vectorized import churn as bulk_churn
+from repro.vectorized import metrics as vmetrics
+from repro.vectorized.ordering import ordering_round
+from repro.vectorized.ranking import ranking_round
+from repro.vectorized.sampler import refresh_views, refresh_views_uniform
+from repro.vectorized.state import ArrayState
+from repro.workloads.attributes import AttributeDistribution, UniformAttributes
+
+__all__ = ["VectorSimulation", "VectorNodeView", "VectorStats", "PROTOCOLS"]
+
+#: Protocol names accepted by :class:`VectorSimulation`.
+PROTOCOLS = (
+    "ranking",
+    "ranking-window",
+    "jk",
+    "mod-jk",
+    "random-misplaced",
+    "ordering",
+)
+
+_ORDERING_SELECTION = {
+    "jk": SELECTION_RANDOM,
+    "mod-jk": SELECTION_MAX_GAIN,
+    "ordering": SELECTION_MAX_GAIN,
+    "random-misplaced": SELECTION_RANDOM_MISPLACED,
+}
+
+_SAMPLERS = ("cyclon-variant", "uniform")
+
+
+class VectorStats:
+    """Transport/swap counters mirroring ``engine.network.BusStats``."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.intended_swaps = 0
+        self.unsuccessful_swaps = 0
+        self.swaps = 0
+        self._cycle_intended = 0
+        self._cycle_unsuccessful = 0
+
+    def begin_cycle(self) -> None:
+        self._cycle_intended = 0
+        self._cycle_unsuccessful = 0
+
+    def note_round(self, messages: int, intended: int) -> None:
+        self.sent += messages
+        self.delivered += messages
+        self.intended_swaps += intended
+        self._cycle_intended += intended
+
+    def note_swaps(self, swapped: int, unsuccessful: int) -> None:
+        self.swaps += swapped
+        self.unsuccessful_swaps += unsuccessful
+        self._cycle_unsuccessful += unsuccessful
+
+    def cycle_unsuccessful_ratio(self) -> float:
+        if self._cycle_intended == 0:
+            return 0.0
+        return self._cycle_unsuccessful / self._cycle_intended
+
+
+class VectorNodeView:
+    """A lightweight read-only proxy presenting one ``ArrayState`` row
+    with the reference :class:`~repro.engine.node.Node` surface.
+
+    ``slicer`` returns the proxy itself, which carries the slicer
+    attributes generic tooling reads (``rank_estimate``,
+    ``sample_count``, ``value``, ``slice_index``).
+    """
+
+    __slots__ = ("_sim", "node_id")
+
+    def __init__(self, sim: "VectorSimulation", node_id: int) -> None:
+        self._sim = sim
+        self.node_id = node_id
+
+    @property
+    def alive(self) -> bool:
+        return self._sim.state.is_alive(self.node_id)
+
+    @property
+    def attribute(self) -> float:
+        return float(self._sim.state.attribute[self.node_id])
+
+    @property
+    def value(self) -> float:
+        return float(self._sim.state.value[self.node_id])
+
+    @property
+    def joined_at(self) -> int:
+        return int(self._sim.state.joined_at[self.node_id])
+
+    @property
+    def slice_index(self) -> int:
+        return self._sim.partition.index_of(self.value)
+
+    @property
+    def rank_estimate(self) -> float:
+        return self.value
+
+    @property
+    def sample_count(self) -> int:
+        return int(self._sim.state.obs_total[self.node_id])
+
+    @property
+    def slicer(self) -> "VectorNodeView":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "down"
+        return f"VectorNodeView(id={self.node_id}, {status})"
+
+
+class VectorSimulation:
+    """A complete slicing simulation over array state.
+
+    Parameters
+    ----------
+    size:
+        Initial number of nodes.
+    partition:
+        The shared :class:`~repro.core.slices.SlicePartition`.
+    protocol:
+        One of :data:`PROTOCOLS` (``"ordering"`` is an alias for
+        ``"mod-jk"``, matching :class:`SlicingService` naming).
+    window:
+        Sliding-window length for ``"ranking-window"``.
+    boundary_bias:
+        The ranking algorithm's boundary-biased ``j1`` targeting.
+    attributes:
+        Distribution, explicit sequence, or ``None`` for uniform.
+    view_size:
+        View capacity ``c``.
+    sampler:
+        ``"cyclon-variant"`` (batched Figure-3 gossip) or ``"uniform"``
+        (the oracle of Figure 6(b)).
+    churn:
+        ``None``, a :class:`~repro.vectorized.churn.BulkChurn`, or a
+        reference :class:`~repro.churn.models.ChurnModel` (converted to
+        bulk form when possible, else driven through the compatibility
+        API).
+    concurrency:
+        Only ``"none"`` is supported — the vectorized engine models
+        atomic exchanges.
+    seed:
+        Root seed; a run is a pure function of it (though its draws
+        differ from the reference engine's, so cross-backend
+        comparisons are statistical, not bitwise).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        partition: SlicePartition,
+        protocol: str = "ranking",
+        window: Optional[int] = None,
+        boundary_bias: bool = True,
+        attributes: Union[AttributeDistribution, Sequence[float], None] = None,
+        view_size: int = 20,
+        sampler: str = "cyclon-variant",
+        churn=None,
+        concurrency: Union[str, float] = "none",
+        seed: int = 0,
+        trace: TraceLog = NULL_TRACE,
+    ) -> None:
+        if size <= 1:
+            raise ValueError("a slicing system needs at least two nodes")
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+            )
+        if sampler not in _SAMPLERS:
+            raise ValueError(
+                f"the vectorized backend supports samplers {_SAMPLERS}, "
+                f"got {sampler!r}; use the reference engine for others"
+            )
+        if concurrency != "none":
+            raise ValueError(
+                "the vectorized backend models atomic exchanges only "
+                f"(concurrency='none'); got {concurrency!r} — use the "
+                "reference engine to study message overlap effects"
+            )
+        if protocol == "ranking-window" and window is None:
+            window = 10_000
+        self.partition = partition
+        self.geometry = vmetrics.PartitionArrays(partition)
+        self.protocol = protocol
+        self.window = window if protocol == "ranking-window" else None
+        self.boundary_bias = boundary_bias
+        self.sampler = sampler
+        self.trace = trace
+        self.view_size = view_size
+        self._stats = VectorStats()
+        self._cycle = 0
+
+        self._random_source = RandomSource(seed)
+        self._np_rngs = {}
+        self._seed = seed
+
+        self.state = ArrayState(view_size, capacity=size)
+        attribute_values = self._draw_attributes(size, attributes)
+        values = self._draw_initial_values(size)
+        self.state.add_nodes(attribute_values, values, joined_at=0)
+        self.state.bootstrap_views(self.np_rng("bootstrap"))
+
+        self.churn = churn
+        self._bulk_churn = bulk_churn.from_model(churn) if churn is not None else None
+
+    # ------------------------------------------------------------------
+    # Random streams
+    # ------------------------------------------------------------------
+
+    def rng(self, name: str) -> random.Random:
+        """Named deterministic Python substream (compatibility API)."""
+        return self._random_source.stream(name)
+
+    def np_rng(self, name: str) -> np.random.Generator:
+        """Named deterministic numpy substream."""
+        generator = self._np_rngs.get(name)
+        if generator is None:
+            generator = np.random.default_rng(
+                derive_seed(self._seed, f"vector-{name}")
+            )
+            self._np_rngs[name] = generator
+        return generator
+
+    # ------------------------------------------------------------------
+    # Context / compatibility API
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self._cycle
+
+    @property
+    def bus_stats(self) -> VectorStats:
+        return self._stats
+
+    def node(self, node_id: int) -> VectorNodeView:
+        if not 0 <= node_id < self.state.size:
+            raise KeyError(node_id)
+        return VectorNodeView(self, node_id)
+
+    def is_alive(self, node_id: int) -> bool:
+        return self.state.is_alive(node_id)
+
+    def live_nodes(self) -> List[VectorNodeView]:
+        """Proxies for every live node.  O(n) object churn — fine for
+        collectors at reference scales; at bulk scales prefer the
+        vectorized metric methods."""
+        return [VectorNodeView(self, int(i)) for i in self.state.live_ids()]
+
+    @property
+    def live_count(self) -> int:
+        return self.state.live_count
+
+    def random_live_ids(self, count: int, exclude: Optional[int] = None) -> List[int]:
+        pool = self.state.live_ids()
+        if exclude is not None:
+            pool = pool[pool != exclude]
+        if count >= len(pool):
+            return [int(i) for i in pool]
+        picks = self.np_rng("oracle").choice(pool, size=count, replace=False)
+        return [int(i) for i in picks]
+
+    def add_node(self, attribute: float) -> VectorNodeView:
+        """A new node joins (compatibility churn path)."""
+        values = self._draw_initial_values(1)
+        ids = self.state.add_nodes(
+            np.array([attribute], dtype=np.float64), values, joined_at=self._cycle
+        )
+        return VectorNodeView(self, int(ids[0]))
+
+    def remove_node(self, node_id: int) -> None:
+        if self.state.is_alive(node_id):
+            self.state.remove_nodes(np.array([node_id], dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_cycle(self) -> None:
+        """One full cycle: churn, refresh, protocol round, advance."""
+        self._stats.begin_cycle()
+        self._apply_churn()
+        if self.sampler == "uniform":
+            refresh_views_uniform(self.state, self.np_rng("sampler"))
+        else:
+            refresh_views(self.state, self.np_rng("sampler"))
+        if self._is_ranking():
+            ranking_round(
+                self.state,
+                self.geometry,
+                self.np_rng("ranking"),
+                boundary_bias=self.boundary_bias,
+                window=self.window,
+                stats=self._stats,
+            )
+        else:
+            ordering_round(
+                self.state,
+                self.np_rng("ordering"),
+                selection=_ORDERING_SELECTION[self.protocol],
+                stats=self._stats,
+            )
+        self._cycle += 1
+
+    def run(self, cycles: int, collectors: Iterable = ()) -> None:
+        """Run ``cycles`` cycles, sampling ``collectors`` after each
+        (and once before the first, matching the reference engine)."""
+        collectors = list(collectors)
+        if self._cycle == 0:
+            for collector in collectors:
+                collector.collect(self)
+        for _ in range(cycles):
+            self.run_cycle()
+            for collector in collectors:
+                collector.collect(self)
+
+    def _apply_churn(self) -> None:
+        if self.churn is None:
+            return
+        if self._bulk_churn is not None:
+            departed, joined = self._bulk_churn.apply(
+                self.state, self._cycle, self.np_rng("churn")
+            )
+            if len(joined):
+                self.state.value[joined] = self._draw_initial_values(len(joined))
+            if len(departed) or len(joined):
+                self.trace.record(
+                    self._cycle, "churn", None, (len(departed), len(joined))
+                )
+        else:
+            # Unrecognized model: drive it through the object API.
+            self.churn.apply(self)
+
+    # ------------------------------------------------------------------
+    # Bulk metrics
+    # ------------------------------------------------------------------
+
+    def _live_arrays(self):
+        live = self.state.live_ids()
+        return live, self.state.attribute[live], self.state.value[live]
+
+    def slice_disorder(self) -> float:
+        """Current SDM, computed fully vectorized."""
+        live, attrs, values = self._live_arrays()
+        return vmetrics.slice_disorder_arrays(attrs, values, live, self.geometry)
+
+    def global_disorder(self) -> float:
+        """Current GDM, computed fully vectorized."""
+        live, attrs, values = self._live_arrays()
+        return vmetrics.global_disorder_arrays(attrs, values, live)
+
+    def accuracy(self) -> float:
+        """Fraction of nodes currently assigning themselves their true
+        slice."""
+        live, attrs, values = self._live_arrays()
+        return vmetrics.accuracy_arrays(attrs, values, live, self.geometry)
+
+    def slice_index_array(self) -> np.ndarray:
+        """Each live node's believed slice index (live-id order)."""
+        _live, _attrs, values = self._live_arrays()
+        return self.geometry.index_of(values)
+
+    def slice_sizes(self) -> List[int]:
+        """Claimed membership count per slice."""
+        counts = np.bincount(self.slice_index_array(), minlength=len(self.partition))
+        return [int(c) for c in counts]
+
+    def confident_fraction(self, confidence: float = 0.95) -> float:
+        """Fraction of nodes whose Wald interval (Theorem 5.1) already
+        fits inside one slice.  0 for the ordering protocols, which
+        carry no sample counters — matching the reference service."""
+        live = self.state.live_ids()
+        if len(live) == 0:
+            return 1.0
+        if not self._is_ranking():
+            return 0.0
+        mask = vmetrics.confident_mask(
+            self.state.value[live],
+            self.state.obs_total[live],
+            self.geometry,
+            z_value(confidence),
+        )
+        return float(np.mean(mask))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _is_ranking(self) -> bool:
+        return self.protocol in ("ranking", "ranking-window")
+
+    def _draw_attributes(self, size: int, attributes) -> np.ndarray:
+        if attributes is None:
+            attributes = UniformAttributes(0.0, 1.0)
+        if type(attributes) is UniformAttributes:
+            # Bulk fast path: a million scalar draws through the Python
+            # distribution object would dominate setup time.
+            return self.np_rng("attributes").uniform(
+                attributes.low, attributes.high, size=size
+            )
+        if isinstance(attributes, AttributeDistribution):
+            return np.array(
+                attributes.sample(self.rng("attributes"), size), dtype=np.float64
+            )
+        values = np.asarray([float(a) for a in attributes], dtype=np.float64)
+        if len(values) != size:
+            raise ValueError(
+                f"got {len(values)} explicit attributes for size={size}"
+            )
+        return values
+
+    def _draw_initial_values(self, count: int) -> np.ndarray:
+        """Initial ``r`` values, uniform in (0, 1] as in Figures 2/5."""
+        stream = "ranking-init" if self._is_ranking() else "ordering-init"
+        return 1.0 - self.np_rng(stream).random(count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VectorSimulation(nodes={self.live_count}, cycle={self.now}, "
+            f"protocol={self.protocol!r}, slices={len(self.partition)})"
+        )
