@@ -1,0 +1,166 @@
+"""Sharded-backend scaling: cycles/sec vs worker count.
+
+Measures the multi-process driver against the single-process
+vectorized baseline at bulk scales and archives the numbers as JSON
+(``benchmarks/results/sharded-scaling.json``) so CI can upload them as
+an artifact.  The sharded plan is bitwise identical at every worker
+count, so these runs measure *only* the execution cost.
+
+The whole module is ``nightly``-marked: the interesting scales
+(n = 10^5 .. 10^7) are too heavy for the tier-1 suite, and speedup
+assertions only make sense on multi-core machines.  Run it with::
+
+    python -m pytest benchmarks/test_sharded_scaling.py -m nightly -q
+
+The tier-1 suite covers the sharded backend's correctness instead
+(tests/sharded/), which is scale-independent.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.config import RunSpec, build_simulation
+
+pytestmark = pytest.mark.nightly
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "sharded-scaling.json"
+)
+CORES = os.cpu_count() or 1
+
+
+def record(entry: dict) -> None:
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    existing = []
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            existing = json.load(handle)
+    existing.append(entry)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+def cycles_per_second(spec: RunSpec, cycles: int) -> float:
+    sim = build_simulation(spec)
+    try:
+        started = time.perf_counter()
+        sim.run(cycles)
+        return cycles / (time.perf_counter() - started)
+    finally:
+        if hasattr(sim, "close"):
+            sim.close()
+
+
+def worker_ladder():
+    ladder = [1, 2]
+    if CORES >= 4:
+        ladder.append(4)
+    if CORES >= 8:
+        ladder.append(8)
+    return ladder
+
+
+class TestScalingLadder:
+    def test_100k_scaling(self, capsys):
+        """The nightly CI point: n = 10^5, cycles/sec per worker count."""
+        spec = RunSpec(
+            n=100_000, slice_count=10, view_size=10, protocol="ranking",
+            backend="sharded",
+        )
+        baseline = cycles_per_second(
+            spec.with_overrides(backend="vectorized"), cycles=5
+        )
+        rates = {}
+        for workers in worker_ladder():
+            rates[workers] = cycles_per_second(
+                spec.with_overrides(workers=workers), cycles=5
+            )
+        record(
+            {
+                "benchmark": "sharded-scaling", "n": 100_000, "cores": CORES,
+                "vectorized_cps": baseline,
+                "sharded_cps": {str(w): r for w, r in rates.items()},
+            }
+        )
+        with capsys.disabled():
+            print(f"\nn=1e5 vectorized: {baseline:7.2f} cycles/sec")
+            for workers, rate in rates.items():
+                print(f"n=1e5 sharded w={workers}: {rate:7.2f} cycles/sec")
+        assert all(rate > 0 for rate in rates.values())
+
+    def test_million_node_speedup(self, capsys):
+        """The ISSUE acceptance bar: >= 3x over the single-process
+        vectorized backend at n = 10^6 on a 4+ core machine."""
+        spec = RunSpec(
+            n=1_000_000, slice_count=10, view_size=10, protocol="ranking",
+            backend="sharded",
+        )
+        cycles = 3
+        baseline = cycles_per_second(
+            spec.with_overrides(backend="vectorized"), cycles
+        )
+        rates = {}
+        for workers in worker_ladder():
+            rates[workers] = cycles_per_second(
+                spec.with_overrides(workers=workers), cycles
+            )
+        best = max(rates.values())
+        record(
+            {
+                "benchmark": "sharded-scaling", "n": 1_000_000, "cores": CORES,
+                "vectorized_cps": baseline,
+                "sharded_cps": {str(w): r for w, r in rates.items()},
+                "speedup_best": best / baseline,
+            }
+        )
+        with capsys.disabled():
+            print(f"\nn=1e6 vectorized: {baseline:6.3f} cycles/sec")
+            for workers, rate in rates.items():
+                print(
+                    f"n=1e6 sharded w={workers}: {rate:6.3f} cycles/sec "
+                    f"({rate / baseline:.2f}x)"
+                )
+        if CORES >= 4:
+            assert best >= 3.0 * baseline, (
+                f"best sharded rate {best:.3f} cycles/sec is only "
+                f"{best / baseline:.2f}x the vectorized {baseline:.3f} "
+                f"on {CORES} cores"
+            )
+
+    def test_ten_million_node_run(self, capsys):
+        """A 10^7-node ranking run completes >= 10 cycles — one order
+        of magnitude beyond the vectorized backend's design point and
+        three beyond the paper.  Needs ~4 GB of RAM."""
+        n = 10_000_000
+        spec = RunSpec(
+            n=n, slice_count=10, view_size=10, protocol="ranking",
+            backend="sharded", workers=min(CORES, 8),
+        )
+        sim = build_simulation(spec)
+        try:
+            started = time.perf_counter()
+            sim.run(10)
+            elapsed = time.perf_counter() - started
+            assert sim.now == 10
+            assert sim.live_count == n
+            disorder = sim.slice_disorder()
+            accuracy = sim.accuracy()
+        finally:
+            sim.close()
+        record(
+            {
+                "benchmark": "ten-million", "n": n, "cores": CORES,
+                "cycles": 10, "cycles_per_sec": 10 / elapsed,
+                "sdm_per_node": disorder / n, "accuracy": accuracy,
+            }
+        )
+        with capsys.disabled():
+            print(
+                f"\nn=1e7 ranking: 10 cycles in {elapsed:.1f}s "
+                f"({10 / elapsed:.3f} cycles/sec), SDM/n "
+                f"{disorder / n:.3f}, accuracy {accuracy:.1%}"
+            )
+        assert accuracy > 0.1  # ten cycles already beat the 10% prior

@@ -12,7 +12,8 @@ setup(
     version="1.0.0",
     description=(
         "Reproduction of 'Distributed Slicing in Dynamic Systems' "
-        "(ICDCS 2007) with reference and vectorized simulation backends"
+        "(ICDCS 2007) with reference, vectorized and sharded "
+        "multi-process simulation backends"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

@@ -8,8 +8,9 @@ The package provides:
   variant (:mod:`repro.core`);
 * the simulation substrate they run on — a PeerSim-style cycle engine
   with the paper's artificial-concurrency model, plus an event-driven
-  engine (:mod:`repro.engine`), plus a numpy bulk engine for
-  million-node runs (:mod:`repro.vectorized`);
+  engine (:mod:`repro.engine`), a numpy bulk engine for million-node
+  runs (:mod:`repro.vectorized`), and a multi-process shared-memory
+  engine for 10^7-node runs (:mod:`repro.sharded`);
 * pluggable peer-sampling protocols, including the paper's Cyclon
   variant (:mod:`repro.sampling`);
 * churn models, including attribute-correlated burst and regular churn
@@ -49,6 +50,7 @@ from repro.core import (
     SlicingService,
 )
 from repro.engine import CycleSimulation, EventSimulation
+from repro.sharded import ShardedSimulation
 from repro.vectorized import VectorSimulation
 from repro.metrics import (
     GlobalDisorderCollector,
@@ -88,6 +90,7 @@ __all__ = [
     "SlicingService",
     "CycleSimulation",
     "EventSimulation",
+    "ShardedSimulation",
     "VectorSimulation",
     "GlobalDisorderCollector",
     "SliceDisorderCollector",

@@ -67,10 +67,28 @@ class SlicingService:
         :class:`~repro.engine.simulator.CycleSimulation`;
         ``"vectorized"`` runs the numpy bulk engine
         (:class:`~repro.vectorized.simulation.VectorSimulation`),
-        which serves the same API at million-node scale.
+        which serves the same API at million-node scale;
+        ``"sharded"`` runs the multi-process shared-memory engine
+        (:class:`~repro.sharded.ShardedSimulation`) for 10^7-node runs.
+    workers:
+        Worker-process count for ``backend="sharded"`` (``None`` = all
+        CPU cores there; the single-process backends accept only
+        ``None``/``1``).
+    concurrency:
+        The paper's artificial message-overlap model — supported by the
+        reference backend only; the bulk backends model atomic
+        exchanges (``"none"``).
     attributes, view_size, seed, churn:
         Forwarded to the underlying simulation.
     """
+
+    #: Supported (backend, concurrency, workers) combinations, quoted
+    #: by the validation errors.
+    SUPPORTED_COMBINATIONS = (
+        "backend='reference':  any concurrency, workers=None or 1",
+        "backend='vectorized': concurrency='none', workers=None or 1",
+        "backend='sharded':    concurrency='none', workers=None or any N >= 1",
+    )
 
     def __init__(
         self,
@@ -79,6 +97,8 @@ class SlicingService:
         algorithm: str = "ranking",
         window: Optional[int] = None,
         backend: str = "reference",
+        workers: Optional[int] = None,
+        concurrency: Union[str, float] = "none",
         attributes: Union[AttributeDistribution, Sequence[float], None] = None,
         view_size: int = 10,
         seed: int = 0,
@@ -87,6 +107,7 @@ class SlicingService:
         self.partition = self._build_partition(slices)
         self.algorithm = algorithm
         self.backend = backend
+        self._validate_backend_combination(backend, concurrency, workers)
         if backend == "reference":
             factory = self._slicer_factory(algorithm, window)
             self._sim = CycleSimulation(
@@ -95,14 +116,13 @@ class SlicingService:
                 slicer_factory=factory,
                 attributes=attributes,
                 view_size=view_size,
+                concurrency=concurrency,
                 churn=churn,
                 seed=seed,
             )
-        elif backend == "vectorized":
-            from repro.vectorized import VectorSimulation
-
+        else:
             protocol = {"ordering": "mod-jk"}.get(algorithm, algorithm)
-            self._sim = VectorSimulation(
+            kwargs = dict(
                 size=size,
                 partition=self.partition,
                 protocol=protocol,
@@ -112,13 +132,47 @@ class SlicingService:
                 churn=churn,
                 seed=seed,
             )
-        else:
-            raise ValueError(
-                f"unknown backend {backend!r}; expected 'reference' or "
-                "'vectorized'"
-            )
+            if backend == "vectorized":
+                from repro.vectorized import VectorSimulation
+
+                self._sim = VectorSimulation(**kwargs)
+            else:
+                from repro.sharded import ShardedSimulation
+
+                self._sim = ShardedSimulation(workers=workers, **kwargs)
         self._subscribers: List[Callable[[SliceChange], None]] = []
         self._last_assignment: Dict[int, Optional[int]] = {}
+
+    @classmethod
+    def _validate_backend_combination(cls, backend, concurrency, workers) -> None:
+        """Fail fast on (backend, concurrency, workers) mismatches with
+        a message naming the supported combinations."""
+        supported = "; supported combinations:\n  " + "\n  ".join(
+            cls.SUPPORTED_COMBINATIONS
+        )
+        if backend not in ("reference", "vectorized", "sharded"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'reference', "
+                "'vectorized' or 'sharded'"
+            )
+        if backend != "reference" and concurrency != "none":
+            raise ValueError(
+                f"backend={backend!r} models atomic exchanges only, but "
+                f"concurrency={concurrency!r} was requested — message "
+                "overlap needs the reference engine" + supported
+            )
+        if workers is not None:
+            if not isinstance(workers, int) or workers < 1:
+                raise ValueError(
+                    f"workers must be a positive integer or None, got "
+                    f"{workers!r}" + supported
+                )
+            if backend != "sharded" and workers != 1:
+                raise ValueError(
+                    f"backend={backend!r} is single-process, but "
+                    f"workers={workers} was requested — multi-process "
+                    "execution needs backend='sharded'" + supported
+                )
 
     @staticmethod
     def _build_partition(slices) -> SlicePartition:
@@ -274,6 +328,18 @@ class SlicingService:
     def leave(self, node_id: int) -> None:
         """A member leaves (or crashes — the paper treats them alike)."""
         self._sim.remove_node(node_id)
+
+    def close(self) -> None:
+        """Release backend resources (the sharded backend's worker pool
+        and shared memory); a no-op for the in-process backends."""
+        if hasattr(self._sim, "close"):
+            self._sim.close()
+
+    def __enter__(self) -> "SlicingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -45,12 +45,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cycles", type=int, default=None, help="override cycle count")
     parser.add_argument(
         "--backend",
-        choices=["reference", "vectorized"],
+        choices=["reference", "vectorized", "sharded"],
         default="reference",
-        help="simulation engine: per-node objects (reference) or the "
-        "numpy bulk engine (vectorized; reaches 10^6 nodes). The "
-        "concurrency studies (fig4c, fig4d) always use the reference "
-        "engine, which is the only one modelling message overlap",
+        help="simulation engine: per-node objects (reference), the "
+        "numpy bulk engine (vectorized; reaches 10^6 nodes), or the "
+        "multi-process shared-memory engine (sharded; reaches 10^7 "
+        "nodes, see --workers). The concurrency studies (fig4c, fig4d) "
+        "always use the reference engine, which is the only one "
+        "modelling message overlap",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend sharded "
+        "(default: all CPU cores)",
     )
     parser.add_argument(
         "--max-rows", type=int, default=20, help="table rows per series"
@@ -75,6 +84,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["cycles"] = args.cycles
     if args.backend != "reference" and "backend" in accepted:
         kwargs["backend"] = args.backend
+    if args.workers is not None and "workers" in accepted:
+        kwargs["workers"] = args.workers
     started = time.time()
     result = function(**kwargs)
     elapsed = time.time() - started

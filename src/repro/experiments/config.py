@@ -40,7 +40,7 @@ PROTOCOLS = ("jk", "mod-jk", "random-misplaced", "ranking", "ranking-window")
 SAMPLERS = ("cyclon-variant", "cyclon", "newscast", "uniform")
 
 #: Simulation backends accepted by :class:`RunSpec.backend`.
-BACKENDS = ("reference", "vectorized")
+BACKENDS = ("reference", "vectorized", "sharded")
 
 
 @dataclass(frozen=True)
@@ -82,11 +82,21 @@ class RunSpec:
         ``None`` (uniform), a distribution, or explicit values.
     backend:
         One of :data:`BACKENDS`: ``"reference"`` (object-per-node
-        engines) or ``"vectorized"`` (numpy bulk engine; supports the
-        ``cyclon-variant`` and ``uniform`` samplers and
-        ``concurrency="none"`` only).
+        engines), ``"vectorized"`` (numpy bulk engine), or
+        ``"sharded"`` (multi-process shared-memory engine).  The bulk
+        backends support the ``cyclon-variant`` and ``uniform``
+        samplers and ``concurrency="none"`` only.
+    workers:
+        Worker-process count for ``backend="sharded"`` (``None`` = all
+        CPU cores); must be ``None``/1 for the single-process backends.
+    window_approx:
+        Bulk backends only: opt into the counter-rescaling
+        approximation of the sliding window instead of the default
+        exact bit-packed buffers.
     seed:
-        Root seed — a run is a pure function of its spec.
+        Root seed — a run is a pure function of its spec.  A sharded
+        run is additionally independent of its worker count (bitwise
+        identical to the vectorized backend).
     """
 
     n: int = 1000
@@ -105,6 +115,8 @@ class RunSpec:
     correlated_churn: bool = True
     attributes: Union[AttributeDistribution, Sequence[float], None] = None
     backend: str = "reference"
+    workers: Optional[int] = None
+    window_approx: bool = False
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "RunSpec":
@@ -130,6 +142,8 @@ class RunSpec:
             bits.append(f"concurrency={self.concurrency}")
         if self.backend != "reference":
             bits.append(f"backend={self.backend}")
+        if self.workers is not None:
+            bits.append(f"workers={self.workers}")
         if self.churn is not None:
             bits.append(f"churn={self.churn}")
         bits.append(f"seed={self.seed}")
@@ -195,19 +209,24 @@ def _churn_model(spec: RunSpec) -> Optional[ChurnModel]:
 def build_simulation(spec: RunSpec):
     """Instantiate the simulation a spec describes.
 
-    Returns a :class:`CycleSimulation` (``backend="reference"``) or a
+    Returns a :class:`CycleSimulation` (``backend="reference"``), a
     :class:`~repro.vectorized.simulation.VectorSimulation`
-    (``backend="vectorized"``); both expose the same
-    ``run(cycles, collectors)`` surface.
+    (``backend="vectorized"``) or a
+    :class:`~repro.sharded.ShardedSimulation` (``backend="sharded"``);
+    all expose the same ``run(cycles, collectors)`` surface.
     """
     if spec.backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {spec.backend!r}; expected one of {BACKENDS}"
         )
+    if spec.workers is not None and spec.backend != "sharded":
+        if not isinstance(spec.workers, int) or spec.workers != 1:
+            raise ValueError(
+                f"backend={spec.backend!r} is single-process; "
+                f"workers={spec.workers!r} needs backend='sharded'"
+            )
     partition = spec.partition()
-    if spec.backend == "vectorized":
-        from repro.vectorized import VectorSimulation
-
+    if spec.backend in ("vectorized", "sharded"):
         if spec.protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {spec.protocol!r}; expected one of {PROTOCOLS}"
@@ -215,7 +234,7 @@ def build_simulation(spec: RunSpec):
         window = spec.window
         if spec.protocol == "ranking-window" and window is None:
             window = 10_000
-        return VectorSimulation(
+        kwargs = dict(
             size=spec.n,
             partition=partition,
             protocol=spec.protocol,
@@ -225,9 +244,17 @@ def build_simulation(spec: RunSpec):
             view_size=spec.view_size,
             sampler=spec.sampler,
             churn=_churn_model(spec),
+            window_approx=spec.window_approx,
             concurrency=spec.concurrency,
             seed=spec.seed,
         )
+        if spec.backend == "sharded":
+            from repro.sharded import ShardedSimulation
+
+            return ShardedSimulation(workers=spec.workers, **kwargs)
+        from repro.vectorized import VectorSimulation
+
+        return VectorSimulation(**kwargs)
     return CycleSimulation(
         size=spec.n,
         partition=partition,

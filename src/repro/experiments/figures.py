@@ -114,6 +114,7 @@ def run_fig4a(
     seed: int = 0,
     full_scale: bool = False,
     backend: str = "reference",
+    workers=None,
 ) -> FigureResult:
     """Figure 4(a): SDM vs GDM along one mod-JK run.
 
@@ -125,7 +126,7 @@ def run_fig4a(
         n, cycles = 10_000, 100
     spec = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        protocol="mod-jk", seed=seed, backend=backend,
+        protocol="mod-jk", seed=seed, backend=backend, workers=workers,
     )
     partition = spec.partition()
     sim = build_simulation(spec)
@@ -158,6 +159,7 @@ def run_fig4b(
     seed: int = 0,
     full_scale: bool = False,
     backend: str = "reference",
+    workers=None,
 ) -> FigureResult:
     """Figure 4(b): SDM over time — JK vs mod-JK, 10 equal slices.
 
@@ -169,7 +171,7 @@ def run_fig4b(
     if full_scale:
         n, cycles = 10_000, 60
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed, backend=backend,
+        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed, backend=backend, workers=workers,
     )
     partition = base.partition()
     jk_series, _sim, initial_values = _sdm_run(base.with_overrides(protocol="jk"))
@@ -322,6 +324,7 @@ def run_fig6a(
     seed: int = 0,
     full_scale: bool = False,
     backend: str = "reference",
+    workers=None,
 ) -> FigureResult:
     """Figure 6(a): SDM over time — ranking vs ordering, static system.
 
@@ -332,7 +335,7 @@ def run_fig6a(
     if full_scale:
         n, cycles = 10_000, 1000
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed, backend=backend,
+        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed, backend=backend, workers=workers,
     )
     partition = base.partition()
     ordering_series, _sim, initial_values = _sdm_run(
@@ -364,6 +367,7 @@ def run_fig6b(
     seed: int = 0,
     full_scale: bool = False,
     backend: str = "reference",
+    workers=None,
 ) -> FigureResult:
     """Figure 6(b): ranking on an idealized uniform sampler vs on the
     Cyclon-variant views, plus the percentage deviation between the
@@ -377,7 +381,7 @@ def run_fig6b(
         n, cycles = 10_000, 1000
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        protocol="ranking", seed=seed, backend=backend,
+        protocol="ranking", seed=seed, backend=backend, workers=workers,
     )
     uniform_series, _sim, _values = _sdm_run(base.with_overrides(sampler="uniform"))
     views_series, _sim, _values = _sdm_run(
@@ -417,6 +421,7 @@ def run_fig6c(
     churn_rate: float = 0.001,
     full_scale: bool = False,
     backend: str = "reference",
+    workers=None,
 ) -> FigureResult:
     """Figure 6(c): churn burst — ``churn_rate`` of the nodes leave and
     join per cycle (paper: 0.1%) for the first ``burst_end`` cycles,
@@ -431,7 +436,7 @@ def run_fig6c(
         n, cycles = 10_000, 1000
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        churn="burst", churn_rate=churn_rate, churn_burst_end=burst_end, seed=seed, backend=backend,
+        churn="burst", churn_rate=churn_rate, churn_burst_end=burst_end, seed=seed, backend=backend, workers=workers,
     )
     jk_series, _sim, _values = _sdm_run(base.with_overrides(protocol="jk"))
     ranking_series, _sim, _values = _sdm_run(
@@ -477,6 +482,7 @@ def run_fig6d(
     churn_rate: float = 0.001,
     full_scale: bool = False,
     backend: str = "reference",
+    workers=None,
 ) -> FigureResult:
     """Figure 6(d): low regular churn (``churn_rate`` every 10 cycles,
     paper: 0.1%, correlated) — ordering vs ranking vs sliding-window
@@ -492,7 +498,7 @@ def run_fig6d(
     window = window if window is not None else 2_000
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        churn="regular", churn_rate=churn_rate, churn_period=10, seed=seed, backend=backend,
+        churn="regular", churn_rate=churn_rate, churn_period=10, seed=seed, backend=backend, workers=workers,
     )
     ordering_series, _sim, _values = _sdm_run(
         base.with_overrides(protocol="mod-jk")

@@ -1,0 +1,607 @@
+"""The sharded bulk-simulation driver.
+
+:class:`ShardedSimulation` runs the vectorized cycle across a
+persistent pool of worker processes.  The design splits every cycle
+into *plan* and *apply*:
+
+* the **driver plans centrally** — churn, every random draw (made in
+  exactly the order and block sizes the single-process
+  :class:`~repro.vectorized.simulation.VectorSimulation` would make
+  them, then sliced per shard), and the scheduling of exchange
+  proposals into node-disjoint waves;
+* the **workers apply in parallel** — aging/purging/filling views,
+  folding rank counters, computing partner choices, and executing the
+  wave swaps, each over its own contiguous id range of the
+  shared-memory :class:`~repro.vectorized.state.ArrayState`
+  (cross-shard wave pairs are fine: waves are node-disjoint, and the
+  arrays are shared, so "merging" a cross-shard exchange is just a
+  write).
+
+Because the plan is identical for every worker count and each applied
+step is either row-local or wave-disjoint, a run's arrays are **bitwise
+identical across worker counts — including workers=1 and the plain
+vectorized backend**.  Parallelism changes wall-clock time only, never
+results; the equivalence tests assert this exactly.
+
+Node state never crosses a pipe: commands are tiny control tuples, and
+all bulk data (state columns, random blocks, proposal/wave lists,
+metric merge buffers) lives in shared memory.  Bulk metrics reduce
+across shards (each shard sorts and ranks its own rows against the
+others' published sort keys — :mod:`repro.sharded.metrics`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ordering import SELECTION_RANDOM, SELECTION_RANDOM_MISPLACED
+from repro.sharded.kernels import DISPATCH, ShardContext
+from repro.sharded.shm import InlineScratch, SharedBlock, SharedScratch
+from repro.vectorized.matching import iter_disjoint_waves
+from repro.vectorized.simulation import VectorSimulation, _ORDERING_SELECTION
+from repro.vectorized.state import ArrayState, column_spec
+from repro.metrics.statistics import z_value
+
+__all__ = ["ShardedSimulation"]
+
+
+def _shard_bounds(capacity: int, workers: int):
+    """Contiguous row ranges, one per worker, covering ``[0, capacity)``."""
+    edges = np.linspace(0, capacity, workers + 1).astype(np.int64)
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(workers)]
+
+
+def _prefix_offsets(counts):
+    offsets, acc = [], 0
+    for count in counts:
+        offsets.append(acc)
+        acc += count
+    return offsets, acc
+
+
+class _InlineExecutor:
+    """Single-shard executor running kernels in the driver process —
+    the workers=1 path (no pool, no shared memory, zero overhead)."""
+
+    def __init__(self, sim: "ShardedSimulation") -> None:
+        self.scratch = InlineScratch()
+        self.bounds = [(0, sim.state.capacity)]
+        self._ctx = ShardContext(
+            sim.state, 0, sim.state.capacity, sim.geometry, self.scratch
+        )
+
+    def run(self, command: str, payloads) -> list:
+        return [DISPATCH[command](self._ctx, **payloads[0])]
+
+    def close(self) -> None:
+        self.scratch.close()
+
+
+class _PoolExecutor:
+    """Persistent worker pool over the shared-memory state blocks.
+
+    Holds the shared :class:`ArrayState` (for the per-command metadata
+    sync), never the simulation itself — the driver's finalizer keeps a
+    strong reference to this executor, so a reference back to the
+    simulation would keep it alive forever and the finalizer would
+    never fire.
+    """
+
+    def __init__(self, sim: "ShardedSimulation") -> None:
+        self.scratch = SharedScratch()
+        self.bounds = _shard_bounds(sim.state.capacity, sim.workers)
+        self._state = sim.state
+        method = os.environ.get("REPRO_SHARDED_START_METHOD") or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        from repro.sharded.worker import worker_main
+
+        layout = {
+            name: (block.name, block.shape, block.dtype.str)
+            for name, block in sim._blocks.items()
+        }
+        self._connections = []
+        self._processes = []
+        for lo, hi in self.bounds:
+            parent_end, child_end = context.Pipe()
+            init = {
+                "blocks": layout,
+                "view_size": sim.view_size,
+                "size": sim.state.size,
+                "window": sim.state.window,
+                "partition": sim.partition,
+                "lo": lo,
+                "hi": hi,
+            }
+            process = context.Process(
+                target=worker_main, args=(child_end, init), daemon=True
+            )
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+
+    def run(self, command: str, payloads) -> list:
+        remaps = self.scratch.take_remaps()
+        state = self._state
+        for connection, payload in zip(self._connections, payloads):
+            connection.send(
+                (command, payload, remaps, state.size, state.maybe_dead_entries)
+            )
+        results = []
+        failures = []
+        for index, connection in enumerate(self._connections):
+            status, value = connection.recv()
+            if status == "ok":
+                results.append(value)
+            else:
+                failures.append(f"worker {index}:\n{value}")
+        if failures:
+            raise RuntimeError(
+                "sharded worker command "
+                f"{command!r} failed:\n" + "\n".join(failures)
+            )
+        return results
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1)
+        for connection in self._connections:
+            connection.close()
+        self._connections, self._processes = [], []
+        self.scratch.close()
+
+
+def _release(blocks, executor_holder) -> None:
+    """Finalizer shared by close() and garbage collection."""
+    executor = executor_holder.get("executor")
+    if executor is not None:
+        executor.close()
+        executor_holder["executor"] = None
+    for block in blocks.values():
+        block.close()
+    blocks.clear()
+
+
+class ShardedSimulation(VectorSimulation):
+    """A :class:`VectorSimulation` executed across a multi-process
+    worker pool over shared-memory shards.
+
+    Accepts every ``VectorSimulation`` parameter, plus:
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (``None`` = all CPU cores).  ``workers=1``
+        runs the shard kernels in-process — same plan, same results, no
+        pool.  Results are bitwise identical for every value.
+    spare_capacity:
+        Extra rows pre-allocated for joiners.  Shared-memory segments
+        cannot grow, so a run whose churn adds more rows than this
+        raises (default: ``max(1024, size // 8)``).
+
+    Call :meth:`close` (or use the instance as a context manager) to
+    release the worker pool and shared-memory segments; they are also
+    released on garbage collection.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        partition,
+        workers: Optional[int] = None,
+        spare_capacity: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._spare_capacity = (
+            max(1024, size // 8) if spare_capacity is None else int(spare_capacity)
+        )
+        self._blocks = {}
+        self._executor_holder = {"executor": None}
+        self._live_counts = None
+        self._finalizer = weakref.finalize(
+            self, _release, self._blocks, self._executor_holder
+        )
+        super().__init__(size, partition, **kwargs)
+
+    # ------------------------------------------------------------------
+    # State allocation / lifecycle
+    # ------------------------------------------------------------------
+
+    def _make_state(self, view_size: int, size: int) -> ArrayState:
+        capacity = size + self._spare_capacity
+        window = self.window if self.window_exact else None
+        if self.workers == 1:
+            state = ArrayState(view_size, capacity=capacity)
+            state.fixed_capacity = True
+            return state
+        arrays = {}
+        for name, (dtype, width) in column_spec(view_size, window).items():
+            shape = (capacity,) if width == 1 else (capacity, width)
+            block = SharedBlock(shape, dtype)
+            if name == "view_ids":
+                block.array.fill(-1)
+            self._blocks[name] = block
+            arrays[name] = block.array
+        return ArrayState.from_arrays(
+            view_size, arrays, size=0, window=window, fixed_capacity=True
+        )
+
+    def close(self) -> None:
+        """Stop the worker pool and release shared memory."""
+        _release(self._blocks, self._executor_holder)
+
+    def __enter__(self) -> "ShardedSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def _pool(self):
+        executor = self._executor_holder.get("executor")
+        return executor if isinstance(executor, _PoolExecutor) else None
+
+    def _executor(self):
+        executor = self._executor_holder.get("executor")
+        if executor is None:
+            executor = (
+                _InlineExecutor(self)
+                if self.workers == 1
+                else _PoolExecutor(self)
+            )
+            self._executor_holder["executor"] = executor
+        return executor
+
+    # ------------------------------------------------------------------
+    # Execution: plan centrally, apply in parallel
+    # ------------------------------------------------------------------
+
+    def run_cycle(self) -> None:
+        self._stats.begin_cycle()
+        self._apply_churn()
+        if self.state.live_count >= 2:
+            executor = self._executor()
+            self._refresh_phases(executor, uniform=self.sampler == "uniform")
+            if self._is_ranking():
+                self._ranking_phases(executor)
+            else:
+                self._ordering_phases(executor)
+        self._cycle += 1
+
+    def _broadcast(self, executor, command: str, payloads=None) -> list:
+        if payloads is None:
+            payloads = [{}] * len(executor.bounds)
+        return executor.run(command, payloads)
+
+    def _refresh_phases(self, executor, uniform: bool) -> None:
+        state, rng = self.state, self.np_rng("sampler")
+        replies = self._broadcast(
+            executor, "refresh_age", [{"uniform": uniform}] * len(executor.bounds)
+        )
+        live_counts = [reply["live"] for reply in replies]
+        empty_counts = [reply["empty"] for reply in replies]
+        live_offsets, live_total = _prefix_offsets(live_counts)
+        self._live_counts, self._live_offsets = live_counts, live_offsets
+        if not uniform:
+            # Every live row was purged, exactly as the vectorized
+            # refresh's purge_dead_entries(live) pass.
+            state.maybe_dead_entries = False
+
+        empty_offsets, empty_total = _prefix_offsets(empty_counts)
+        if empty_total:
+            executor.scratch.ensure("live_index", np.int64, live_total)
+            self._broadcast(
+                executor,
+                "write_live",
+                [{"offset": offset} for offset in live_offsets],
+            )
+            fill = executor.scratch.ensure("fill_ints", np.int64, empty_total)
+            fill[:empty_total] = rng.integers(0, live_total, size=empty_total)
+            self._broadcast(
+                executor,
+                "refresh_fill",
+                [{"offset": offset} for offset in empty_offsets],
+            )
+        if uniform:
+            return
+
+        view_size = self.view_size
+        jitter = executor.scratch.ensure(
+            "jitter", np.float32, live_total * view_size
+        )
+        jitter[: live_total * view_size] = rng.random(
+            (live_total, view_size), dtype=np.float32
+        ).ravel()
+        executor.scratch.ensure("prop_a", np.int64, state.capacity)
+        executor.scratch.ensure("prop_b", np.int64, state.capacity)
+        replies = self._broadcast(
+            executor,
+            "refresh_partners",
+            [{"jitter_offset": offset} for offset in live_offsets],
+        )
+        initiators, partners = self._gather_proposals(
+            executor, [reply["props"] for reply in replies], ("prop_a", "prop_b")
+        )
+        no_payload = np.zeros(len(initiators), dtype=bool)
+        self._run_waves(
+            executor, "refresh_swap", initiators, partners, no_payload, rng
+        )
+
+    def _gather_proposals(self, executor, counts, names):
+        segments = [
+            [
+                executor.scratch[name][lo : lo + count]
+                for (lo, _hi), count in zip(executor.bounds, counts)
+            ]
+            for name in names
+        ]
+        return tuple(
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            for parts in segments
+        )
+
+    def _run_waves(self, executor, command, initiators, targets, extra, rng):
+        """Schedule proposals into node-disjoint waves and fan each
+        wave out to the shard owning its initiator."""
+        state = self.state
+        capacity = max(1, len(initiators))
+        wave_a = executor.scratch.ensure("wave_a", np.int64, capacity)
+        wave_b = executor.scratch.ensure("wave_b", np.int64, capacity)
+        wave_x = executor.scratch.ensure("wave_x", np.uint8, capacity)
+        lows = [lo for lo, _hi in executor.bounds]
+        results = []
+        for side_a, side_b, wave_extra in iter_disjoint_waves(
+            initiators, targets, extra, rng, state.size
+        ):
+            if len(side_a) == 0:
+                continue
+            wave_a[: len(side_a)] = side_a
+            wave_b[: len(side_b)] = side_b
+            wave_x[: len(wave_extra)] = wave_extra
+            # side_a is ascending (proposals are gathered in shard
+            # order, and wave selection preserves order), so each
+            # shard's pairs form one contiguous run.
+            cuts = np.searchsorted(side_a, lows + [state.capacity])
+            payloads = [
+                {"offset": int(cuts[i]), "count": int(cuts[i + 1] - cuts[i])}
+                for i in range(len(executor.bounds))
+            ]
+            results.append(self._broadcast(executor, command, payloads))
+        return results
+
+    def _ranking_phases(self, executor) -> None:
+        rng = self.np_rng("ranking")
+        replies = self._broadcast(
+            executor,
+            "rank_fold",
+            [
+                {
+                    "boundary_bias": self.boundary_bias,
+                    "window_exact": self.window_exact,
+                }
+            ]
+            * len(executor.bounds),
+        )
+        row_counts = [reply["rows"] for reply in replies]
+        row_offsets, total_rows = _prefix_offsets(row_counts)
+        if total_rows:
+            if not self.boundary_bias:
+                u1 = executor.scratch.ensure("u1", np.float64, total_rows)
+                u1[:total_rows] = rng.random(total_rows)
+            u2 = executor.scratch.ensure("u2", np.float64, total_rows)
+            u2[:total_rows] = rng.random(total_rows)
+            capacity = self.state.capacity
+            executor.scratch.ensure("tgt1", np.int64, capacity)
+            executor.scratch.ensure("tgt2", np.int64, capacity)
+            executor.scratch.ensure("sattr", np.float64, capacity)
+            self._broadcast(
+                executor,
+                "rank_targets",
+                [{"offset": offset} for offset in row_offsets],
+            )
+            # Compact per-shard target segments into the global UPD
+            # list: all j1 targets (shard order), then all j2 targets —
+            # the order the vectorized scatter-add applies them in.
+            (tgt1,) = self._gather_proposals(executor, row_counts, ("tgt1",))
+            (tgt2,) = self._gather_proposals(executor, row_counts, ("tgt2",))
+            (sattr,) = self._gather_proposals(executor, row_counts, ("sattr",))
+            targets = executor.scratch.ensure("targets", np.int64, 2 * total_rows)
+            senders = executor.scratch.ensure("senders", np.float64, 2 * total_rows)
+            targets[:total_rows] = tgt1
+            targets[total_rows : 2 * total_rows] = tgt2
+            senders[:total_rows] = sattr
+            senders[total_rows : 2 * total_rows] = sattr
+            self._stats.note_round(messages=2 * total_rows, intended=0)
+        self._broadcast(
+            executor,
+            "rank_apply",
+            [
+                {
+                    "total": total_rows,
+                    "window": self.window,
+                    "window_exact": self.window_exact,
+                }
+            ]
+            * len(executor.bounds),
+        )
+
+    def _ordering_phases(self, executor) -> None:
+        rng = self.np_rng("ordering")
+        selection = _ORDERING_SELECTION[self.protocol]
+        live_offsets = self._live_offsets
+        live_total = sum(self._live_counts)
+        if selection in (SELECTION_RANDOM, SELECTION_RANDOM_MISPLACED):
+            u1 = executor.scratch.ensure("u1", np.float64, live_total)
+            u1[:live_total] = rng.random(live_total)
+        capacity = self.state.capacity
+        executor.scratch.ensure("prop_a", np.int64, capacity)
+        executor.scratch.ensure("prop_b", np.int64, capacity)
+        executor.scratch.ensure("prop_x", np.uint8, capacity)
+        replies = self._broadcast(
+            executor,
+            "ord_select",
+            [
+                {"selection": selection, "offset": offset}
+                for offset in live_offsets
+            ],
+        )
+        counts = [reply["props"] for reply in replies]
+        initiators, targets = self._gather_proposals(
+            executor, counts, ("prop_a", "prop_b")
+        )
+        (intended,) = self._gather_proposals(executor, counts, ("prop_x",))
+        intended = intended.astype(bool)
+        self._stats.note_round(
+            messages=2 * len(initiators), intended=int(intended.sum())
+        )
+        for wave_replies in self._run_waves(
+            executor, "ord_swap", initiators, targets, intended, rng
+        ):
+            self._stats.note_swaps(
+                swapped=sum(reply["swapped"] for reply in wave_replies),
+                unsuccessful=sum(
+                    reply["unsuccessful"] for reply in wave_replies
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Bulk metrics: tree reduction across shards
+    # ------------------------------------------------------------------
+
+    def _metric_ranks(self, executor, column: str, name: str):
+        """Distributed rank pass; returns ``(segments, total)``."""
+        replies = self._broadcast(
+            executor, "metric_prepare", [{"column": column}] * len(executor.bounds)
+        )
+        counts = [reply["count"] for reply in replies]
+        offsets, total = _prefix_offsets(counts)
+        executor.scratch.ensure("mkeys", np.float64, max(total, 1))
+        executor.scratch.ensure("mids", np.int64, max(total, 1))
+        self._broadcast(
+            executor, "metric_write", [{"offset": offset} for offset in offsets]
+        )
+        segments = list(zip(offsets, counts))
+        self._broadcast(
+            executor,
+            "metric_ranks",
+            [
+                {"segments": segments, "own": index, "name": name}
+                for index in range(len(executor.bounds))
+            ],
+        )
+        return total
+
+    def _state_tag(self):
+        """Cheap fingerprint of everything the metrics depend on: the
+        cycle counter plus the only between-cycle mutators (compat-API
+        join/leave, which change size/live_count)."""
+        return (self._cycle, self.state.size, self.state.live_count)
+
+    def _alpha_rank_pass(self, executor):
+        """The 'attribute' rank merge, deduplicated per state: SDM,
+        accuracy and GDM all consume the alpha ranks, and the workers
+        keep them cached under ``"alpha"`` until the next pass."""
+        tag = self._state_tag()
+        cached = getattr(self, "_alpha_pass_cache", None)
+        if cached is not None and cached[0] == tag:
+            return cached[1]
+        total = self._metric_ranks(executor, "attribute", "alpha")
+        self._alpha_pass_cache = (tag, total)
+        return total
+
+    def _distributed_slice_stats(self):
+        # One rank merge yields both SDM and accuracy; collectors ask
+        # for them separately every cycle, so cache the pair until the
+        # state changes (cycle advance or compat-API join/leave).
+        state_tag = self._state_tag()
+        cached = getattr(self, "_slice_stats_cache", None)
+        if cached is not None and cached[0] == state_tag:
+            return cached[1]
+        executor = self._pool
+        total = self._alpha_rank_pass(executor)
+        if total == 0:
+            stats = (0.0, 1.0)
+        else:
+            replies = self._broadcast(
+                executor, "metric_sdm", [{"n_live": total}] * len(executor.bounds)
+            )
+            sdm = sum(reply["sdm"] for reply in replies)
+            accurate = sum(reply["accurate"] for reply in replies)
+            stats = (sdm, accurate / total)
+        self._slice_stats_cache = (state_tag, stats)
+        return stats
+
+    def slice_disorder(self) -> float:
+        if self._pool is None:
+            return super().slice_disorder()
+        return self._distributed_slice_stats()[0]
+
+    def accuracy(self) -> float:
+        if self._pool is None:
+            return super().accuracy()
+        return self._distributed_slice_stats()[1]
+
+    def global_disorder(self) -> float:
+        if self._pool is None:
+            return super().global_disorder()
+        executor = self._pool
+        total = self._alpha_rank_pass(executor)
+        if total == 0:
+            return 0.0
+        self._metric_ranks(executor, "value", "rho")
+        replies = self._broadcast(executor, "metric_gdm")
+        return sum(reply["sq"] for reply in replies) / total
+
+    def confident_fraction(self, confidence: float = 0.95) -> float:
+        if self._pool is None:
+            return super().confident_fraction(confidence)
+        if self.state.live_count == 0:
+            return 1.0
+        if not self._is_ranking():
+            return 0.0
+        replies = self._broadcast(
+            executor := self._pool,
+            "metric_confident",
+            [{"z": z_value(confidence)}] * len(executor.bounds),
+        )
+        total = sum(reply["n"] for reply in replies)
+        confident = sum(reply["confident"] for reply in replies)
+        return confident / total if total else 1.0
+
+    def slice_sizes(self):
+        if self._pool is None:
+            return super().slice_sizes()
+        replies = self._broadcast(self._pool, "metric_slice_sizes")
+        return [
+            int(sum(reply["counts"][i] for reply in replies))
+            for i in range(len(self.partition))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedSimulation(nodes={self.live_count}, cycle={self.now}, "
+            f"protocol={self.protocol!r}, workers={self.workers})"
+        )

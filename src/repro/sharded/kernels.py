@@ -1,0 +1,412 @@
+"""Shard-local kernels: the per-phase work one worker executes.
+
+Each kernel mirrors one stage of the vectorized cycle
+(:mod:`repro.vectorized.sampler` / :mod:`~repro.vectorized.ranking` /
+:mod:`~repro.vectorized.ordering`) restricted to a contiguous node-id
+range ``[lo, hi)``.  Everything random is *pre-drawn by the driver*
+into shared scratch buffers — a kernel only consumes its slice — and
+every mutation is either to rows the shard owns or to the node-disjoint
+rows of a centrally scheduled exchange wave.  Together those two rules
+give the backend its headline property: the arrays a cycle produces
+are bitwise identical to a single-process
+:class:`~repro.vectorized.simulation.VectorSimulation` run, for *any*
+worker count.
+
+The same kernels back both executors: the in-process one (workers=1)
+calls them on the driver's own state; the pool executor runs them in
+worker processes over shared-memory views (:mod:`repro.sharded.worker`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ordering import (
+    SELECTION_MAX_GAIN,
+    SELECTION_RANDOM,
+    SELECTION_RANDOM_MISPLACED,
+)
+from repro.sharded.metrics import cross_shard_ranks
+from repro.vectorized import metrics as vmetrics
+from repro.vectorized.ordering import (
+    _max_gain_columns,
+    _random_valid_column_from,
+    _valid_slots,
+)
+from repro.vectorized.ranking import window_fold, window_push
+from repro.vectorized.sampler import _oldest_columns, _swap_views
+from repro.vectorized.state import EMPTY, ArrayState
+
+__all__ = ["ShardContext", "DISPATCH"]
+
+
+class ShardContext:
+    """One shard's execution context: a full-array view of the shared
+    state, the owned row range, and a cycle-scoped cache carrying
+    intermediates between phases."""
+
+    def __init__(self, state: ArrayState, lo: int, hi: int, geometry, scratch):
+        self.state = state
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.geometry = geometry
+        self.scratch = scratch
+        self.cache = {}
+
+    def live_rows(self) -> np.ndarray:
+        """Ids of the live nodes this shard owns, ascending."""
+        hi = min(self.hi, self.state.size)
+        if hi <= self.lo:
+            return np.empty(0, dtype=np.int64)
+        return self.lo + np.flatnonzero(self.state.alive[self.lo : hi])
+
+
+# ----------------------------------------------------------------------
+# View refresh (the vectorized sampler, split at its plan points)
+# ----------------------------------------------------------------------
+
+
+def cmd_refresh_age(ctx: ShardContext, uniform: bool) -> dict:
+    """Age + purge this shard's live views (or blank them, for the
+    uniform oracle) and report live/empty-slot counts."""
+    state = ctx.state
+    live = ctx.live_rows()
+    ctx.cache = {"live": live}
+    if len(live):
+        if uniform:
+            state.view_ids[live] = EMPTY
+            state.view_ages[live] = 0
+        else:
+            occupied = state.view_ids[live] != EMPTY
+            ages = state.view_ages[live]
+            ages[occupied] += 1
+            state.view_ages[live] = ages
+            state.purge_dead_entries(live)
+    empty_rows, empty_cols = state.empty_live_slots(ctx.lo, ctx.hi)
+    ctx.cache["empty"] = (empty_rows, empty_cols)
+    return {"live": len(live), "empty": len(empty_rows)}
+
+
+def cmd_write_live(ctx: ShardContext, offset: int) -> dict:
+    """Publish this shard's live ids into the global live index."""
+    live = ctx.cache["live"]
+    ctx.scratch["live_index"][offset : offset + len(live)] = live
+    return {}
+
+
+def cmd_refresh_fill(ctx: ShardContext, offset: int) -> dict:
+    """Apply this shard's slice of the central bootstrap draw block."""
+    empty_rows, empty_cols = ctx.cache["empty"]
+    count = len(empty_rows)
+    if count:
+        picks = ctx.scratch["fill_ints"][offset : offset + count]
+        ctx.state.apply_fill(
+            empty_rows, empty_cols, ctx.scratch["live_index"][picks]
+        )
+    return {}
+
+
+def cmd_refresh_partners(ctx: ShardContext, jitter_offset: int) -> dict:
+    """Pick each live node's oldest neighbor (central jitter block for
+    the tie-break) and publish the exchange proposals."""
+    state = ctx.state
+    live = ctx.cache["live"]
+    if len(live) == 0:
+        return {"props": 0}
+    c = state.view_size
+    jitter = ctx.scratch["jitter"][
+        jitter_offset * c : (jitter_offset + len(live)) * c
+    ].reshape(len(live), c)
+    cols = _oldest_columns(state.view_ids[live], state.view_ages[live], jitter=jitter)
+    partners = state.view_ids[live, cols]
+    has_partner = partners != EMPTY
+    initiators, partners = live[has_partner], partners[has_partner]
+    ctx.scratch["prop_a"][ctx.lo : ctx.lo + len(initiators)] = initiators
+    ctx.scratch["prop_b"][ctx.lo : ctx.lo + len(partners)] = partners
+    return {"props": len(initiators)}
+
+
+def cmd_refresh_swap(ctx: ShardContext, offset: int, count: int) -> dict:
+    """Execute this shard's pairs of one node-disjoint exchange wave."""
+    if count:
+        _swap_views(
+            ctx.state,
+            ctx.scratch["wave_a"][offset : offset + count],
+            ctx.scratch["wave_b"][offset : offset + count],
+        )
+    return {}
+
+
+# ----------------------------------------------------------------------
+# Ranking round
+# ----------------------------------------------------------------------
+
+
+def cmd_rank_fold(ctx: ShardContext, boundary_bias: bool, window_exact: bool) -> dict:
+    """Fold refreshed views into the rank counters (Figure 5, lines
+    5-7) and pre-compute the boundary-biased j1 choice."""
+    state = ctx.state
+    live = ctx.cache["live"]
+    if len(live) == 0:
+        ctx.cache.update(rows=np.empty(0, dtype=np.int64))
+        return {"rows": 0}
+    view = state.view_ids[live]
+    valid = _valid_slots(state, view)
+    safe = np.where(valid, view, 0)
+    a_self = state.attribute[live]
+    a_peer = state.attribute[safe]
+    le_bits = valid & (a_peer <= a_self[:, None])
+    if window_exact:
+        window_fold(state, live, valid, le_bits)
+    else:
+        state.obs_le[live] += le_bits.sum(axis=1).astype(np.float64)
+        state.obs_total[live] += valid.sum(axis=1)
+    rows = np.flatnonzero(valid.any(axis=1))
+    sub_view, sub_valid = view[rows], valid[rows]
+    j1_cols = None
+    if boundary_bias and len(rows):
+        r_peer = np.where(
+            sub_valid, state.value[np.where(sub_valid, sub_view, 0)], 0.0
+        )
+        distance = np.where(
+            sub_valid, ctx.geometry.boundary_distance(r_peer), np.inf
+        )
+        j1_cols = np.argmin(distance, axis=1)
+    ctx.cache.update(
+        rows=rows, sub_view=sub_view, sub_valid=sub_valid,
+        j1_cols=j1_cols, a_self=a_self,
+    )
+    return {"rows": len(rows)}
+
+
+def cmd_rank_targets(ctx: ShardContext, offset: int) -> dict:
+    """Resolve j1/j2 (central uniform blocks) and publish the UPD
+    targets with their senders' attributes (lines 8-14)."""
+    rows = ctx.cache["rows"]
+    count = len(rows)
+    if count == 0:
+        return {}
+    sub_view, sub_valid = ctx.cache["sub_view"], ctx.cache["sub_valid"]
+    j1_cols = ctx.cache["j1_cols"]
+    if j1_cols is None:  # boundary_bias=False ablation: j1 is random too
+        j1_cols = _random_valid_column_from(
+            sub_valid, ctx.scratch["u1"][offset : offset + count]
+        )
+    j2_cols = _random_valid_column_from(
+        sub_valid, ctx.scratch["u2"][offset : offset + count]
+    )
+    sub_rows = np.arange(count)
+    ctx.scratch["tgt1"][ctx.lo : ctx.lo + count] = sub_view[sub_rows, j1_cols]
+    ctx.scratch["tgt2"][ctx.lo : ctx.lo + count] = sub_view[sub_rows, j2_cols]
+    ctx.scratch["sattr"][ctx.lo : ctx.lo + count] = ctx.cache["a_self"][rows]
+    return {}
+
+
+def cmd_rank_apply(ctx: ShardContext, total: int, window, window_exact: bool) -> dict:
+    """Deliver the UPD messages landing on this shard's rows (global
+    order preserved, so the float accumulation is bitwise identical to
+    the single-process scatter-add), then recompute estimates."""
+    state = ctx.state
+    live = ctx.cache["live"]
+    if total:
+        targets = ctx.scratch["targets"][: 2 * total]
+        senders = ctx.scratch["senders"][: 2 * total]
+        mine = (targets >= ctx.lo) & (targets < ctx.hi)
+        targets, senders = targets[mine], senders[mine]
+        upd_le = (senders <= state.attribute[targets]).astype(np.float64)
+        if window_exact:
+            window_push(state, targets, upd_le)
+        else:
+            np.add.at(state.obs_total, targets, 1.0)
+            np.add.at(state.obs_le, targets, upd_le)
+    if len(live) == 0:
+        return {}
+    if window is not None and not window_exact:
+        totals = state.obs_total[live]
+        over = totals > window
+        if over.any():
+            factor = window / totals[over]
+            rows_over = live[over]
+            state.obs_le[rows_over] *= factor
+            state.obs_total[rows_over] = float(window)
+    totals = state.obs_total[live]
+    observed = totals > 0
+    rows_obs = live[observed]
+    state.value[rows_obs] = state.obs_le[rows_obs] / totals[observed]
+    return {}
+
+
+# ----------------------------------------------------------------------
+# Ordering round
+# ----------------------------------------------------------------------
+
+
+def cmd_ord_select(ctx: ShardContext, selection: str, offset: int) -> dict:
+    """Evaluate the misplacement predicate, pick gossip partners, and
+    publish this shard's REQ proposals (Section 4, per variant)."""
+    state = ctx.state
+    live = ctx.cache["live"]
+    if len(live) == 0:
+        return {"props": 0, "intended": 0}
+    view = state.view_ids[live]
+    valid = _valid_slots(state, view)
+    safe = np.where(valid, view, 0)
+    a_self = state.attribute[live][:, None]
+    r_self = state.value[live][:, None]
+    a_peer = np.where(valid, state.attribute[safe], np.inf)
+    r_peer = np.where(valid, state.value[safe], np.inf)
+    misplaced = valid & ((a_peer - a_self) * (r_peer - r_self) < 0.0)
+
+    if selection == SELECTION_RANDOM:
+        rows = valid.any(axis=1)
+        cols = _random_valid_column_from(
+            valid, ctx.scratch["u1"][offset : offset + len(live)]
+        )
+        intended = misplaced[np.arange(len(live)), cols]
+    elif selection == SELECTION_RANDOM_MISPLACED:
+        rows = misplaced.any(axis=1)
+        cols = _random_valid_column_from(
+            misplaced, ctx.scratch["u1"][offset : offset + len(live)]
+        )
+        intended = rows.copy()
+    else:
+        rows = misplaced.any(axis=1)
+        cols = _max_gain_columns(live, view, valid, misplaced, state)
+        intended = rows.copy()
+
+    initiators = live[rows]
+    targets = view[np.arange(len(live)), cols][rows]
+    intended = intended[rows]
+    ctx.scratch["prop_a"][ctx.lo : ctx.lo + len(initiators)] = initiators
+    ctx.scratch["prop_b"][ctx.lo : ctx.lo + len(targets)] = targets
+    ctx.scratch["prop_x"][ctx.lo : ctx.lo + len(intended)] = intended
+    return {"props": len(initiators), "intended": int(intended.sum())}
+
+
+def cmd_ord_swap(ctx: ShardContext, offset: int, count: int) -> dict:
+    """One wave of REQ/ACK exchanges: re-check the predicate at
+    processing time, swap random values atomically (Figure 2)."""
+    if count == 0:
+        return {"swapped": 0, "unsuccessful": 0}
+    state = ctx.state
+    side_i = ctx.scratch["wave_a"][offset : offset + count]
+    side_j = ctx.scratch["wave_b"][offset : offset + count]
+    wave_intended = ctx.scratch["wave_x"][offset : offset + count].astype(bool)
+    a_i, r_i = state.attribute[side_i], state.value[side_i]
+    a_j, r_j = state.attribute[side_j], state.value[side_j]
+    swap = (a_j - a_i) * (r_j - r_i) < 0.0
+    state.value[side_i[swap]] = r_j[swap]
+    state.value[side_j[swap]] = r_i[swap]
+    return {
+        "swapped": int(swap.sum()),
+        "unsuccessful": int((wave_intended & ~swap).sum()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Bulk metrics (tree reduction)
+# ----------------------------------------------------------------------
+
+
+def cmd_metric_prepare(ctx: ShardContext, column: str) -> dict:
+    """Sort this shard's live ``(column, id)`` pairs for the rank merge."""
+    state = ctx.state
+    live = ctx.live_rows()
+    keys = np.asarray(getattr(state, column)[live], dtype=np.float64)
+    order = np.lexsort((live, keys))
+    ctx.cache["m_live"] = live
+    ctx.cache["m_order"] = order
+    ctx.cache["m_keys"] = keys[order]
+    ctx.cache["m_ids"] = live[order]
+    return {"count": len(live)}
+
+
+def cmd_metric_write(ctx: ShardContext, offset: int) -> dict:
+    """Publish the sorted pairs to the shared merge buffers."""
+    count = len(ctx.cache["m_keys"])
+    ctx.scratch["mkeys"][offset : offset + count] = ctx.cache["m_keys"]
+    ctx.scratch["mids"][offset : offset + count] = ctx.cache["m_ids"]
+    return {}
+
+
+def cmd_metric_ranks(ctx: ShardContext, segments, own: int, name: str) -> dict:
+    """Merge step: global 1-based ranks of this shard's elements,
+    stored (in live-row order) under ``name`` for the reducers."""
+    rank_sorted = cross_shard_ranks(
+        ctx.cache["m_keys"], ctx.cache["m_ids"], segments, own,
+        ctx.scratch["mkeys"], ctx.scratch["mids"],
+    )
+    ranks = np.empty(len(rank_sorted), dtype=np.int64)
+    ranks[ctx.cache["m_order"]] = rank_sorted + 1
+    ctx.cache[name] = ranks
+    return {}
+
+
+def cmd_metric_sdm(ctx: ShardContext, n_live: int) -> dict:
+    """Partial SDM sum + accuracy count from the alpha ranks."""
+    live = ctx.cache["m_live"]
+    if len(live) == 0:
+        return {"sdm": 0.0, "accurate": 0, "n": 0}
+    geometry = ctx.geometry
+    alpha = ctx.cache["alpha"]
+    truth = geometry.index_of(alpha / n_live)
+    believed = geometry.index_of(ctx.state.value[live])
+    return {
+        "sdm": float(geometry.slice_distance(truth, believed).sum()),
+        "accurate": int((truth == believed).sum()),
+        "n": len(live),
+    }
+
+
+def cmd_metric_gdm(ctx: ShardContext) -> dict:
+    """Partial sum of squared rank displacements (GDM numerator)."""
+    alpha = ctx.cache["alpha"].astype(np.float64)
+    rho = ctx.cache["rho"].astype(np.float64)
+    return {"sq": float(((alpha - rho) ** 2).sum()), "n": len(alpha)}
+
+
+def cmd_metric_confident(ctx: ShardContext, z: float) -> dict:
+    """Partial Theorem-5.1 confidence count over this shard's rows."""
+    state = ctx.state
+    live = ctx.live_rows()
+    if len(live) == 0:
+        return {"confident": 0, "n": 0}
+    mask = vmetrics.confident_mask(
+        state.value[live], state.obs_total[live], ctx.geometry, z
+    )
+    return {"confident": int(mask.sum()), "n": len(live)}
+
+
+def cmd_metric_slice_sizes(ctx: ShardContext) -> dict:
+    """Partial claimed-membership histogram."""
+    state = ctx.state
+    live = ctx.live_rows()
+    believed = ctx.geometry.index_of(state.value[live])
+    counts = np.bincount(believed, minlength=len(ctx.geometry))
+    return {"counts": [int(c) for c in counts]}
+
+
+def cmd_ping(ctx: ShardContext) -> dict:
+    return {"lo": ctx.lo, "hi": ctx.hi}
+
+
+DISPATCH = {
+    "refresh_age": cmd_refresh_age,
+    "write_live": cmd_write_live,
+    "refresh_fill": cmd_refresh_fill,
+    "refresh_partners": cmd_refresh_partners,
+    "refresh_swap": cmd_refresh_swap,
+    "rank_fold": cmd_rank_fold,
+    "rank_targets": cmd_rank_targets,
+    "rank_apply": cmd_rank_apply,
+    "ord_select": cmd_ord_select,
+    "ord_swap": cmd_ord_swap,
+    "metric_prepare": cmd_metric_prepare,
+    "metric_write": cmd_metric_write,
+    "metric_ranks": cmd_metric_ranks,
+    "metric_sdm": cmd_metric_sdm,
+    "metric_gdm": cmd_metric_gdm,
+    "metric_confident": cmd_metric_confident,
+    "metric_slice_sizes": cmd_metric_slice_sizes,
+    "ping": cmd_ping,
+}

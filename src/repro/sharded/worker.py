@@ -1,0 +1,75 @@
+"""Worker-process entry point for the sharded backend.
+
+A worker attaches to the driver's shared-memory state blocks, builds a
+full-array :class:`~repro.vectorized.state.ArrayState` view plus a
+:class:`~repro.sharded.kernels.ShardContext` for its row range, and
+then serves commands over its pipe until told to stop.  Commands are
+small control tuples — all bulk data rides in shared memory — so a
+cycle's IPC cost is a handful of sub-millisecond round trips.
+
+Message format (driver -> worker)::
+
+    (command, payload_dict, remaps, size, maybe_dead_entries)
+
+``remaps`` are scratch re-attachment notices (see
+:class:`~repro.sharded.shm.SharedScratch`); ``size`` and
+``maybe_dead_entries`` replicate the driver's state metadata, which
+only the driver mutates (churn is planned centrally).  The worker
+replies ``("ok", result_dict)`` or ``("err", traceback_text)``; a
+``None`` message shuts it down.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.sharded.kernels import DISPATCH, ShardContext
+from repro.sharded.shm import SharedBlock, WorkerScratch
+from repro.vectorized.metrics import PartitionArrays
+from repro.vectorized.state import ArrayState
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn, init: dict) -> None:
+    """Serve shard commands until the pipe closes or sends ``None``."""
+    blocks = {
+        name: SharedBlock(shape, dtype, name=shm_name, create=False)
+        for name, (shm_name, shape, dtype) in init["blocks"].items()
+    }
+    state = ArrayState.from_arrays(
+        init["view_size"],
+        {name: block.array for name, block in blocks.items()},
+        size=init["size"],
+        window=init["window"],
+        fixed_capacity=True,
+    )
+    geometry = PartitionArrays(init["partition"])
+    scratch = WorkerScratch()
+    ctx = ShardContext(state, init["lo"], init["hi"], geometry, scratch)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message is None:
+                break
+            command, payload, remaps, size, maybe_dead = message
+            try:
+                scratch.apply_remaps(remaps)
+                if state.size != size:
+                    state.size = size
+                    state._live_dirty = True
+                state.maybe_dead_entries = maybe_dead
+                conn.send(("ok", DISPATCH[command](ctx, **payload)))
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        # Release views before unmapping, then unmap (driver unlinks).
+        ctx.cache.clear()
+        scratch.close()
+        state = None
+        for block in blocks.values():
+            block.close()
+        conn.close()

@@ -55,8 +55,19 @@ def _random_valid_column(
 
     Rows without any valid column return 0; callers mask them out.
     """
+    return _random_valid_column_from(valid, rng.random(len(valid)))
+
+
+def _random_valid_column_from(
+    valid: np.ndarray, uniforms: np.ndarray
+) -> np.ndarray:
+    """:func:`_random_valid_column` over pre-drawn per-row uniforms —
+    the sharded backend draws one global block and hands each shard its
+    slice, so any worker count consumes the stream identically."""
+    if len(valid) == 0:
+        return np.empty(0, dtype=np.int64)
     counts = valid.sum(axis=1)
-    picks = (rng.random(len(valid)) * np.maximum(counts, 1)).astype(np.int64)
+    picks = (uniforms * np.maximum(counts, 1)).astype(np.int64)
     if counts.min() == valid.shape[1]:  # all slots valid: direct pick
         return picks
     cumulative = np.cumsum(valid, axis=1)

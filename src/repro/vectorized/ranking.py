@@ -14,14 +14,17 @@ active thread of :class:`~repro.core.ranking.RankingProtocol`:
    passive thread, lines 17-21);
 4. recompute every estimate as ``l / g`` (lines 15-16).
 
-The sliding-window variant (Section 5.3.4) is approximated by
-*rescaling*: once a node's counter total exceeds ``window``, both
-counters are scaled down to hold it there, so each cycle's new
-observations carry weight ``~1/window`` and older observations decay
-geometrically.  That matches the exact FIFO window's effective sample
-size and its tracking behaviour under attribute-correlated churn,
-without per-node bit buffers; the equivalence tests compare the two
-implementations' disorder trajectories.
+The sliding-window variant (Section 5.3.4) keeps, per node, only the
+last ``window`` comparison outcomes.  The default implementation is
+*exact*: each node owns a bit-packed circular buffer of ``window``
+bits (``~window/8`` bytes/node, see :func:`window_push`), matching the
+reference :class:`~repro.core.estimators.SlidingWindowRankEstimator`'s
+FIFO semantics.  ``window_approx=True`` opts into the cheaper
+*rescaling* approximation instead: once a node's counter total exceeds
+``window``, both counters are scaled down to hold it there, so each
+cycle's new observations carry weight ``~1/window`` and older
+observations decay geometrically — no per-node buffers, but only an
+effective-sample-size equivalent of the true window.
 """
 
 from __future__ import annotations
@@ -34,7 +37,73 @@ from repro.vectorized.metrics import PartitionArrays
 from repro.vectorized.ordering import _random_valid_column, _valid_slots
 from repro.vectorized.state import EMPTY, ArrayState
 
-__all__ = ["ranking_round"]
+__all__ = ["ranking_round", "window_push", "window_fold"]
+
+
+def window_push(state: ArrayState, ids: np.ndarray, bits: np.ndarray) -> None:
+    """Append one comparison outcome per event to each node's exact
+    sliding window, evicting the oldest outcome once the window is
+    full, and update ``obs_le`` / ``obs_total`` to the exact in-window
+    counts.
+
+    ``ids`` may repeat (a node receiving several ``UPD`` messages in
+    one cycle); repeated events apply in array order, exactly as the
+    reference estimator observes them one at a time.  Per-node results
+    depend only on that node's own events, so shards may push disjoint
+    row subsets of a global event list concurrently and bitwise agree
+    with a single global push.
+    """
+    window = state.window
+    if window is None:
+        raise RuntimeError("window_push needs enable_window() first")
+    if len(ids) == 0:
+        return
+    order = np.argsort(ids, kind="stable")
+    sid = np.asarray(ids, dtype=np.int64)[order]
+    sbit = np.asarray(bits)[order].astype(np.uint8)
+    starts = np.flatnonzero(np.concatenate(([True], sid[1:] != sid[:-1])))
+    counts = np.diff(np.append(starts, len(sid)))
+    nodes = sid[starts]
+    # Sequential index j of each event within its node's stream.
+    j = np.arange(len(sid)) - np.repeat(starts, counts)
+    # A node given more than `window` events keeps only the last
+    # `window` of them — earlier ones would be fully evicted by the end
+    # of the call anyway, and dropping them keeps the written slots
+    # distinct (one read-modify-write per slot).
+    drop = np.repeat(np.maximum(counts - window, 0), counts)
+    keep = j >= drop
+    if not keep.all():
+        sid, sbit, j = sid[keep], sbit[keep], j[keep]
+    pos0 = state.win_pos[sid]
+    len0 = state.win_len[sid]
+    slot = (pos0 + j) % window
+    # Slot (pos + j) % window held a live outcome before this call iff
+    # j % window falls in the occupied suffix [window - len, window).
+    evicts = (j % window) >= (window - len0)
+    byte = sid * state.win_bits.shape[1] + (slot >> 3)
+    bitpos = (slot & 7).astype(np.uint8)
+    flat = state.win_bits.reshape(-1)
+    old = (flat[byte] >> bitpos) & 1
+    delta = sbit.astype(np.float64) - np.where(evicts, old, 0)
+    np.add.at(state.obs_le, sid, delta)
+    np.bitwise_and.at(flat, byte, ~(np.uint8(1) << bitpos))
+    setter = sbit == 1
+    np.bitwise_or.at(flat, byte[setter], np.uint8(1) << bitpos[setter])
+    # Advance each node's ring by its *original* event count.
+    state.win_len[nodes] = np.minimum(state.win_len[nodes] + counts, window)
+    state.win_pos[nodes] = (state.win_pos[nodes] + counts) % window
+    state.obs_total[nodes] = state.win_len[nodes]
+
+
+def window_fold(
+    state: ArrayState, rows: np.ndarray, valid: np.ndarray, le_bits: np.ndarray
+) -> None:
+    """Push each row's valid view-slot comparisons (lines 5-7) into the
+    exact window, in row-major slot order."""
+    counts = valid.sum(axis=1)
+    if counts.sum() == 0:
+        return
+    window_push(state, np.repeat(rows, counts), le_bits[valid])
 
 
 def ranking_round(
@@ -44,6 +113,7 @@ def ranking_round(
     boundary_bias: bool = True,
     window: Optional[int] = None,
     stats=None,
+    window_exact: bool = False,
 ) -> None:
     """One batched active round of the ranking algorithm."""
     live = state.live_ids()
@@ -57,9 +127,12 @@ def ranking_round(
     a_peer = state.attribute[safe]
 
     # Lines 5-7: fold the view into the counters (invalid slots excluded).
-    le = (valid & (a_peer <= a_self[:, None])).sum(axis=1).astype(np.float64)
-    state.obs_le[live] += le
-    state.obs_total[live] += valid.sum(axis=1)
+    le_bits = valid & (a_peer <= a_self[:, None])
+    if window_exact:
+        window_fold(state, live, valid, le_bits)
+    else:
+        state.obs_le[live] += le_bits.sum(axis=1).astype(np.float64)
+        state.obs_total[live] += valid.sum(axis=1)
 
     # Lines 8-12: target selection over nodes that have neighbors.
     rows = np.flatnonzero(has_neighbors)
@@ -82,18 +155,19 @@ def ranking_round(
         )
         senders_attr = np.tile(a_self[rows], 2)
 
-        # Lines 13-14 + 17-21: one-way UPD delivery as scatter-adds.
-        np.add.at(state.obs_total, targets, 1.0)
-        np.add.at(
-            state.obs_le,
-            targets,
-            (senders_attr <= state.attribute[targets]).astype(np.float64),
-        )
+        # Lines 13-14 + 17-21: one-way UPD delivery as scatter-adds
+        # (or, in exact-window mode, as window events).
+        upd_le = (senders_attr <= state.attribute[targets]).astype(np.float64)
+        if window_exact:
+            window_push(state, targets, upd_le)
+        else:
+            np.add.at(state.obs_total, targets, 1.0)
+            np.add.at(state.obs_le, targets, upd_le)
         if stats is not None:
             stats.note_round(messages=len(targets), intended=0)
 
-    # Sliding-window approximation: cap the effective sample count.
-    if window is not None:
+    # Rescaling approximation: cap the effective sample count.
+    if window is not None and not window_exact:
         totals = state.obs_total[live]
         over = totals > window
         if over.any():

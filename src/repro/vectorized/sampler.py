@@ -36,16 +36,24 @@ _NEVER = -1  # age sentinel: slot cannot be chosen as partner
 
 
 def _oldest_columns(
-    ids: np.ndarray, ages: np.ndarray, rng: np.random.Generator
+    ids: np.ndarray,
+    ages: np.ndarray,
+    rng: np.random.Generator = None,
+    jitter: np.ndarray = None,
 ) -> np.ndarray:
     """Per row, the column of the oldest occupied slot (random ties).
 
     Rows with no occupied slot return column 0; callers must mask them
-    via ``ids[row, col] == EMPTY``.
+    via ``ids[row, col] == EMPTY``.  The tie-break jitter is drawn from
+    ``rng`` unless a pre-drawn float32 block of the same shape is given
+    (the sharded backend draws one central block and hands each shard
+    its row slice).
     """
     key = np.where(ids == EMPTY, _NEVER, ages).astype(np.float32)
+    if jitter is None:
+        jitter = rng.random(ids.shape, dtype=np.float32)
     # Random tie-break: jitter in (0, 1) cannot reorder distinct ages.
-    key += rng.random(ids.shape, dtype=np.float32) * (key > _NEVER)
+    key += jitter * (key > _NEVER)
     return np.argmax(key, axis=1)
 
 

@@ -20,9 +20,10 @@ Two API surfaces are exposed:
 
 Limitations compared to the reference engine: only the atomic-exchange
 concurrency model (``concurrency="none"``) and the Cyclon-variant /
-uniform-oracle samplers are supported, and the sliding-window ranking
-variant uses the rescaling approximation documented in
-:mod:`repro.vectorized.ranking`.
+uniform-oracle samplers are supported.  The sliding-window ranking
+variant keeps an exact bit-packed window by default; pass
+``window_approx=True`` for the cheaper rescaling approximation
+documented in :mod:`repro.vectorized.ranking`.
 """
 
 from __future__ import annotations
@@ -184,6 +185,12 @@ class VectorSimulation:
         reference :class:`~repro.churn.models.ChurnModel` (converted to
         bulk form when possible, else driven through the compatibility
         API).
+    window_approx:
+        ``"ranking-window"`` keeps an exact bit-packed sliding window
+        per node by default (~window/8 bytes/node).  ``True`` opts into
+        the counter-rescaling approximation instead — no per-node
+        buffers, matching window-sized effective sample counts but not
+        the exact FIFO semantics.
     concurrency:
         Only ``"none"`` is supported — the vectorized engine models
         atomic exchanges.
@@ -204,6 +211,7 @@ class VectorSimulation:
         view_size: int = 20,
         sampler: str = "cyclon-variant",
         churn=None,
+        window_approx: bool = False,
         concurrency: Union[str, float] = "none",
         seed: int = 0,
         trace: TraceLog = NULL_TRACE,
@@ -231,6 +239,7 @@ class VectorSimulation:
         self.geometry = vmetrics.PartitionArrays(partition)
         self.protocol = protocol
         self.window = window if protocol == "ranking-window" else None
+        self.window_exact = self.window is not None and not window_approx
         self.boundary_bias = boundary_bias
         self.sampler = sampler
         self.trace = trace
@@ -242,7 +251,9 @@ class VectorSimulation:
         self._np_rngs = {}
         self._seed = seed
 
-        self.state = ArrayState(view_size, capacity=size)
+        self.state = self._make_state(view_size, size)
+        if self.window_exact and self.state.window is None:
+            self.state.enable_window(self.window)
         attribute_values = self._draw_attributes(size, attributes)
         values = self._draw_initial_values(size)
         self.state.add_nodes(attribute_values, values, joined_at=0)
@@ -250,6 +261,11 @@ class VectorSimulation:
 
         self.churn = churn
         self._bulk_churn = bulk_churn.from_model(churn) if churn is not None else None
+
+    def _make_state(self, view_size: int, size: int) -> ArrayState:
+        """State allocation hook: the sharded backend overrides this to
+        lay the same columns out in shared memory."""
+        return ArrayState(view_size, capacity=size)
 
     # ------------------------------------------------------------------
     # Random streams
@@ -340,6 +356,7 @@ class VectorSimulation:
                 boundary_bias=self.boundary_bias,
                 window=self.window,
                 stats=self._stats,
+                window_exact=self.window_exact,
             )
         else:
             ordering_round(

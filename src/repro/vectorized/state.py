@@ -26,12 +26,54 @@ these arrays — the property that makes 10^6-node runs tractable.
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Tuple
+
 import numpy as np
 
-__all__ = ["ArrayState", "EMPTY"]
+__all__ = ["ArrayState", "EMPTY", "COLUMNS", "WINDOW_COLUMNS", "column_spec"]
 
 #: Sentinel id marking an empty view slot.
 EMPTY = -1
+
+#: The always-present columns: attribute name -> (dtype, per-row width).
+#: Width 1 means a flat ``(capacity,)`` array; ``"view"`` means
+#: ``(capacity, view_size)``.  The sharded backend uses this table to
+#: lay the same state out in shared memory.
+COLUMNS = {
+    "attribute": (np.float64, 1),
+    "value": (np.float64, 1),
+    "alive": (np.bool_, 1),
+    "joined_at": (np.int64, 1),
+    "obs_le": (np.float64, 1),
+    "obs_total": (np.float64, 1),
+    "view_ids": (np.int64, "view"),
+    "view_ages": (np.int32, "view"),
+}
+
+#: Extra columns of the exact sliding-window variant (``enable_window``):
+#: bit-packed observation ring buffers plus per-node write position and
+#: fill level.  ``"window"`` means ``(capacity, ceil(window / 8))``.
+WINDOW_COLUMNS = {
+    "win_bits": (np.uint8, "window"),
+    "win_pos": (np.int64, 1),
+    "win_len": (np.int64, 1),
+}
+
+
+def column_spec(
+    view_size: int, window: Optional[int] = None
+) -> Dict[str, Tuple[np.dtype, int]]:
+    """Resolve :data:`COLUMNS` (plus window columns when ``window`` is
+    given) into ``name -> (dtype, row_width)`` with concrete widths."""
+    spec = {}
+    for table in (COLUMNS,) if window is None else (COLUMNS, WINDOW_COLUMNS):
+        for name, (dtype, width) in table.items():
+            if width == "view":
+                width = view_size
+            elif width == "window":
+                width = (window + 7) // 8
+            spec[name] = (np.dtype(dtype), width)
+    return spec
 
 
 class ArrayState:
@@ -59,12 +101,70 @@ class ArrayState:
         self.obs_total = np.zeros(capacity, dtype=np.float64)
         self.view_ids = np.full((capacity, view_size), EMPTY, dtype=np.int64)
         self.view_ages = np.zeros((capacity, view_size), dtype=np.int32)
+        # Sliding-window columns (absent until enable_window).
+        self.window: Optional[int] = None
+        self.win_bits: Optional[np.ndarray] = None
+        self.win_pos: Optional[np.ndarray] = None
+        self.win_len: Optional[np.ndarray] = None
+        # Fixed-capacity states (shared-memory shards) cannot grow.
+        self.fixed_capacity = False
         self._live_cache: np.ndarray = np.empty(0, dtype=np.int64)
         self._live_dirty = True
         # True while some view may still hold a pointer to a dead node;
         # cleared by purge_dead_entries so protocol rounds can skip the
         # per-slot liveness gather in the (common) churn-free steady state.
         self.maybe_dead_entries = False
+
+    @classmethod
+    def from_arrays(
+        cls,
+        view_size: int,
+        arrays: Dict[str, np.ndarray],
+        size: int,
+        window: Optional[int] = None,
+        fixed_capacity: bool = True,
+    ) -> "ArrayState":
+        """Build a state over externally allocated column arrays (e.g.
+        ``multiprocessing.shared_memory`` views).  The arrays are
+        adopted, not copied, so several processes holding views of the
+        same buffers observe one shared state.  ``fixed_capacity``
+        states refuse to grow (the buffers cannot be resized in place).
+        """
+        state = cls.__new__(cls)
+        state.view_size = int(view_size)
+        state.size = int(size)
+        for name in COLUMNS:
+            setattr(state, name, arrays[name])
+        state.window = window
+        if window is not None:
+            for name in WINDOW_COLUMNS:
+                setattr(state, name, arrays[name])
+        else:
+            state.win_bits = state.win_pos = state.win_len = None
+        state.fixed_capacity = fixed_capacity
+        state._live_cache = np.empty(0, dtype=np.int64)
+        state._live_dirty = True
+        state.maybe_dead_entries = False
+        return state
+
+    def enable_window(self, window: int) -> None:
+        """Allocate the exact sliding-window columns: a bit-packed ring
+        buffer of the last ``window`` comparison outcomes per node
+        (``ceil(window / 8)`` bytes/node) plus write position and fill
+        level.  See :func:`repro.vectorized.ranking.window_push`."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if self.window is not None:
+            if self.window != window:
+                raise ValueError(
+                    f"window already enabled at {self.window}, got {window}"
+                )
+            return
+        self.window = int(window)
+        nbytes = (window + 7) // 8
+        self.win_bits = np.zeros((self.capacity, nbytes), dtype=np.uint8)
+        self.win_pos = np.zeros(self.capacity, dtype=np.int64)
+        self.win_len = np.zeros(self.capacity, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -95,6 +195,12 @@ class ArrayState:
     def _ensure_capacity(self, rows: int) -> None:
         if rows <= self.capacity:
             return
+        if self.fixed_capacity:
+            raise RuntimeError(
+                f"state is at its fixed capacity of {self.capacity} rows "
+                f"({rows} needed); shared-memory shards cannot grow — "
+                "construct the simulation with a larger spare_capacity"
+            )
         new_capacity = max(rows, 2 * self.capacity)
         grow = new_capacity - self.capacity
         self.attribute = np.concatenate([self.attribute, np.zeros(grow)])
@@ -111,6 +217,16 @@ class ArrayState:
         self.view_ages = np.concatenate(
             [self.view_ages, np.zeros((grow, self.view_size), dtype=np.int32)]
         )
+        if self.window is not None:
+            self.win_bits = np.concatenate(
+                [self.win_bits, np.zeros((grow, self.win_bits.shape[1]), np.uint8)]
+            )
+            self.win_pos = np.concatenate(
+                [self.win_pos, np.zeros(grow, dtype=np.int64)]
+            )
+            self.win_len = np.concatenate(
+                [self.win_len, np.zeros(grow, dtype=np.int64)]
+            )
 
     def add_nodes(
         self,
@@ -135,6 +251,10 @@ class ArrayState:
         self.obs_total[ids] = 0.0
         self.view_ids[ids] = EMPTY
         self.view_ages[ids] = 0
+        if self.window is not None:
+            self.win_bits[ids] = 0
+            self.win_pos[ids] = 0
+            self.win_len[ids] = 0
         self.size += count
         self._live_dirty = True
         return ids
@@ -193,13 +313,39 @@ class ArrayState:
         live = self.live_ids()
         if len(live) < 2:
             return
-        view = self.view_ids[: self.size]
-        empty_rows, empty_cols = np.nonzero(view == EMPTY)
-        alive_rows = self.alive[empty_rows]
-        empty_rows, empty_cols = empty_rows[alive_rows], empty_cols[alive_rows]
+        empty_rows, empty_cols = self.empty_live_slots()
         if len(empty_rows) == 0:
             return
-        draws = live[rng.integers(0, len(live), size=len(empty_rows))]
+        picks = rng.integers(0, len(live), size=len(empty_rows))
+        self.apply_fill(empty_rows, empty_cols, live[picks])
+
+    def empty_live_slots(
+        self, lo: int = 0, hi: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, cols)`` of the empty view slots of live nodes in the
+        row range ``[lo, hi)``, in row-major order — so per-shard results
+        concatenated in shard order equal the whole-state result."""
+        hi = self.size if hi is None else min(hi, self.size)
+        if hi <= lo:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        view = self.view_ids[lo:hi]
+        empty_rows, empty_cols = np.nonzero(view == EMPTY)
+        empty_rows = empty_rows + lo
+        alive_rows = self.alive[empty_rows]
+        return empty_rows[alive_rows], empty_cols[alive_rows]
+
+    def apply_fill(
+        self, empty_rows: np.ndarray, empty_cols: np.ndarray, draws: np.ndarray
+    ) -> None:
+        """Write bootstrap draws into the given empty slots, dropping
+        self-pointers and blanking duplicates (the second half of
+        :meth:`fill_empty_slots`; ``draws`` are node ids).  Touches only
+        the rows named in ``empty_rows``, so shards may apply their own
+        slice of a global draw block concurrently."""
+        if len(empty_rows) == 0:
+            return
+        draws = draws.copy()
         draws[draws == empty_rows] = EMPTY  # no self-pointers
         self.view_ids[empty_rows, empty_cols] = draws
         self.view_ages[empty_rows, empty_cols] = 0

@@ -1,0 +1,172 @@
+"""ShardedSimulation driver behaviour: service seam, distributed
+metrics, capacity limits, and resource lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.churn.models import RegularChurn
+from repro.core.service import SlicingService
+from repro.core.slices import SlicePartition
+from repro.sharded import ShardedSimulation
+from repro.sharded.shm import SharedScratch
+from repro.vectorized import metrics as vmetrics
+
+
+def make_sim(workers, size=240, protocol="ranking", **kwargs):
+    return ShardedSimulation(
+        size=size, partition=SlicePartition.equal(8), protocol=protocol,
+        view_size=8, seed=9, workers=workers, **kwargs,
+    )
+
+
+class TestDistributedMetrics:
+    """The tree-reduction metrics must equal the central computations
+    on the same arrays."""
+
+    @pytest.fixture(scope="class")
+    def pooled(self):
+        sim = make_sim(workers=3)
+        sim.run(5)
+        yield sim
+        sim.close()
+
+    def test_slice_disorder_matches_central(self, pooled):
+        live = pooled.state.live_ids()
+        central = vmetrics.slice_disorder_arrays(
+            pooled.state.attribute[live], pooled.state.value[live],
+            live, pooled.geometry,
+        )
+        assert pooled.slice_disorder() == pytest.approx(central, abs=1e-9)
+
+    def test_accuracy_matches_central(self, pooled):
+        live = pooled.state.live_ids()
+        central = vmetrics.accuracy_arrays(
+            pooled.state.attribute[live], pooled.state.value[live],
+            live, pooled.geometry,
+        )
+        assert pooled.accuracy() == pytest.approx(central, abs=1e-12)
+
+    def test_global_disorder_matches_central(self, pooled):
+        live = pooled.state.live_ids()
+        central = vmetrics.global_disorder_arrays(
+            pooled.state.attribute[live], pooled.state.value[live], live
+        )
+        assert pooled.global_disorder() == pytest.approx(central, rel=1e-12)
+
+    def test_confident_fraction_and_slice_sizes(self, pooled):
+        sizes = pooled.slice_sizes()
+        assert sum(sizes) == pooled.live_count
+        fraction = pooled.confident_fraction()
+        assert 0.0 <= fraction <= 1.0
+
+    def test_rank_merge_breaks_ties_by_id(self):
+        # Duplicate attributes force the cross-shard id tie-break path.
+        attributes = [0.25, 0.75, 0.25, 0.75] * 30
+        sim = make_sim(workers=3, size=120, attributes=attributes)
+        sim.run(3)
+        try:
+            live = sim.state.live_ids()
+            central = vmetrics.slice_disorder_arrays(
+                sim.state.attribute[live], sim.state.value[live],
+                live, sim.geometry,
+            )
+            assert sim.slice_disorder() == pytest.approx(central, abs=1e-9)
+        finally:
+            sim.close()
+
+
+class TestLifecycle:
+    def test_garbage_collection_releases_pool(self):
+        # The finalizer must not be kept alive through its own
+        # arguments: dropping the last user reference has to stop the
+        # workers and release the shared memory.
+        import gc
+        import time
+        import weakref
+
+        sim = make_sim(workers=2, size=120)
+        sim.run(1)
+        processes = list(sim._executor_holder["executor"]._processes)
+        ref = weakref.ref(sim)
+        del sim
+        gc.collect()
+        assert ref() is None, "simulation kept alive by its own finalizer"
+        deadline = time.time() + 5
+        while time.time() < deadline and any(p.is_alive() for p in processes):
+            time.sleep(0.05)
+        assert all(not p.is_alive() for p in processes)
+
+    def test_close_is_idempotent(self):
+        sim = make_sim(workers=2)
+        sim.run(2)
+        sim.close()
+        sim.close()
+
+    def test_context_manager(self):
+        with make_sim(workers=2) as sim:
+            sim.run(2)
+            assert sim.live_count == 240
+
+    def test_spare_capacity_exhaustion_raises(self):
+        churn = RegularChurn(rate=0.2, period=1)
+        sim = make_sim(workers=1, size=100, churn=churn, spare_capacity=10)
+        with pytest.raises(RuntimeError, match="spare_capacity"):
+            sim.run(50)
+        sim.close()
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            make_sim(workers=0)
+
+    def test_scratch_regrows(self):
+        scratch = SharedScratch()
+        first = scratch.ensure("x", np.int64, 8)
+        first[:8] = np.arange(8)
+        second = scratch.ensure("x", np.int64, 5000)
+        assert len(second) >= 5000
+        assert len(scratch.take_remaps()) == 2  # initial map + regrow
+        scratch.close()
+
+
+class TestServiceSeam:
+    def test_service_runs_and_queries(self):
+        with SlicingService(
+            size=200, slices=4, algorithm="ranking", backend="sharded",
+            workers=2, seed=7,
+        ) as service:
+            service.run(4)
+            assert sum(service.slice_sizes()) == 200
+            assert 0.0 <= service.accuracy() <= 1.0
+            assert service.disorder() >= 0.0
+            member = service.members(0)[0]
+            assert service.slice_of(member) == 0
+
+    def test_service_join_leave(self):
+        with SlicingService(
+            size=60, slices=3, backend="sharded", workers=1, seed=2
+        ) as service:
+            newcomer = service.join(attribute=0.99)
+            service.leave(0)
+            service.run(2)
+            assert service.size == 60
+            assert service.slice_of(newcomer) in (0, 1, 2)
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(backend="vectorized", concurrency=0.5), "atomic exchanges"),
+            (dict(backend="reference", workers=4), "single-process"),
+            (dict(backend="sharded", workers=-1), "positive integer"),
+            (dict(backend="bogus"), "unknown backend"),
+        ],
+    )
+    def test_combination_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            SlicingService(size=50, **kwargs)
+
+    def test_validation_names_supported_combinations(self):
+        with pytest.raises(ValueError) as excinfo:
+            SlicingService(size=50, backend="vectorized", concurrency="half")
+        message = str(excinfo.value)
+        assert "backend='reference'" in message
+        assert "backend='sharded'" in message

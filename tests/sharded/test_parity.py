@@ -1,0 +1,156 @@
+"""Cross-backend parity: reference vs vectorized vs sharded.
+
+Two levels of agreement are asserted:
+
+* **bitwise** — the sharded backend plans every random draw centrally
+  (in the vectorized backend's exact stream order) and applies each
+  phase over row-local or wave-disjoint shards, so its arrays must be
+  *identical* to a ``VectorSimulation`` run of the same spec — with
+  ``workers=1`` (the determinism contract of the ISSUE) and with a
+  real multi-process pool alike;
+* **statistical** — all three backends, from one seed, produce the
+  same SDM/accuracy story at n = 1k (the backends draw from different
+  streams, so trajectories can only agree in distribution).
+"""
+
+import numpy as np
+import pytest
+
+from repro.churn.models import RegularChurn
+from repro.core.slices import SlicePartition
+from repro.experiments.config import RunSpec, build_simulation
+from repro.metrics.collectors import SliceDisorderCollector
+from repro.sharded import ShardedSimulation
+from repro.vectorized.simulation import VectorSimulation
+
+STATE_COLUMNS = ("attribute", "value", "alive", "obs_le", "obs_total")
+
+
+def assert_states_identical(sim_a, sim_b):
+    state_a, state_b = sim_a.state, sim_b.state
+    assert state_a.size == state_b.size
+    n = state_a.size
+    for column in STATE_COLUMNS:
+        a = getattr(state_a, column)[:n]
+        b = getattr(state_b, column)[:n]
+        assert np.array_equal(a, b), f"{column} diverged"
+    assert np.array_equal(state_a.view_ids[:n], state_b.view_ids[:n])
+    assert np.array_equal(state_a.view_ages[:n], state_b.view_ages[:n])
+    assert sim_a.bus_stats.sent == sim_b.bus_stats.sent
+    assert sim_a.bus_stats.swaps == sim_b.bus_stats.swaps
+    assert sim_a.bus_stats.unsuccessful_swaps == sim_b.bus_stats.unsuccessful_swaps
+
+
+def paired_runs(protocol, workers, cycles=6, **overrides):
+    partition = SlicePartition.equal(10)
+    kwargs = dict(
+        size=300, partition=partition, protocol=protocol, view_size=8,
+        seed=13, **overrides,
+    )
+    vectorized = VectorSimulation(**kwargs)
+    vectorized.run(cycles)
+    sharded = ShardedSimulation(workers=workers, **kwargs)
+    sharded.run(cycles)
+    return vectorized, sharded
+
+
+class TestWorkersOneBitwise:
+    """`sharded` with workers=1 matches `vectorized` bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "protocol", ["ranking", "mod-jk", "jk", "random-misplaced"]
+    )
+    def test_protocols_identical(self, protocol):
+        vectorized, sharded = paired_runs(protocol, workers=1)
+        assert_states_identical(vectorized, sharded)
+        assert sharded.slice_disorder() == vectorized.slice_disorder()
+        assert sharded.accuracy() == vectorized.accuracy()
+        sharded.close()
+
+    def test_identical_under_correlated_churn(self):
+        churn = RegularChurn(rate=0.01, period=2)
+        vectorized, sharded = paired_runs(
+            "ranking", workers=1, cycles=10, churn=churn
+        )
+        # Churn actually fired: the population turned over.
+        assert vectorized.state.size > 300
+        assert_states_identical(vectorized, sharded)
+        sharded.close()
+
+    def test_identical_with_exact_window(self):
+        vectorized, sharded = paired_runs(
+            "ranking-window", workers=1, window=15
+        )
+        assert_states_identical(vectorized, sharded)
+        state_v, state_s = vectorized.state, sharded.state
+        assert np.array_equal(
+            state_v.win_bits[: state_v.size], state_s.win_bits[: state_s.size]
+        )
+        sharded.close()
+
+    def test_identical_with_uniform_oracle(self):
+        vectorized, sharded = paired_runs("ranking", workers=1, sampler="uniform")
+        assert_states_identical(vectorized, sharded)
+        sharded.close()
+
+
+class TestPoolBitwise:
+    """A real multi-process pool produces the same bits: results are
+    independent of the worker count."""
+
+    def test_pool_matches_vectorized(self):
+        vectorized, sharded = paired_runs("ranking", workers=2)
+        try:
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
+
+    def test_pool_matches_inline_under_churn(self):
+        partition = SlicePartition.equal(10)
+        kwargs = dict(
+            size=250, partition=partition, protocol="mod-jk", view_size=8,
+            seed=5, churn=RegularChurn(rate=0.01, period=2),
+        )
+        inline = ShardedSimulation(workers=1, **kwargs)
+        inline.run(8)
+        with ShardedSimulation(workers=3, **kwargs) as pooled:
+            pooled.run(8)
+            assert_states_identical(inline, pooled)
+        inline.close()
+
+
+class TestCrossBackendStatistical:
+    """SDM/accuracy equivalence of all three backends at n = 1k."""
+
+    @pytest.fixture(scope="class")
+    def curves(self):
+        spec = RunSpec(
+            n=1000, cycles=30, slice_count=10, view_size=10,
+            protocol="ranking", seed=3,
+        )
+        out = {}
+        for backend in ("reference", "vectorized", "sharded"):
+            sim = build_simulation(spec.with_overrides(backend=backend))
+            collector = SliceDisorderCollector(spec.partition())
+            sim.run(spec.cycles, collectors=[collector])
+            out[backend] = (np.array(collector.series.values), sim.live_count)
+            if hasattr(sim, "close"):
+                sim.close()
+        return out
+
+    @pytest.mark.parametrize("backend", ["vectorized", "sharded"])
+    def test_sdm_trajectory_matches_reference(self, curves, backend):
+        reference, _ = curves["reference"]
+        curve, live = curves[backend]
+        assert live == 1000
+        # Same start (uniform initial estimates), same scale throughout,
+        # and monotone improvement — the paper's headline behaviour.
+        assert curve[0] == pytest.approx(reference[0], rel=0.15)
+        for t in (5, 10, 20, 30):
+            assert 0.5 * reference[t] <= curve[t] <= 1.5 * reference[t]
+        assert curve[-1] < 0.5 * curve[5]
+
+    def test_sharded_equals_vectorized_exactly(self, curves):
+        vec, _ = curves["vectorized"]
+        sha, _ = curves["sharded"]
+        assert np.array_equal(vec, sha)
