@@ -8,7 +8,6 @@ misplaced* partner — separates two effects bundled in mod-JK:
 ablation.
 """
 
-import pytest
 
 from repro.experiments.config import RunSpec
 from repro.experiments.figures import _sdm_run

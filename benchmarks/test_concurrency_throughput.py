@@ -1,0 +1,104 @@
+"""Nightly concurrency throughput: half/full overlap at n = 10^6.
+
+The bulk backends model the paper's Section-4.5.2 message overlap in
+batched form (``repro.bulk.concurrency``); the extra phases (overlap
+masks, one-sided flush rounds, deferred ACKs) cost real work, so this
+benchmark records cycles/sec for ``none``/``half``/``full`` at bulk
+scale into ``benchmarks/results/concurrency-throughput.json`` — the
+Figure 4(c)/(d)-at-scale operating point.
+
+Nightly-marked like the scaling ladder::
+
+    python -m pytest benchmarks/test_concurrency_throughput.py -m nightly -q
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.config import RunSpec, build_simulation
+
+pytestmark = pytest.mark.nightly
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "concurrency-throughput.json"
+)
+CORES = os.cpu_count() or 1
+
+
+def record(entry: dict) -> None:
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    existing = []
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            existing = json.load(handle)
+    existing.append(entry)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+def measure(spec: RunSpec, cycles: int):
+    """(cycles/sec, cumulative unsuccessful-swap %) for one regime."""
+    sim = build_simulation(spec)
+    try:
+        started = time.perf_counter()
+        sim.run(cycles)
+        rate = cycles / (time.perf_counter() - started)
+        stats = sim.bus_stats
+        pct = 100.0 * stats.unsuccessful_swaps / max(stats.intended_swaps, 1)
+        return rate, pct
+    finally:
+        if hasattr(sim, "close"):
+            sim.close()
+
+
+class TestConcurrencyThroughput:
+    def test_million_node_overlap_regimes(self, capsys):
+        """mod-JK at n = 10^6 under none/half/full on the vectorized
+        backend, plus a sharded half run: the overlap phases must cost
+        at most a small constant factor."""
+        base = RunSpec(
+            n=1_000_000, slice_count=10, view_size=10, protocol="mod-jk",
+            backend="vectorized",
+        )
+        cycles = 5
+        results = {}
+        for concurrency in ("none", "half", "full"):
+            results[concurrency] = measure(
+                base.with_overrides(concurrency=concurrency), cycles
+            )
+        sharded_rate, _ = measure(
+            base.with_overrides(
+                backend="sharded", workers=min(CORES, 8), concurrency="half"
+            ),
+            cycles,
+        )
+        record(
+            {
+                "benchmark": "concurrency-throughput", "n": 1_000_000,
+                "cores": CORES, "protocol": "mod-jk", "cycles": cycles,
+                "vectorized_cps": {
+                    regime: rate for regime, (rate, _pct) in results.items()
+                },
+                "unsuccessful_pct": {
+                    regime: pct for regime, (_rate, pct) in results.items()
+                },
+                "sharded_half_cps": sharded_rate,
+            }
+        )
+        with capsys.disabled():
+            for regime, (rate, pct) in results.items():
+                print(
+                    f"\nn=1e6 mod-jk {regime:>4s}: {rate:6.3f} cycles/sec, "
+                    f"unsuccessful {pct:5.1f}%"
+                )
+            print(f"n=1e6 mod-jk half (sharded): {sharded_rate:6.3f} cycles/sec")
+        none_rate = results["none"][0]
+        assert all(rate > 0 for rate, _pct in results.values())
+        # Overlap regimes add flush phases but must stay within ~4x.
+        assert results["full"][0] >= none_rate / 4.0
+        # The physics at scale: overlap wastes messages, none does not.
+        assert results["none"][1] == 0.0
+        assert results["full"][1] > results["half"][1] > 0.0

@@ -6,7 +6,6 @@ computation) are visible in the pytest-benchmark table.  Unlike the
 figure benchmarks these use multiple rounds, since they measure time.
 """
 
-import pytest
 
 from repro.core.slices import SlicePartition
 from repro.engine.event_sim import EventSimulation

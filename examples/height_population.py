@@ -14,7 +14,6 @@ protocol has something to do, then print the resulting groups.
 Run:  python examples/height_population.py
 """
 
-import random
 
 from repro import (
     CycleSimulation,

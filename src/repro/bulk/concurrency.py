@@ -1,0 +1,194 @@
+"""The paper's artificial message-overlap model, batched (Section 4.5.2).
+
+The reference engine models concurrency per message: an overlapping
+message carries the sender's state at send time but is applied against
+the receiver's state only after other exchanges of the cycle may have
+modified it — the stale payload can turn an intended swap into an
+*unsuccessful* one-sided swap (:mod:`repro.engine.network`).  The bulk
+backends reproduce the same physics with planned masks:
+
+* every exchange's REQ and ACK message overlaps independently with the
+  plan's probability (1/2 for ``half``, 1 for ``full``);
+* exchanges whose REQ does **not** overlap execute in node-disjoint
+  waves against current state — atomically when the ACK is inline too,
+  responder-side only when the ACK overlaps (the requester's half is
+  deferred with the responder's pre-swap value as the ACK payload);
+* overlapping REQs are flushed afterwards in random order as one-sided
+  deliveries: the responder applies the misplacement predicate between
+  its *current* value and the *stale* payload (the initiator's value
+  at send time) and adopts it when the predicate holds;
+* finally every deferred ACK is delivered, again in random order: the
+  requester applies the predicate against the responder's pre-swap
+  value.  Under full concurrency this reduces to the paper's "every
+  REQ of a cycle is delivered before any ACK".
+
+:func:`run_exchanges` orchestrates those phases once, for both
+backends, over an *applier* that performs the state mutations: the
+:class:`InlineExchangeApplier` applies directly to an
+:class:`~repro.vectorized.state.ArrayState`; the sharded driver's
+applier broadcasts each phase to the shard workers, which call the
+same :func:`wave_exchange` / :func:`deliver_one_sided` primitives on
+their own rows — so both backends execute, bit for bit, the same
+schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "wave_exchange",
+    "deliver_one_sided",
+    "InlineExchangeApplier",
+    "run_exchanges",
+]
+
+
+def wave_exchange(
+    state,
+    side_i: np.ndarray,
+    side_j: np.ndarray,
+    defer_ack: np.ndarray,
+):
+    """One node-disjoint wave of REQ/ACK exchanges.
+
+    Re-checks the misplacement predicate at processing time (Figure 2,
+    lines 10-19).  Pairs whose ACK is inline swap atomically — both
+    sides together, as the reference engine's synchronous delivery
+    does.  Pairs flagged in ``defer_ack`` apply the responder side
+    only; the requester's half happens later, from the returned ACK
+    payload.  Returns ``(swap, ack_payload)`` where ``swap`` is the
+    responder-side outcome and ``ack_payload`` the responder's
+    pre-swap value.
+    """
+    a_i, r_i = state.attribute[side_i], state.value[side_i]
+    a_j, r_j = state.attribute[side_j], state.value[side_j]
+    swap = (a_j - a_i) * (r_j - r_i) < 0.0
+    state.value[side_j[swap]] = r_i[swap]
+    atomic = swap & ~defer_ack
+    state.value[side_i[atomic]] = r_j[atomic]
+    return swap, r_j
+
+
+def deliver_one_sided(
+    state,
+    receivers: np.ndarray,
+    sender_attributes: np.ndarray,
+    payload_values: np.ndarray,
+):
+    """Deliver one receiver-disjoint round of stale messages.
+
+    Each receiver applies the misplacement predicate between its
+    *current* value and the frozen payload, adopting the payload value
+    when it holds — the reference engine's one-sided swap.  Returns
+    ``(swap, pre_values)`` with the receivers' pre-delivery values
+    (the payload of a generated ACK).
+    """
+    a_recv, r_recv = state.attribute[receivers], state.value[receivers]
+    swap = (sender_attributes - a_recv) * (payload_values - r_recv) < 0.0
+    state.value[receivers[swap]] = payload_values[swap]
+    return swap, r_recv
+
+
+class InlineExchangeApplier:
+    """Applies exchange phases directly to an ``ArrayState``.
+
+    Also documents the applier surface :func:`run_exchanges` drives;
+    the sharded driver implements the same three operations by
+    broadcasting each phase to its workers.  Per-exchange outcomes are
+    recorded at the exchange's slot: ``resp_swapped`` / ``req_swapped``
+    (did each side adopt a value) and ``ack_value`` (the responder's
+    pre-swap value, i.e. the ACK payload).
+    """
+
+    def __init__(self, state, n_exchanges: int) -> None:
+        self.state = state
+        self.resp_swapped = np.zeros(n_exchanges, dtype=bool)
+        self.req_swapped = np.zeros(n_exchanges, dtype=bool)
+        self.ack_value = np.zeros(n_exchanges, dtype=np.float64)
+
+    def wave(self, side_i, side_j, defer_ack, slots) -> None:
+        swap, ack = wave_exchange(self.state, side_i, side_j, defer_ack)
+        self.resp_swapped[slots] = swap
+        self.req_swapped[slots] = swap & ~defer_ack
+        self.ack_value[slots] = ack
+
+    def deliver_req(self, receivers, senders, payloads, slots) -> None:
+        swap, pre = deliver_one_sided(
+            self.state, receivers, self.state.attribute[senders], payloads
+        )
+        self.resp_swapped[slots] = swap
+        self.ack_value[slots] = pre
+
+    def deliver_ack(self, receivers, senders, slots) -> None:
+        swap, _pre = deliver_one_sided(
+            self.state,
+            receivers,
+            self.state.attribute[senders],
+            self.ack_value[slots],
+        )
+        self.req_swapped[slots] = swap
+
+    def results(self):
+        return self.resp_swapped, self.req_swapped
+
+
+def run_exchanges(state, plan, initiators, targets, intended, applier, stats):
+    """Execute one cycle's REQ/ACK exchanges under the plan's overlap
+    model (shared by both bulk backends; see the module docstring for
+    the phase semantics).
+
+    ``state`` is only *read* here (send-time payload capture); all
+    mutation goes through the ``applier``.  Swap-outcome accounting
+    lands in ``stats``: ``swaps`` counts exchanges whose responder
+    adopted the requester's value (identical to the atomic pair count
+    when concurrency is off) and ``unsuccessful`` the intended swaps
+    that did not complete on both sides (Figure 4(c)'s numerator).
+    Matching the reference engine, only exchanges touched by an
+    overlapping message can be unsuccessful: an inline REQ/ACK pair is
+    delivered synchronously, so its send-time intent and its
+    processing-time outcome are definitionally the same check.
+    """
+    n = len(initiators)
+    if n == 0:
+        return
+    req_overlap, ack_overlap = plan.exchange_overlap(n)
+    slots = np.arange(n, dtype=np.int64)
+
+    # Overlapping REQs carry the sender's state at send time (fancy
+    # indexing copies, freezing the payload against later swaps).
+    overlapped = np.flatnonzero(req_overlap)
+    req_payload = state.value[initiators[overlapped]]
+
+    # Phase 1: inline REQs execute in node-disjoint waves.
+    inline = ~req_overlap
+    for side_i, side_j, wave_slots in plan.waves(
+        "ordering", initiators[inline], targets[inline], slots[inline], state.size
+    ):
+        applier.wave(side_i, side_j, ack_overlap[wave_slots], wave_slots)
+
+    # Phase 2: flush the overlapping REQs (random order, one-sided).
+    for round_positions in plan.delivery_rounds(targets[overlapped]):
+        idx = overlapped[round_positions]
+        applier.deliver_req(
+            targets[idx],
+            initiators[idx],
+            req_payload[round_positions],
+            idx,
+        )
+
+    # Phase 3: deliver every deferred ACK back to its requester.
+    deferred = np.flatnonzero(req_overlap | ack_overlap)
+    for round_positions in plan.delivery_rounds(initiators[deferred]):
+        idx = deferred[round_positions]
+        applier.deliver_ack(initiators[idx], targets[idx], idx)
+
+    if stats is not None:
+        resp_swapped, req_swapped = applier.results()
+        overlap_touched = req_overlap | ack_overlap
+        completed = resp_swapped & req_swapped
+        stats.note_overlapping(int(req_overlap.sum()) + int(ack_overlap.sum()))
+        stats.note_swaps(
+            swapped=int(resp_swapped.sum()),
+            unsuccessful=int((intended & overlap_touched & ~completed).sum()),
+        )

@@ -1,0 +1,225 @@
+"""One cycle's full random schedule, drawn in canonical stream order.
+
+The bulk backends plan centrally and apply in bulk: every random
+quantity a cycle consumes — churn events, bootstrap view fills,
+partner-selection jitter, protocol uniforms, exchange-wave pairing,
+message-overlap masks, flush delivery order — is produced here, by one
+:class:`CyclePlan` per cycle, in a canonical order.  The vectorized
+backend consumes the planned blocks inline; the sharded driver copies
+them into shared scratch and hands each worker its slice.  Because the
+plan is the *only* code that draws, a sharded run is bitwise identical
+to a vectorized run of the same spec at every worker count.
+
+Canonical per-cycle draw order (streams in parentheses):
+
+1. ``churn``            (churn)        — departure/arrival draws;
+2. ``fill_draws``       (sampler)      — bootstrap view refills;
+3. ``partner_jitter``   (sampler)      — oldest-neighbor tie-breaks;
+4. ``waves('sampler')`` (sampler)      — view-exchange wave priorities;
+5. protocol uniforms    (ranking/ordering) — j1/j2 or partner picks;
+6. overlap masks        (concurrency)  — per-message overlap flags;
+7. exchange waves       (ordering)     — REQ/ACK wave priorities;
+8. delivery rounds      (concurrency)  — flush shuffles.
+
+A plan records every step it serves (:attr:`steps`); the parity tests
+compare traces across backends, which turns "both backends execute the
+same schedule" from a convention into an assertion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bulk.matching import iter_disjoint_waves
+
+__all__ = ["CyclePlan"]
+
+
+class CyclePlan:
+    """The per-cycle schedule both bulk backends consume.
+
+    Parameters
+    ----------
+    rng_of:
+        Callable ``name -> np.random.Generator`` returning the named
+        deterministic substream (the simulation's ``np_rng``).
+    overlap_probability:
+        The paper's artificial-concurrency knob: the probability that
+        any one protocol message is an *overlapping* message
+        (Section 4.5.2).  0 models atomic exchanges; 0.5 and 1.0 are
+        the paper's ``half`` and ``full`` regimes.
+    """
+
+    #: Stream used for overlap masks and flush shuffles.  Separate from
+    #: the protocol streams so a ``concurrency="none"`` run draws
+    #: exactly what it drew before the concurrency model existed.
+    CONCURRENCY_STREAM = "concurrency"
+
+    def __init__(
+        self,
+        rng_of: Callable[[str], np.random.Generator],
+        overlap_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= overlap_probability <= 1.0:
+            raise ValueError(
+                f"overlap probability must be in [0, 1], got {overlap_probability}"
+            )
+        self._rng_of = rng_of
+        self.overlap_probability = float(overlap_probability)
+        #: Trace of plan points served: ``(name, size)`` tuples.
+        self.steps: List[Tuple[str, int]] = []
+
+    def rng(self, name: str) -> np.random.Generator:
+        return self._rng_of(name)
+
+    def _note(self, name: str, size: int) -> None:
+        self.steps.append((name, int(size)))
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+
+    def churn(self, bulk_churn, state, cycle: int):
+        """Apply one cycle of planned churn; returns ``(departed,
+        joined)`` id arrays.  The draw rides the ``churn`` stream."""
+        departed, joined = bulk_churn.apply(state, cycle, self.rng("churn"))
+        self._note("churn", len(departed) + len(joined))
+        return departed, joined
+
+    # ------------------------------------------------------------------
+    # View refresh (the Cyclon-variant membership round)
+    # ------------------------------------------------------------------
+
+    def fill_draws(self, live_total: int, empty_total: int) -> np.ndarray:
+        """Bootstrap refills: one uniform index into the live set per
+        empty view slot (row-major slot order)."""
+        self._note("fill", empty_total)
+        if empty_total == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.rng("sampler").integers(0, live_total, size=empty_total)
+
+    def partner_jitter(self, live_total: int, view_size: int) -> np.ndarray:
+        """Tie-break jitter for the oldest-neighbor choice, one float32
+        per view slot of every live node."""
+        self._note("jitter", live_total * view_size)
+        return self.rng("sampler").random((live_total, view_size), dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # Exchange-wave pairing
+    # ------------------------------------------------------------------
+
+    def waves(
+        self,
+        stream: str,
+        initiators: np.ndarray,
+        targets: np.ndarray,
+        extra: np.ndarray,
+        n_rows: int,
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """The full node-disjoint wave decomposition of a proposal set,
+        materialized.  Wave priorities ride ``stream`` (``sampler`` for
+        view exchanges, ``ordering`` for REQ/ACK exchanges); ``extra``
+        is per-proposal payload carried through unchanged."""
+        self._note(f"waves:{stream}", len(initiators))
+        return [
+            (side_a, side_b, wave_extra)
+            for side_a, side_b, wave_extra in iter_disjoint_waves(
+                initiators, targets, extra, self.rng(stream), n_rows
+            )
+            if len(side_a)
+        ]
+
+    # ------------------------------------------------------------------
+    # Protocol uniforms
+    # ------------------------------------------------------------------
+
+    def ranking_uniforms(
+        self,
+        rows: int,
+        boundary_bias: bool,
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        """The ranking round's target-selection uniforms: ``u1`` for a
+        random ``j1`` (only when the boundary bias is ablated) and
+        ``u2`` for the uniformly random ``j2``."""
+        rng = self.rng("ranking")
+        u1 = None
+        if not boundary_bias:
+            self._note("rank-u1", rows)
+            u1 = rng.random(rows)
+        self._note("rank-u2", rows)
+        return u1, rng.random(rows)
+
+    def ordering_uniforms(self, rows: int) -> np.ndarray:
+        """Per-node partner-pick uniforms for the random ordering
+        selections (JK / random-misplaced)."""
+        self._note("ord-u1", rows)
+        return self.rng("ordering").random(rows)
+
+    # ------------------------------------------------------------------
+    # Concurrency: overlap masks and flush scheduling
+    # ------------------------------------------------------------------
+
+    def exchange_overlap(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-exchange overlap flags for the REQ and the ACK message,
+        each independently overlapping with ``overlap_probability``."""
+        self._note("overlap", n)
+        p = self.overlap_probability
+        if p <= 0.0:
+            zeros = np.zeros(n, dtype=bool)
+            return zeros, zeros
+        if p >= 1.0:
+            return np.ones(n, dtype=bool), np.ones(n, dtype=bool)
+        rng = self.rng(self.CONCURRENCY_STREAM)
+        return rng.random(n) < p, rng.random(n) < p
+
+    def upd_schedule(self, n: int) -> Tuple[Optional[np.ndarray], int]:
+        """Delivery order for the ranking round's one-way ``UPD``
+        messages: overlapping messages are queued behind the inline
+        ones and flushed in random order.  Returns ``(order,
+        overlapping_count)``; ``order=None`` means canonical order
+        (no concurrency)."""
+        self._note("upd-order", n)
+        p = self.overlap_probability
+        if p <= 0.0 or n == 0:
+            return None, 0
+        rng = self.rng(self.CONCURRENCY_STREAM)
+        if p >= 1.0:
+            overlapped = np.ones(n, dtype=bool)
+        else:
+            overlapped = rng.random(n) < p
+        deferred = np.flatnonzero(overlapped)
+        order = np.concatenate(
+            [np.flatnonzero(~overlapped), deferred[rng.permutation(len(deferred))]]
+        )
+        return order, int(overlapped.sum())
+
+    def delivery_rounds(self, receivers: np.ndarray) -> List[np.ndarray]:
+        """Flush scheduling for one-sided message deliveries.
+
+        The reference bus shuffles its queue and delivers sequentially;
+        deliveries to *distinct* receivers commute (payloads are frozen
+        at send time), so the shuffled order is regrouped into
+        *receiver-disjoint rounds*: round ``k`` holds every receiver's
+        ``(k+1)``-th message in shuffle order.  Applying the rounds in
+        sequence reproduces, per receiver, exactly the shuffled
+        sequential outcome, while each round applies as one batched
+        pass.  Rounds are sorted by receiver id so the sharded driver
+        can cut them into contiguous per-shard runs.
+        """
+        receivers = np.asarray(receivers, dtype=np.int64)
+        n = len(receivers)
+        self._note("delivery", n)
+        if n == 0:
+            return []
+        perm = self.rng(self.CONCURRENCY_STREAM).permutation(n)
+        order = np.argsort(receivers[perm], kind="stable")
+        sorted_receivers = receivers[perm][order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_receivers[1:] != sorted_receivers[:-1]))
+        )
+        counts = np.diff(np.append(starts, n))
+        occurrence = np.arange(n) - np.repeat(starts, counts)
+        by_receiver = perm[order]
+        return [by_receiver[occurrence == k] for k in range(int(counts.max()))]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional
+from typing import List
 
 from repro.workloads.attributes import AttributeDistribution
 

@@ -38,7 +38,13 @@ from repro.core.estimators import (
 from repro.core.protocol import MSG_UPD, SlicingProtocol
 from repro.core.slices import SlicePartition
 
-__all__ = ["RankingProtocol"]
+__all__ = ["RankingProtocol", "DEFAULT_WINDOW"]
+
+#: Default sliding-window length of the ``ranking-window`` variant
+#: (the paper's Figure 6(d) setting), shared by every construction
+#: path: the service facade, the experiment specs and both bulk
+#: backends.
+DEFAULT_WINDOW = 10_000
 
 
 class RankingProtocol(SlicingProtocol):

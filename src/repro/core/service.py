@@ -23,13 +23,11 @@ tests use it as the integration point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.sample_size import slice_estimate_is_confident
-from repro.core.ordering import OrderingProtocol
-from repro.core.ranking import RankingProtocol
-from repro.core.slices import Slice, SlicePartition
-from repro.engine.simulator import CycleSimulation
+from repro.core.backends import SimulationBackend, get_backend
+from repro.core.slices import SlicePartition
 from repro.metrics.disorder import slice_disorder, true_slice_indices
 from repro.workloads.attributes import AttributeDistribution
 
@@ -63,6 +61,7 @@ class SlicingService:
     window:
         Sliding-window length for ``"ranking-window"``.
     backend:
+        Name of a registered :class:`~repro.core.backends.BackendSpec`:
         ``"reference"`` (default) runs the object-per-node
         :class:`~repro.engine.simulator.CycleSimulation`;
         ``"vectorized"`` runs the numpy bulk engine
@@ -75,20 +74,13 @@ class SlicingService:
         CPU cores there; the single-process backends accept only
         ``None``/``1``).
     concurrency:
-        The paper's artificial message-overlap model — supported by the
-        reference backend only; the bulk backends model atomic
-        exchanges (``"none"``).
+        The paper's artificial message-overlap model
+        (``"none"``/``"half"``/``"full"`` or an overlap probability) —
+        supported by every backend; the bulk backends run it in
+        batched form (:mod:`repro.bulk.concurrency`).
     attributes, view_size, seed, churn:
         Forwarded to the underlying simulation.
     """
-
-    #: Supported (backend, concurrency, workers) combinations, quoted
-    #: by the validation errors.
-    SUPPORTED_COMBINATIONS = (
-        "backend='reference':  any concurrency, workers=None or 1",
-        "backend='vectorized': concurrency='none', workers=None or 1",
-        "backend='sharded':    concurrency='none', workers=None or any N >= 1",
-    )
 
     def __init__(
         self,
@@ -107,72 +99,23 @@ class SlicingService:
         self.partition = self._build_partition(slices)
         self.algorithm = algorithm
         self.backend = backend
-        self._validate_backend_combination(backend, concurrency, workers)
-        if backend == "reference":
-            factory = self._slicer_factory(algorithm, window)
-            self._sim = CycleSimulation(
-                size=size,
-                partition=self.partition,
-                slicer_factory=factory,
-                attributes=attributes,
-                view_size=view_size,
-                concurrency=concurrency,
-                churn=churn,
-                seed=seed,
-            )
-        else:
-            protocol = {"ordering": "mod-jk"}.get(algorithm, algorithm)
-            kwargs = dict(
-                size=size,
-                partition=self.partition,
-                protocol=protocol,
-                window=window,
-                attributes=attributes,
-                view_size=view_size,
-                churn=churn,
-                seed=seed,
-            )
-            if backend == "vectorized":
-                from repro.vectorized import VectorSimulation
-
-                self._sim = VectorSimulation(**kwargs)
-            else:
-                from repro.sharded import ShardedSimulation
-
-                self._sim = ShardedSimulation(workers=workers, **kwargs)
+        spec = get_backend(backend)
+        spec.validate(concurrency=concurrency, workers=workers)
+        self._sim = spec.create(
+            size=size,
+            partition=self.partition,
+            algorithm=algorithm,
+            window=window,
+            attributes=attributes,
+            view_size=view_size,
+            concurrency=concurrency,
+            workers=workers,
+            churn=churn,
+            seed=seed,
+        )
         self._subscribers: List[Callable[[SliceChange], None]] = []
         self._last_assignment: Dict[int, Optional[int]] = {}
-
-    @classmethod
-    def _validate_backend_combination(cls, backend, concurrency, workers) -> None:
-        """Fail fast on (backend, concurrency, workers) mismatches with
-        a message naming the supported combinations."""
-        supported = "; supported combinations:\n  " + "\n  ".join(
-            cls.SUPPORTED_COMBINATIONS
-        )
-        if backend not in ("reference", "vectorized", "sharded"):
-            raise ValueError(
-                f"unknown backend {backend!r}; expected 'reference', "
-                "'vectorized' or 'sharded'"
-            )
-        if backend != "reference" and concurrency != "none":
-            raise ValueError(
-                f"backend={backend!r} models atomic exchanges only, but "
-                f"concurrency={concurrency!r} was requested — message "
-                "overlap needs the reference engine" + supported
-            )
-        if workers is not None:
-            if not isinstance(workers, int) or workers < 1:
-                raise ValueError(
-                    f"workers must be a positive integer or None, got "
-                    f"{workers!r}" + supported
-                )
-            if backend != "sharded" and workers != 1:
-                raise ValueError(
-                    f"backend={backend!r} is single-process, but "
-                    f"workers={workers} was requested — multi-process "
-                    "execution needs backend='sharded'" + supported
-                )
+        self._last_bulk_assignment = ((), ())
 
     @staticmethod
     def _build_partition(slices) -> SlicePartition:
@@ -193,28 +136,16 @@ class SlicingService:
             boundaries.append(acc)
         return SlicePartition.from_boundaries(boundaries)
 
-    def _slicer_factory(self, algorithm: str, window: Optional[int]):
-        partition = self.partition
-        if algorithm == "ranking":
-            return lambda: RankingProtocol(partition)
-        if algorithm == "ranking-window":
-            return lambda: RankingProtocol(
-                partition, window=window if window is not None else 10_000
-            )
-        if algorithm == "ordering":
-            return lambda: OrderingProtocol(partition)
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected 'ranking', "
-            "'ranking-window' or 'ordering'"
-        )
-
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     @property
-    def simulation(self) -> CycleSimulation:
-        """The underlying simulation (escape hatch for tooling)."""
+    def simulation(self) -> SimulationBackend:
+        """The underlying simulation (escape hatch for tooling) — a
+        :class:`~repro.engine.simulator.CycleSimulation` or one of the
+        bulk engines, all serving the
+        :class:`~repro.core.backends.SimulationBackend` surface."""
         return self._sim
 
     @property
@@ -228,7 +159,21 @@ class SlicingService:
             if self._subscribers:
                 self._fire_changes()
 
+    def _bulk_assignment(self):
+        """``(ids, slices)`` arrays (both ascending by id) on the bulk
+        backends, ``None`` on the reference engine.  Array masks keep
+        the per-cycle cost O(n) numpy work instead of O(n) Python
+        objects — the difference between usable and not at 10^7."""
+        sim = self._sim
+        if hasattr(sim, "slice_index_array"):
+            return sim.state.live_ids(), sim.slice_index_array()
+        return None
+
     def _fire_changes(self) -> None:
+        bulk = self._bulk_assignment()
+        if bulk is not None:
+            self._fire_changes_bulk(*bulk)
+            return
         current = {
             node.node_id: node.slice_index for node in self._sim.live_nodes()
         }
@@ -240,12 +185,42 @@ class SlicingService:
                     subscriber(change)
         self._last_assignment = current
 
+    def _fire_changes_bulk(self, ids, slices) -> None:
+        """Array-diff twin of :meth:`_fire_changes`: only the (few,
+        post-convergence) changed nodes materialize Python objects."""
+        import numpy as np
+
+        prev_ids, prev_slices = self._last_bulk_assignment
+        if len(prev_ids):
+            positions = np.searchsorted(prev_ids, ids)
+            positions_safe = np.minimum(positions, len(prev_ids) - 1)
+            known = prev_ids[positions_safe] == ids
+            old = np.where(known, prev_slices[positions_safe], -1)
+        else:
+            known = np.zeros(len(ids), dtype=bool)
+            old = np.full(len(ids), -1, dtype=np.int64)
+        for position in np.flatnonzero(old != slices):
+            change = SliceChange(
+                self._sim.now,
+                int(ids[position]),
+                int(old[position]) if known[position] else None,
+                int(slices[position]),
+            )
+            for subscriber in self._subscribers:
+                subscriber(change)
+        self._last_bulk_assignment = (ids, slices)
+
     def subscribe(self, callback: Callable[[SliceChange], None]) -> None:
         """Register a slice-change listener (fires once per node move)."""
         if not self._subscribers:
-            self._last_assignment = {
-                node.node_id: node.slice_index for node in self._sim.live_nodes()
-            }
+            bulk = self._bulk_assignment()
+            if bulk is not None:
+                self._last_bulk_assignment = bulk
+            else:
+                self._last_assignment = {
+                    node.node_id: node.slice_index
+                    for node in self._sim.live_nodes()
+                }
         self._subscribers.append(callback)
 
     # ------------------------------------------------------------------
@@ -261,9 +236,14 @@ class SlicingService:
         return self._sim.node(node_id).slice_index
 
     def members(self, slice_index: int) -> List[int]:
-        """Ids of the nodes currently claiming ``slice_index``."""
+        """Ids of the nodes currently claiming ``slice_index``
+        (ascending)."""
         if not 0 <= slice_index < len(self.partition):
             raise IndexError(f"no slice {slice_index}")
+        bulk = self._bulk_assignment()
+        if bulk is not None:  # array mask instead of per-node proxies
+            ids, slices = bulk
+            return [int(node_id) for node_id in ids[slices == slice_index]]
         return sorted(
             node.node_id
             for node in self._sim.live_nodes()

@@ -9,8 +9,8 @@ tests and debugging sessions can capture everything.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["TraceEvent", "TraceLog", "NULL_TRACE"]
 

@@ -21,6 +21,7 @@ import sys
 import time
 from typing import List
 
+from repro.experiments.config import BACKENDS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import render_result
 
@@ -45,14 +46,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cycles", type=int, default=None, help="override cycle count")
     parser.add_argument(
         "--backend",
-        choices=["reference", "vectorized", "sharded"],
+        choices=list(BACKENDS),
         default="reference",
         help="simulation engine: per-node objects (reference), the "
         "numpy bulk engine (vectorized; reaches 10^6 nodes), or the "
         "multi-process shared-memory engine (sharded; reaches 10^7 "
-        "nodes, see --workers). The concurrency studies (fig4c, fig4d) "
-        "always use the reference engine, which is the only one "
-        "modelling message overlap",
+        "nodes, see --workers). Every figure runs on every backend, "
+        "including the concurrency studies (fig4c, fig4d), which the "
+        "bulk engines model in batched form",
     )
     parser.add_argument(
         "--workers",

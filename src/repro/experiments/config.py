@@ -11,18 +11,19 @@ can read, copy and sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence, Union
 
 from repro.churn.correlated import DistributionArrivals, UniformDepartures
-from repro.churn.models import BurstChurn, ChurnModel, NoChurn, RegularChurn
+from repro.churn.models import BurstChurn, ChurnModel, RegularChurn
+from repro.core.backends import backend_names, get_backend
 from repro.core.ordering import (
     SELECTION_MAX_GAIN,
     SELECTION_RANDOM,
     SELECTION_RANDOM_MISPLACED,
     OrderingProtocol,
 )
-from repro.core.ranking import RankingProtocol
+from repro.core.ranking import DEFAULT_WINDOW, RankingProtocol
 from repro.core.slices import SlicePartition
 from repro.engine.simulator import CycleSimulation
 from repro.sampling.cyclon import CyclonSampler
@@ -39,8 +40,9 @@ PROTOCOLS = ("jk", "mod-jk", "random-misplaced", "ranking", "ranking-window")
 #: Sampler spec names accepted by :class:`RunSpec.sampler`.
 SAMPLERS = ("cyclon-variant", "cyclon", "newscast", "uniform")
 
-#: Simulation backends accepted by :class:`RunSpec.backend`.
-BACKENDS = ("reference", "vectorized", "sharded")
+#: The built-in simulation backends (any backend registered with
+#: :func:`repro.core.backends.register_backend` is accepted too).
+BACKENDS = backend_names()
 
 
 @dataclass(frozen=True)
@@ -83,9 +85,10 @@ class RunSpec:
     backend:
         One of :data:`BACKENDS`: ``"reference"`` (object-per-node
         engines), ``"vectorized"`` (numpy bulk engine), or
-        ``"sharded"`` (multi-process shared-memory engine).  The bulk
-        backends support the ``cyclon-variant`` and ``uniform``
-        samplers and ``concurrency="none"`` only.
+        ``"sharded"`` (multi-process shared-memory engine).  Every
+        backend supports every concurrency regime (the bulk backends
+        model message overlap in batched form); the bulk backends
+        support the ``cyclon-variant`` and ``uniform`` samplers only.
     workers:
         Worker-process count for ``backend="sharded"`` (``None`` = all
         CPU cores); must be ``None``/1 for the single-process backends.
@@ -162,7 +165,7 @@ def _slicer_factory(spec: RunSpec, partition: SlicePartition) -> Callable:
     if spec.protocol == "ranking":
         return lambda: RankingProtocol(partition, boundary_bias=spec.boundary_bias)
     if spec.protocol == "ranking-window":
-        window = spec.window if spec.window is not None else 10_000
+        window = spec.window if spec.window is not None else DEFAULT_WINDOW
         return lambda: RankingProtocol(
             partition, window=window, boundary_bias=spec.boundary_bias
         )
@@ -209,60 +212,47 @@ def _churn_model(spec: RunSpec) -> Optional[ChurnModel]:
 def build_simulation(spec: RunSpec):
     """Instantiate the simulation a spec describes.
 
-    Returns a :class:`CycleSimulation` (``backend="reference"``), a
-    :class:`~repro.vectorized.simulation.VectorSimulation`
-    (``backend="vectorized"``) or a
-    :class:`~repro.sharded.ShardedSimulation` (``backend="sharded"``);
-    all expose the same ``run(cycles, collectors)`` surface.
+    Dispatches through the backend registry
+    (:mod:`repro.core.backends`), so a newly registered engine is
+    reachable from specs, the CLI and the figure harnesses without
+    touching this module.  The reference backend is built directly:
+    its per-node factories carry spec options (protocol variants, all
+    four samplers) the registry's service surface does not model.
     """
-    if spec.backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {spec.backend!r}; expected one of {BACKENDS}"
-        )
-    if spec.workers is not None and spec.backend != "sharded":
-        if not isinstance(spec.workers, int) or spec.workers != 1:
-            raise ValueError(
-                f"backend={spec.backend!r} is single-process; "
-                f"workers={spec.workers!r} needs backend='sharded'"
-            )
+    backend_spec = get_backend(spec.backend)
+    backend_spec.validate(concurrency=spec.concurrency, workers=spec.workers)
     partition = spec.partition()
-    if spec.backend in ("vectorized", "sharded"):
-        if spec.protocol not in PROTOCOLS:
-            raise ValueError(
-                f"unknown protocol {spec.protocol!r}; expected one of {PROTOCOLS}"
-            )
-        window = spec.window
-        if spec.protocol == "ranking-window" and window is None:
-            window = 10_000
-        kwargs = dict(
+    if spec.backend == "reference":
+        return CycleSimulation(
             size=spec.n,
             partition=partition,
-            protocol=spec.protocol,
-            window=window,
-            boundary_bias=spec.boundary_bias,
+            slicer_factory=_slicer_factory(spec, partition),
             attributes=spec.attributes,
+            sampler_factory=_sampler_factory(spec),
             view_size=spec.view_size,
-            sampler=spec.sampler,
-            churn=_churn_model(spec),
-            window_approx=spec.window_approx,
             concurrency=spec.concurrency,
+            churn=_churn_model(spec),
             seed=spec.seed,
         )
-        if spec.backend == "sharded":
-            from repro.sharded import ShardedSimulation
-
-            return ShardedSimulation(workers=spec.workers, **kwargs)
-        from repro.vectorized import VectorSimulation
-
-        return VectorSimulation(**kwargs)
-    return CycleSimulation(
+    if spec.protocol not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {spec.protocol!r}; expected one of {PROTOCOLS}"
+        )
+    window = spec.window
+    if spec.protocol == "ranking-window" and window is None:
+        window = DEFAULT_WINDOW
+    return backend_spec.create(
         size=spec.n,
         partition=partition,
-        slicer_factory=_slicer_factory(spec, partition),
+        algorithm=spec.protocol,
+        window=window,
+        boundary_bias=spec.boundary_bias,
         attributes=spec.attributes,
-        sampler_factory=_sampler_factory(spec),
         view_size=spec.view_size,
-        concurrency=spec.concurrency,
+        sampler=spec.sampler,
         churn=_churn_model(spec),
+        window_approx=spec.window_approx,
+        concurrency=spec.concurrency,
+        workers=spec.workers,
         seed=spec.seed,
     )

@@ -27,18 +27,18 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.binomial import sdm_floor_of_values, simulated_sdm_floor
 from repro.analysis.chernoff import cardinality_bounds
-from repro.analysis.sample_size import required_samples, samples_by_rank
+from repro.analysis.sample_size import required_samples
+from repro.core.ranking import DEFAULT_WINDOW
 from repro.core.slices import SlicePartition
 from repro.experiments.config import RunSpec, build_simulation
 from repro.experiments.results import FigureResult
 from repro.metrics.collectors import (
     FunctionCollector,
     GlobalDisorderCollector,
-    PopulationCollector,
     SliceDisorderCollector,
     TimeSeries,
     UnsuccessfulSwapCollector,
@@ -208,20 +208,24 @@ def run_fig4c(
     view_size: int = 20,
     seed: int = 0,
     full_scale: bool = False,
+    backend: str = "reference",
+    workers=None,
 ) -> FigureResult:
     """Figure 4(c): percentage of unsuccessful swaps under half/full
     concurrency, for JK and mod-JK, sampled at cycles 10/50/90.
 
     The paper's points: more concurrency means more useless messages,
     and mod-JK wastes *more* than JK because the gain heuristic
-    concentrates messages on the most-misplaced nodes.
+    concentrates messages on the most-misplaced nodes.  The bulk
+    backends run the same overlap regimes in batched form
+    (:mod:`repro.bulk.concurrency`), so this study scales to millions
+    of nodes with ``backend="vectorized"`` or ``"sharded"``.
     """
     if full_scale:
         n, cycles = 10_000, 100
-    # Always the reference engine: this figure *studies* message overlap,
-    # which the vectorized backend's atomic exchanges cannot model.
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed,
+        backend=backend, workers=workers,
     )
     result = FigureResult(
         "fig4c", "Percentage of unsuccessful swaps",
@@ -264,20 +268,21 @@ def run_fig4d(
     view_size: int = 20,
     seed: int = 0,
     full_scale: bool = False,
+    backend: str = "reference",
+    workers=None,
 ) -> FigureResult:
     """Figure 4(d): mod-JK convergence, no concurrency vs full
     concurrency.
 
     The paper's point: "Full-concurrency impacts on the convergence
-    speed very slightly."
+    speed very slightly."  Runs on any backend; the bulk engines model
+    the same overlap regimes in batched form.
     """
     if full_scale:
         n, cycles = 10_000, 100
-    # Always the reference engine: the comparison point is full
-    # concurrency, which the vectorized backend cannot model.
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        protocol="mod-jk", seed=seed,
+        protocol="mod-jk", seed=seed, backend=backend, workers=workers,
     )
     partition = base.partition()
     none_series, _sim, initial_values = _sdm_run(
@@ -494,7 +499,7 @@ def run_fig6d(
     """
     if full_scale:
         n, cycles = 10_000, 1000
-        window = window if window is not None else 10_000
+        window = window if window is not None else DEFAULT_WINDOW
     window = window if window is not None else 2_000
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,

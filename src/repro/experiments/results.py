@@ -11,7 +11,7 @@ EXPERIMENTS.md is written from these objects via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.metrics.collectors import TimeSeries
 

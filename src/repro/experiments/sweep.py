@@ -17,7 +17,7 @@ common ones (final SDM, final GDM, convergence cycle) are provided.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, List, Sequence
 
 from repro.core.slices import SlicePartition
 from repro.experiments.config import RunSpec, build_simulation

@@ -9,7 +9,7 @@ of the paper is regenerated: e.g. Figure 6(a) is one
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional
 
 from repro.core.slices import SlicePartition
 from repro.metrics.disorder import global_disorder, slice_disorder

@@ -27,7 +27,7 @@ Ranks are computed with numpy ``lexsort`` so that measuring a
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -1,9 +1,11 @@
 """repro.sharded — multi-process bulk backend for 10^7-node runs.
 
 Shards the :mod:`repro.vectorized` cycle across a persistent worker
-pool over ``multiprocessing.shared_memory``, planning churn, random
-draws and exchange waves centrally so results are bitwise identical to
-the single-process vectorized backend at every worker count.
+pool over ``multiprocessing.shared_memory``.  Churn, random draws,
+exchange waves and message-overlap masks all come from the shared
+:class:`repro.bulk.CyclePlan`, so results — including the paper's
+half/full concurrency regimes — are bitwise identical to the
+single-process vectorized backend at every worker count.
 """
 
 from repro.sharded.driver import ShardedSimulation

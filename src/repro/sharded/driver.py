@@ -4,11 +4,12 @@
 persistent pool of worker processes.  The design splits every cycle
 into *plan* and *apply*:
 
-* the **driver plans centrally** — churn, every random draw (made in
-  exactly the order and block sizes the single-process
-  :class:`~repro.vectorized.simulation.VectorSimulation` would make
-  them, then sliced per shard), and the scheduling of exchange
-  proposals into node-disjoint waves;
+* the **driver plans centrally** — one shared
+  :class:`~repro.bulk.CyclePlan` per cycle supplies churn, every
+  random draw and the exchange-wave pairing in the canonical stream
+  order (the *same* plan code the single-process
+  :class:`~repro.vectorized.simulation.VectorSimulation` consumes;
+  the driver only slices the planned blocks per shard);
 * the **workers apply in parallel** — aging/purging/filling views,
   folding rank counters, computing partner choices, and executing the
   wave swaps, each over its own contiguous id range of the
@@ -39,10 +40,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.bulk.concurrency import run_exchanges
 from repro.core.ordering import SELECTION_RANDOM, SELECTION_RANDOM_MISPLACED
 from repro.sharded.kernels import DISPATCH, ShardContext
 from repro.sharded.shm import InlineScratch, SharedBlock, SharedScratch
-from repro.vectorized.matching import iter_disjoint_waves
 from repro.vectorized.simulation import VectorSimulation, _ORDERING_SELECTION
 from repro.vectorized.state import ArrayState, column_spec
 from repro.metrics.statistics import z_value
@@ -62,6 +63,18 @@ def _prefix_offsets(counts):
         offsets.append(acc)
         acc += count
     return offsets, acc
+
+
+def _shard_run_payloads(bounds, capacity, keys):
+    """Per-shard ``{offset, count}`` runs of an ascending key array —
+    proposals are gathered in shard order and wave/round selection
+    preserves order, so each shard owns one contiguous run."""
+    lows = [lo for lo, _hi in bounds]
+    cuts = np.searchsorted(keys, lows + [capacity])
+    return [
+        {"offset": int(cuts[i]), "count": int(cuts[i + 1] - cuts[i])}
+        for i in range(len(bounds))
+    ]
 
 
 class _InlineExecutor:
@@ -166,6 +179,79 @@ class _PoolExecutor:
             connection.close()
         self._connections, self._processes = [], []
         self.scratch.close()
+
+
+class _ShardedExchangeApplier:
+    """The sharded half of :func:`repro.bulk.concurrency.run_exchanges`.
+
+    Implements the same applier surface as
+    :class:`~repro.bulk.concurrency.InlineExchangeApplier`, but each
+    operation broadcasts one phase to the shard workers: wave pairs are
+    cut by initiator, delivery rounds by receiver (the plan sorts each
+    round by receiver id), and the workers call the shared
+    ``wave_exchange`` / ``deliver_one_sided`` primitives on their own
+    contiguous runs.  Per-exchange outcomes land in shared scratch at
+    the exchange's slot (``x_resp`` / ``x_reqs`` / ``x_ackv``), where
+    both later phases and the driver's central swap accounting read
+    them — no bulk data ever rides the pipes.
+    """
+
+    def __init__(self, sim: "ShardedSimulation", executor, n_exchanges: int) -> None:
+        self._executor = executor
+        self._capacity = sim.state.capacity
+        self.n = n_exchanges
+        scratch = executor.scratch
+        size = max(1, n_exchanges)
+        for name, dtype in (
+            ("x_resp", np.uint8),
+            ("x_reqs", np.uint8),
+            ("x_ackv", np.float64),
+            ("wave_a", np.int64),
+            ("wave_b", np.int64),
+            ("wave_d", np.uint8),
+            ("wave_s", np.int64),
+            ("del_r", np.int64),
+            ("del_s", np.int64),
+            ("del_p", np.float64),
+            ("del_t", np.int64),
+        ):
+            scratch.ensure(name, dtype, size)
+        scratch["x_resp"][:n_exchanges] = 0
+        scratch["x_reqs"][:n_exchanges] = 0
+
+    def _cut_payloads(self, keys: np.ndarray):
+        return _shard_run_payloads(self._executor.bounds, self._capacity, keys)
+
+    def wave(self, side_i, side_j, defer_ack, slots) -> None:
+        scratch = self._executor.scratch
+        count = len(side_i)
+        scratch["wave_a"][:count] = side_i
+        scratch["wave_b"][:count] = side_j
+        scratch["wave_d"][:count] = defer_ack
+        scratch["wave_s"][:count] = slots
+        self._executor.run("conc_wave", self._cut_payloads(side_i))
+
+    def _deliver(self, command, receivers, senders, slots) -> None:
+        scratch = self._executor.scratch
+        count = len(receivers)
+        scratch["del_r"][:count] = receivers
+        scratch["del_s"][:count] = senders
+        scratch["del_t"][:count] = slots
+        self._executor.run(command, self._cut_payloads(receivers))
+
+    def deliver_req(self, receivers, senders, payloads, slots) -> None:
+        self._executor.scratch["del_p"][: len(receivers)] = payloads
+        self._deliver("conc_req", receivers, senders, slots)
+
+    def deliver_ack(self, receivers, senders, slots) -> None:
+        self._deliver("conc_ack", receivers, senders, slots)
+
+    def results(self):
+        scratch = self._executor.scratch
+        return (
+            scratch["x_resp"][: self.n].astype(bool),
+            scratch["x_reqs"][: self.n].astype(bool),
+        )
 
 
 def _release(blocks, executor_holder) -> None:
@@ -281,14 +367,15 @@ class ShardedSimulation(VectorSimulation):
 
     def run_cycle(self) -> None:
         self._stats.begin_cycle()
-        self._apply_churn()
+        plan = self._new_plan()
+        self._apply_churn(plan)
         if self.state.live_count >= 2:
             executor = self._executor()
-            self._refresh_phases(executor, uniform=self.sampler == "uniform")
+            self._refresh_phases(executor, plan, uniform=self.sampler == "uniform")
             if self._is_ranking():
-                self._ranking_phases(executor)
+                self._ranking_phases(executor, plan)
             else:
-                self._ordering_phases(executor)
+                self._ordering_phases(executor, plan)
         self._cycle += 1
 
     def _broadcast(self, executor, command: str, payloads=None) -> list:
@@ -296,8 +383,8 @@ class ShardedSimulation(VectorSimulation):
             payloads = [{}] * len(executor.bounds)
         return executor.run(command, payloads)
 
-    def _refresh_phases(self, executor, uniform: bool) -> None:
-        state, rng = self.state, self.np_rng("sampler")
+    def _refresh_phases(self, executor, plan, uniform: bool) -> None:
+        state = self.state
         replies = self._broadcast(
             executor, "refresh_age", [{"uniform": uniform}] * len(executor.bounds)
         )
@@ -311,6 +398,7 @@ class ShardedSimulation(VectorSimulation):
             state.maybe_dead_entries = False
 
         empty_offsets, empty_total = _prefix_offsets(empty_counts)
+        draws = plan.fill_draws(live_total, empty_total)
         if empty_total:
             executor.scratch.ensure("live_index", np.int64, live_total)
             self._broadcast(
@@ -319,7 +407,7 @@ class ShardedSimulation(VectorSimulation):
                 [{"offset": offset} for offset in live_offsets],
             )
             fill = executor.scratch.ensure("fill_ints", np.int64, empty_total)
-            fill[:empty_total] = rng.integers(0, live_total, size=empty_total)
+            fill[:empty_total] = draws
             self._broadcast(
                 executor,
                 "refresh_fill",
@@ -332,8 +420,8 @@ class ShardedSimulation(VectorSimulation):
         jitter = executor.scratch.ensure(
             "jitter", np.float32, live_total * view_size
         )
-        jitter[: live_total * view_size] = rng.random(
-            (live_total, view_size), dtype=np.float32
+        jitter[: live_total * view_size] = plan.partner_jitter(
+            live_total, view_size
         ).ravel()
         executor.scratch.ensure("prop_a", np.int64, state.capacity)
         executor.scratch.ensure("prop_b", np.int64, state.capacity)
@@ -346,9 +434,17 @@ class ShardedSimulation(VectorSimulation):
             executor, [reply["props"] for reply in replies], ("prop_a", "prop_b")
         )
         no_payload = np.zeros(len(initiators), dtype=bool)
-        self._run_waves(
-            executor, "refresh_swap", initiators, partners, no_payload, rng
-        )
+        wave_a = executor.scratch.ensure("wave_a", np.int64, max(1, len(initiators)))
+        wave_b = executor.scratch.ensure("wave_b", np.int64, max(1, len(initiators)))
+        for side_a, side_b, _unused in plan.waves(
+            "sampler", initiators, partners, no_payload, state.size
+        ):
+            wave_a[: len(side_a)] = side_a
+            wave_b[: len(side_b)] = side_b
+            executor.run(
+                "refresh_swap",
+                _shard_run_payloads(executor.bounds, state.capacity, side_a),
+            )
 
     def _gather_proposals(self, executor, counts, names):
         segments = [
@@ -363,37 +459,7 @@ class ShardedSimulation(VectorSimulation):
             for parts in segments
         )
 
-    def _run_waves(self, executor, command, initiators, targets, extra, rng):
-        """Schedule proposals into node-disjoint waves and fan each
-        wave out to the shard owning its initiator."""
-        state = self.state
-        capacity = max(1, len(initiators))
-        wave_a = executor.scratch.ensure("wave_a", np.int64, capacity)
-        wave_b = executor.scratch.ensure("wave_b", np.int64, capacity)
-        wave_x = executor.scratch.ensure("wave_x", np.uint8, capacity)
-        lows = [lo for lo, _hi in executor.bounds]
-        results = []
-        for side_a, side_b, wave_extra in iter_disjoint_waves(
-            initiators, targets, extra, rng, state.size
-        ):
-            if len(side_a) == 0:
-                continue
-            wave_a[: len(side_a)] = side_a
-            wave_b[: len(side_b)] = side_b
-            wave_x[: len(wave_extra)] = wave_extra
-            # side_a is ascending (proposals are gathered in shard
-            # order, and wave selection preserves order), so each
-            # shard's pairs form one contiguous run.
-            cuts = np.searchsorted(side_a, lows + [state.capacity])
-            payloads = [
-                {"offset": int(cuts[i]), "count": int(cuts[i + 1] - cuts[i])}
-                for i in range(len(executor.bounds))
-            ]
-            results.append(self._broadcast(executor, command, payloads))
-        return results
-
-    def _ranking_phases(self, executor) -> None:
-        rng = self.np_rng("ranking")
+    def _ranking_phases(self, executor, plan) -> None:
         replies = self._broadcast(
             executor,
             "rank_fold",
@@ -408,11 +474,14 @@ class ShardedSimulation(VectorSimulation):
         row_counts = [reply["rows"] for reply in replies]
         row_offsets, total_rows = _prefix_offsets(row_counts)
         if total_rows:
-            if not self.boundary_bias:
+            planned_u1, planned_u2 = plan.ranking_uniforms(
+                total_rows, self.boundary_bias
+            )
+            if planned_u1 is not None:
                 u1 = executor.scratch.ensure("u1", np.float64, total_rows)
-                u1[:total_rows] = rng.random(total_rows)
+                u1[:total_rows] = planned_u1
             u2 = executor.scratch.ensure("u2", np.float64, total_rows)
-            u2[:total_rows] = rng.random(total_rows)
+            u2[:total_rows] = planned_u2
             capacity = self.state.capacity
             executor.scratch.ensure("tgt1", np.int64, capacity)
             executor.scratch.ensure("tgt2", np.int64, capacity)
@@ -428,13 +497,22 @@ class ShardedSimulation(VectorSimulation):
             (tgt1,) = self._gather_proposals(executor, row_counts, ("tgt1",))
             (tgt2,) = self._gather_proposals(executor, row_counts, ("tgt2",))
             (sattr,) = self._gather_proposals(executor, row_counts, ("sattr",))
+            event_targets = np.concatenate([tgt1, tgt2])
+            event_senders = np.concatenate([sattr, sattr])
+            # Planned message overlap reorders the UPD event stream
+            # exactly as the vectorized round applies it; rank_apply
+            # preserves global order per row, so shards stay bitwise
+            # aligned.
+            order, overlapping = plan.upd_schedule(2 * total_rows)
+            if order is not None:
+                event_targets = event_targets[order]
+                event_senders = event_senders[order]
             targets = executor.scratch.ensure("targets", np.int64, 2 * total_rows)
             senders = executor.scratch.ensure("senders", np.float64, 2 * total_rows)
-            targets[:total_rows] = tgt1
-            targets[total_rows : 2 * total_rows] = tgt2
-            senders[:total_rows] = sattr
-            senders[total_rows : 2 * total_rows] = sattr
+            targets[: 2 * total_rows] = event_targets
+            senders[: 2 * total_rows] = event_senders
             self._stats.note_round(messages=2 * total_rows, intended=0)
+            self._stats.note_overlapping(overlapping)
         self._broadcast(
             executor,
             "rank_apply",
@@ -448,14 +526,13 @@ class ShardedSimulation(VectorSimulation):
             * len(executor.bounds),
         )
 
-    def _ordering_phases(self, executor) -> None:
-        rng = self.np_rng("ordering")
+    def _ordering_phases(self, executor, plan) -> None:
         selection = _ORDERING_SELECTION[self.protocol]
         live_offsets = self._live_offsets
         live_total = sum(self._live_counts)
         if selection in (SELECTION_RANDOM, SELECTION_RANDOM_MISPLACED):
             u1 = executor.scratch.ensure("u1", np.float64, live_total)
-            u1[:live_total] = rng.random(live_total)
+            u1[:live_total] = plan.ordering_uniforms(live_total)
         capacity = self.state.capacity
         executor.scratch.ensure("prop_a", np.int64, capacity)
         executor.scratch.ensure("prop_b", np.int64, capacity)
@@ -477,15 +554,10 @@ class ShardedSimulation(VectorSimulation):
         self._stats.note_round(
             messages=2 * len(initiators), intended=int(intended.sum())
         )
-        for wave_replies in self._run_waves(
-            executor, "ord_swap", initiators, targets, intended, rng
-        ):
-            self._stats.note_swaps(
-                swapped=sum(reply["swapped"] for reply in wave_replies),
-                unsuccessful=sum(
-                    reply["unsuccessful"] for reply in wave_replies
-                ),
-            )
+        applier = _ShardedExchangeApplier(self, executor, len(initiators))
+        run_exchanges(
+            self.state, plan, initiators, targets, intended, applier, self._stats
+        )
 
     # ------------------------------------------------------------------
     # Bulk metrics: tree reduction across shards

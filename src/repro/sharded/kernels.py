@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bulk.concurrency import deliver_one_sided, wave_exchange
 from repro.core.ordering import (
-    SELECTION_MAX_GAIN,
     SELECTION_RANDOM,
     SELECTION_RANDOM_MISPLACED,
 )
@@ -283,24 +283,60 @@ def cmd_ord_select(ctx: ShardContext, selection: str, offset: int) -> dict:
     return {"props": len(initiators), "intended": int(intended.sum())}
 
 
-def cmd_ord_swap(ctx: ShardContext, offset: int, count: int) -> dict:
-    """One wave of REQ/ACK exchanges: re-check the predicate at
-    processing time, swap random values atomically (Figure 2)."""
-    if count == 0:
-        return {"swapped": 0, "unsuccessful": 0}
-    state = ctx.state
-    side_i = ctx.scratch["wave_a"][offset : offset + count]
-    side_j = ctx.scratch["wave_b"][offset : offset + count]
-    wave_intended = ctx.scratch["wave_x"][offset : offset + count].astype(bool)
-    a_i, r_i = state.attribute[side_i], state.value[side_i]
-    a_j, r_j = state.attribute[side_j], state.value[side_j]
-    swap = (a_j - a_i) * (r_j - r_i) < 0.0
-    state.value[side_i[swap]] = r_j[swap]
-    state.value[side_j[swap]] = r_i[swap]
-    return {
-        "swapped": int(swap.sum()),
-        "unsuccessful": int((wave_intended & ~swap).sum()),
-    }
+def cmd_conc_wave(ctx: ShardContext, offset: int, count: int) -> dict:
+    """One node-disjoint wave of REQ/ACK exchanges: re-check the
+    predicate at processing time, swap atomically unless the pair's
+    ACK is deferred by the overlap plan (then responder-side only).
+    Outcomes land in the per-exchange slot scratch the driver reads
+    for central swap accounting."""
+    if count:
+        scratch = ctx.scratch
+        side_i = scratch["wave_a"][offset : offset + count]
+        side_j = scratch["wave_b"][offset : offset + count]
+        defer_ack = scratch["wave_d"][offset : offset + count].astype(bool)
+        slots = scratch["wave_s"][offset : offset + count]
+        swap, ack = wave_exchange(ctx.state, side_i, side_j, defer_ack)
+        scratch["x_resp"][slots] = swap
+        scratch["x_reqs"][slots] = swap & ~defer_ack
+        scratch["x_ackv"][slots] = ack
+    return {}
+
+
+def cmd_conc_req(ctx: ShardContext, offset: int, count: int) -> dict:
+    """Deliver this shard's slice of one overlapped-REQ flush round:
+    one-sided swaps from the stale send-time payloads, recording each
+    generated ACK's payload (the receiver's pre-swap value)."""
+    if count:
+        scratch = ctx.scratch
+        receivers = scratch["del_r"][offset : offset + count]
+        senders = scratch["del_s"][offset : offset + count]
+        payloads = scratch["del_p"][offset : offset + count]
+        slots = scratch["del_t"][offset : offset + count]
+        swap, pre = deliver_one_sided(
+            ctx.state, receivers, ctx.state.attribute[senders], payloads
+        )
+        scratch["x_resp"][slots] = swap
+        scratch["x_ackv"][slots] = pre
+    return {}
+
+
+def cmd_conc_ack(ctx: ShardContext, offset: int, count: int) -> dict:
+    """Deliver this shard's slice of one deferred-ACK round: the
+    requester side of each exchange, applied against the responder's
+    recorded pre-swap value."""
+    if count:
+        scratch = ctx.scratch
+        receivers = scratch["del_r"][offset : offset + count]
+        senders = scratch["del_s"][offset : offset + count]
+        slots = scratch["del_t"][offset : offset + count]
+        swap, _pre = deliver_one_sided(
+            ctx.state,
+            receivers,
+            ctx.state.attribute[senders],
+            scratch["x_ackv"][slots],
+        )
+        scratch["x_reqs"][slots] = swap
+    return {}
 
 
 # ----------------------------------------------------------------------
@@ -400,7 +436,9 @@ DISPATCH = {
     "rank_targets": cmd_rank_targets,
     "rank_apply": cmd_rank_apply,
     "ord_select": cmd_ord_select,
-    "ord_swap": cmd_ord_swap,
+    "conc_wave": cmd_conc_wave,
+    "conc_req": cmd_conc_req,
+    "conc_ack": cmd_conc_ack,
     "metric_prepare": cmd_metric_prepare,
     "metric_write": cmd_metric_write,
     "metric_ranks": cmd_metric_ranks,

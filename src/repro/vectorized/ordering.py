@@ -13,25 +13,28 @@ One :func:`ordering_round` performs, for every live node at once, what
 * perform the ``REQ``/``ACK`` exchange: re-check the predicate at
   processing time and swap random values when it holds.
 
-Exchanges are scheduled into node-disjoint waves
-(:mod:`repro.vectorized.matching`); values update between waves, so a
-swap sees the *current* state of both sides exactly as the reference
-engine's sequential processing does.  With atomic exchanges the
-predicate is symmetric, hence both sides swap together and the random
-values are conserved as a multiset — the invariant behind the SDM
-floor analysis (Section 4.4).
+Exchanges are scheduled into node-disjoint waves by the shared cycle
+plan (:mod:`repro.bulk`); values update between waves, so a swap sees
+the *current* state of both sides exactly as the reference engine's
+sequential processing does.  With atomic exchanges the predicate is
+symmetric, hence both sides swap together and the random values are
+conserved as a multiset — the invariant behind the SDM floor analysis
+(Section 4.4).  Under the planned message-overlap model
+(:mod:`repro.bulk.concurrency`) exchanges can instead complete
+one-sidedly from stale payloads, reproducing the paper's
+Section-4.5.2 concurrency regimes in batched form.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.bulk.concurrency import InlineExchangeApplier, run_exchanges
 from repro.core.ordering import (
     SELECTION_MAX_GAIN,
     SELECTION_RANDOM,
     SELECTION_RANDOM_MISPLACED,
 )
-from repro.vectorized.matching import iter_disjoint_waves
 from repro.vectorized.state import EMPTY, ArrayState
 
 __all__ = ["ordering_round"]
@@ -48,22 +51,16 @@ def _valid_slots(state: ArrayState, view: np.ndarray) -> np.ndarray:
     return occupied & state.alive[np.where(occupied, view, 0)]
 
 
-def _random_valid_column(
-    valid: np.ndarray, rng: np.random.Generator
-) -> np.ndarray:
-    """Per row, a uniformly random column among the ``True`` ones.
-
-    Rows without any valid column return 0; callers mask them out.
-    """
-    return _random_valid_column_from(valid, rng.random(len(valid)))
-
-
 def _random_valid_column_from(
     valid: np.ndarray, uniforms: np.ndarray
 ) -> np.ndarray:
-    """:func:`_random_valid_column` over pre-drawn per-row uniforms —
-    the sharded backend draws one global block and hands each shard its
-    slice, so any worker count consumes the stream identically."""
+    """Per row, a uniformly random column among the ``True`` ones,
+    resolved from pre-drawn per-row uniforms (the plan draws one global
+    block; the sharded backend hands each shard its slice, so any
+    worker count consumes the stream identically).
+
+    Rows without any valid column return 0; callers mask them out.
+    """
     if len(valid) == 0:
         return np.empty(0, dtype=np.int64)
     counts = valid.sum(axis=1)
@@ -90,11 +87,13 @@ def _local_ranks(keys: np.ndarray, ids: np.ndarray) -> np.ndarray:
 
 def ordering_round(
     state: ArrayState,
-    rng: np.random.Generator,
+    plan,
     selection: str = SELECTION_MAX_GAIN,
     stats=None,
 ) -> None:
-    """One batched active round of the configured ordering variant."""
+    """One batched active round of the configured ordering variant,
+    consuming the :class:`~repro.bulk.CyclePlan`'s ordering-phase
+    schedule (including the planned message-overlap model)."""
     if selection not in _SELECTIONS:
         raise ValueError(
             f"unknown selection {selection!r}; expected one of {_SELECTIONS}"
@@ -113,11 +112,13 @@ def ordering_round(
 
     if selection == SELECTION_RANDOM:
         rows = valid.any(axis=1)
-        cols = _random_valid_column(valid, rng)
+        cols = _random_valid_column_from(valid, plan.ordering_uniforms(len(live)))
         intended = misplaced[np.arange(len(live)), cols]
     elif selection == SELECTION_RANDOM_MISPLACED:
         rows = misplaced.any(axis=1)
-        cols = _random_valid_column(misplaced, rng)
+        cols = _random_valid_column_from(
+            misplaced, plan.ordering_uniforms(len(live))
+        )
         intended = rows.copy()
     else:
         rows = misplaced.any(axis=1)
@@ -131,7 +132,8 @@ def ordering_round(
         stats.note_round(
             messages=2 * len(initiators), intended=int(intended.sum())
         )
-    _apply_swaps(state, initiators, targets, intended, rng, stats)
+    applier = InlineExchangeApplier(state, len(initiators))
+    run_exchanges(state, plan, initiators, targets, intended, applier, stats)
 
 
 def _max_gain_columns(
@@ -172,29 +174,3 @@ def _max_gain_columns(
     return np.argmax(gain, axis=1)
 
 
-def _apply_swaps(
-    state: ArrayState,
-    initiators: np.ndarray,
-    targets: np.ndarray,
-    intended: np.ndarray,
-    rng: np.random.Generator,
-    stats,
-) -> None:
-    """Process every REQ/ACK exchange in node-disjoint waves."""
-    for side_i, side_j, wave_intended in iter_disjoint_waves(
-        initiators, targets, intended, rng, state.size
-    ):
-        if len(side_i) == 0:
-            continue
-        a_i, r_i = state.attribute[side_i], state.value[side_i]
-        a_j, r_j = state.attribute[side_j], state.value[side_j]
-        # Predicate re-checked at processing time (Figure 2 lines 10-19);
-        # atomic exchange, so both sides swap together or not at all.
-        swap = (a_j - a_i) * (r_j - r_i) < 0.0
-        state.value[side_i[swap]] = r_j[swap]
-        state.value[side_j[swap]] = r_i[swap]
-        if stats is not None:
-            stats.note_swaps(
-                swapped=int(swap.sum()),
-                unsuccessful=int((wave_intended & ~swap).sum()),
-            )

@@ -34,8 +34,8 @@ from typing import Optional
 import numpy as np
 
 from repro.vectorized.metrics import PartitionArrays
-from repro.vectorized.ordering import _random_valid_column, _valid_slots
-from repro.vectorized.state import EMPTY, ArrayState
+from repro.vectorized.ordering import _random_valid_column_from, _valid_slots
+from repro.vectorized.state import ArrayState
 
 __all__ = ["ranking_round", "window_push", "window_fold"]
 
@@ -109,13 +109,14 @@ def window_fold(
 def ranking_round(
     state: ArrayState,
     geometry: PartitionArrays,
-    rng: np.random.Generator,
+    plan,
     boundary_bias: bool = True,
     window: Optional[int] = None,
     stats=None,
     window_exact: bool = False,
 ) -> None:
-    """One batched active round of the ranking algorithm."""
+    """One batched active round of the ranking algorithm, consuming
+    the :class:`~repro.bulk.CyclePlan`'s ranking-phase schedule."""
     live = state.live_ids()
     if len(live) < 2:
         return
@@ -138,6 +139,7 @@ def ranking_round(
     rows = np.flatnonzero(has_neighbors)
     if len(rows):
         sub_view, sub_valid = view[rows], valid[rows]
+        u1, u2 = plan.ranking_uniforms(len(rows), boundary_bias)
         if boundary_bias:
             r_peer = np.where(
                 sub_valid, state.value[np.where(sub_valid, sub_view, 0)], 0.0
@@ -147,13 +149,21 @@ def ranking_round(
             )
             j1_cols = np.argmin(distance, axis=1)
         else:
-            j1_cols = _random_valid_column(sub_valid, rng)
-        j2_cols = _random_valid_column(sub_valid, rng)
+            j1_cols = _random_valid_column_from(sub_valid, u1)
+        j2_cols = _random_valid_column_from(sub_valid, u2)
         sub_rows = np.arange(len(rows))
         targets = np.concatenate(
             [sub_view[sub_rows, j1_cols], sub_view[sub_rows, j2_cols]]
         )
         senders_attr = np.tile(a_self[rows], 2)
+
+        # Section 4.5.2: overlapping UPD messages are flushed after the
+        # inline ones, in random order.  One-way messages compare only
+        # immutable attributes, so overlap reorders the event stream
+        # (which the exact window observes) without changing counters.
+        order, overlapping = plan.upd_schedule(len(targets))
+        if order is not None:
+            targets, senders_attr = targets[order], senders_attr[order]
 
         # Lines 13-14 + 17-21: one-way UPD delivery as scatter-adds
         # (or, in exact-window mode, as window events).
@@ -165,6 +175,7 @@ def ranking_round(
             np.add.at(state.obs_le, targets, upd_le)
         if stats is not None:
             stats.note_round(messages=len(targets), intended=0)
+            stats.note_overlapping(overlapping)
 
     # Rescaling approximation: cap the effective sample count.
     if window is not None and not window_exact:

@@ -10,10 +10,10 @@ runs per node, as array passes over the whole population:
    connection attempt + ``random_live_ids`` recovery);
 3. every live node proposes an exchange to its *oldest* neighbor
    (line 2, ties broken uniformly at random);
-4. proposals are scheduled into node-disjoint waves
-   (:mod:`repro.vectorized.matching`) and each matched pair *swaps*
-   views: each side adopts the other's entries, drops pointers to
-   itself, and receives a fresh zero-age descriptor of its partner
+4. proposals are scheduled into node-disjoint waves by the shared
+   cycle plan (:mod:`repro.bulk.matching`) and each matched pair
+   *swaps* views: each side adopts the other's entries, drops pointers
+   to itself, and receives a fresh zero-age descriptor of its partner
    (lines 3, 5-10).
 
 The swap semantics — adopt-what-you-received, never copy — is the
@@ -27,10 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.vectorized.matching import iter_disjoint_waves
 from repro.vectorized.state import EMPTY, ArrayState
 
-__all__ = ["refresh_views", "refresh_views_uniform"]
+__all__ = ["refresh_views", "refresh_views_uniform", "fill_from_plan"]
 
 _NEVER = -1  # age sentinel: slot cannot be chosen as partner
 
@@ -57,8 +56,19 @@ def _oldest_columns(
     return np.argmax(key, axis=1)
 
 
-def refresh_views(state: ArrayState, rng: np.random.Generator) -> None:
-    """One batched membership round over every live node."""
+def fill_from_plan(state: ArrayState, plan) -> None:
+    """Refill empty view slots from the plan's bootstrap draws — the
+    planned twin of :meth:`ArrayState.fill_empty_slots`."""
+    live = state.live_ids()
+    empty_rows, empty_cols = state.empty_live_slots()
+    draws = plan.fill_draws(len(live), len(empty_rows))
+    if len(empty_rows):
+        state.apply_fill(empty_rows, empty_cols, live[draws])
+
+
+def refresh_views(state: ArrayState, plan) -> None:
+    """One batched membership round over every live node, consuming
+    the :class:`~repro.bulk.CyclePlan`'s sampler-phase schedule."""
     live = state.live_ids()
     if len(live) < 2:
         return
@@ -71,17 +81,18 @@ def refresh_views(state: ArrayState, rng: np.random.Generator) -> None:
 
     # Failed-connection pruning + empty-view recovery.
     state.purge_dead_entries(live)
-    state.fill_empty_slots(rng)
+    fill_from_plan(state, plan)
 
     # Line 2: propose to the oldest live neighbor.
-    cols = _oldest_columns(state.view_ids[live], state.view_ages[live], rng)
+    jitter = plan.partner_jitter(len(live), state.view_size)
+    cols = _oldest_columns(state.view_ids[live], state.view_ages[live], jitter=jitter)
     partners = state.view_ids[live, cols]
     has_partner = partners != EMPTY
     initiators, partners = live[has_partner], partners[has_partner]
 
     extra = np.zeros(len(initiators), dtype=bool)  # no payload needed
-    for side_a, side_b, _unused in iter_disjoint_waves(
-        initiators, partners, extra, rng, state.size
+    for side_a, side_b, _unused in plan.waves(
+        "sampler", initiators, partners, extra, state.size
     ):
         _swap_views(state, side_a, side_b)
 
@@ -119,7 +130,7 @@ def _swap_views(state: ArrayState, side_a: np.ndarray, side_b: np.ndarray) -> No
         state.view_ages[receiver] = new_ages
 
 
-def refresh_views_uniform(state: ArrayState, rng: np.random.Generator) -> None:
+def refresh_views_uniform(state: ArrayState, plan) -> None:
     """The idealized uniform oracle (Figure 6(b)'s "uniform" curve):
     every live node's view is redrawn uniformly from the live set."""
     live = state.live_ids()
@@ -127,4 +138,4 @@ def refresh_views_uniform(state: ArrayState, rng: np.random.Generator) -> None:
         return
     state.view_ids[live] = EMPTY
     state.view_ages[live] = 0
-    state.fill_empty_slots(rng)
+    fill_from_plan(state, plan)

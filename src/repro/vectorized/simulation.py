@@ -18,12 +18,17 @@ Two API surfaces are exposed:
   vectorized metrics that stay cheap at a million nodes, where
   building a proxy per node per cycle would dominate the run.
 
-Limitations compared to the reference engine: only the atomic-exchange
-concurrency model (``concurrency="none"``) and the Cyclon-variant /
-uniform-oracle samplers are supported.  The sliding-window ranking
-variant keeps an exact bit-packed window by default; pass
-``window_approx=True`` for the cheaper rescaling approximation
-documented in :mod:`repro.vectorized.ranking`.
+Every cycle's random schedule — churn, draws, exchange waves, message
+overlap — comes from one shared :class:`~repro.bulk.CyclePlan`; the
+sharded backend consumes the same plan, which is what makes the two
+bitwise interchangeable.  The paper's artificial message-overlap model
+(``concurrency="half"``/``"full"``, Section 4.5.2) runs in batched
+form (:mod:`repro.bulk.concurrency`).  Limitations compared to the
+reference engine: only the Cyclon-variant / uniform-oracle samplers
+are supported.  The sliding-window ranking variant keeps an exact
+bit-packed window by default; pass ``window_approx=True`` for the
+cheaper rescaling approximation documented in
+:mod:`repro.vectorized.ranking`.
 """
 
 from __future__ import annotations
@@ -33,12 +38,15 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.bulk.plan import CyclePlan
 from repro.core.ordering import (
     SELECTION_MAX_GAIN,
     SELECTION_RANDOM,
     SELECTION_RANDOM_MISPLACED,
 )
+from repro.core.ranking import DEFAULT_WINDOW
 from repro.core.slices import SlicePartition
+from repro.engine.network import ConcurrencyModel
 from repro.engine.random_source import RandomSource, derive_seed
 from repro.engine.trace import NULL_TRACE, TraceLog
 from repro.metrics.statistics import z_value
@@ -73,11 +81,17 @@ _SAMPLERS = ("cyclon-variant", "uniform")
 
 
 class VectorStats:
-    """Transport/swap counters mirroring ``engine.network.BusStats``."""
+    """Transport/swap counters mirroring ``engine.network.BusStats``.
+
+    ``swaps`` counts exchanges whose responder adopted the requester's
+    value — identical to the atomic pair count when concurrency is off;
+    ``overlapping`` counts messages the planned concurrency model
+    deferred (Section 4.5.2)."""
 
     def __init__(self) -> None:
         self.sent = 0
         self.delivered = 0
+        self.overlapping = 0
         self.intended_swaps = 0
         self.unsuccessful_swaps = 0
         self.swaps = 0
@@ -93,6 +107,9 @@ class VectorStats:
         self.delivered += messages
         self.intended_swaps += intended
         self._cycle_intended += intended
+
+    def note_overlapping(self, count: int) -> None:
+        self.overlapping += count
 
     def note_swaps(self, swapped: int, unsuccessful: int) -> None:
         self.swaps += swapped
@@ -192,8 +209,10 @@ class VectorSimulation:
         buffers, matching window-sized effective sample counts but not
         the exact FIFO semantics.
     concurrency:
-        Only ``"none"`` is supported — the vectorized engine models
-        atomic exchanges.
+        ``"none"`` (atomic exchanges), ``"half"``/``"full"`` or an
+        overlap probability — the paper's Section-4.5.2 artificial
+        concurrency, batched: overlapping messages apply stale
+        payloads one-sidedly after the inline exchanges.
     seed:
         Root seed; a run is a pure function of it (though its draws
         differ from the reference engine's, so cross-backend
@@ -227,14 +246,11 @@ class VectorSimulation:
                 f"the vectorized backend supports samplers {_SAMPLERS}, "
                 f"got {sampler!r}; use the reference engine for others"
             )
-        if concurrency != "none":
-            raise ValueError(
-                "the vectorized backend models atomic exchanges only "
-                f"(concurrency='none'); got {concurrency!r} — use the "
-                "reference engine to study message overlap effects"
-            )
+        # Shares the reference engine's spec parsing ('none'/'half'/
+        # 'full' or a probability); rejects malformed specs here.
+        self.concurrency = ConcurrencyModel.from_spec(concurrency)
         if protocol == "ranking-window" and window is None:
-            window = 10_000
+            window = DEFAULT_WINDOW
         self.partition = partition
         self.geometry = vmetrics.PartitionArrays(partition)
         self.protocol = protocol
@@ -340,19 +356,25 @@ class VectorSimulation:
     # Execution
     # ------------------------------------------------------------------
 
+    def _new_plan(self) -> CyclePlan:
+        """One cycle's random schedule (see :mod:`repro.bulk.plan`);
+        both bulk backends build their plans through this hook."""
+        return CyclePlan(self.np_rng, self.concurrency.probability)
+
     def run_cycle(self) -> None:
         """One full cycle: churn, refresh, protocol round, advance."""
         self._stats.begin_cycle()
-        self._apply_churn()
+        plan = self._new_plan()
+        self._apply_churn(plan)
         if self.sampler == "uniform":
-            refresh_views_uniform(self.state, self.np_rng("sampler"))
+            refresh_views_uniform(self.state, plan)
         else:
-            refresh_views(self.state, self.np_rng("sampler"))
+            refresh_views(self.state, plan)
         if self._is_ranking():
             ranking_round(
                 self.state,
                 self.geometry,
-                self.np_rng("ranking"),
+                plan,
                 boundary_bias=self.boundary_bias,
                 window=self.window,
                 stats=self._stats,
@@ -361,7 +383,7 @@ class VectorSimulation:
         else:
             ordering_round(
                 self.state,
-                self.np_rng("ordering"),
+                plan,
                 selection=_ORDERING_SELECTION[self.protocol],
                 stats=self._stats,
             )
@@ -379,13 +401,11 @@ class VectorSimulation:
             for collector in collectors:
                 collector.collect(self)
 
-    def _apply_churn(self) -> None:
+    def _apply_churn(self, plan: CyclePlan) -> None:
         if self.churn is None:
             return
         if self._bulk_churn is not None:
-            departed, joined = self._bulk_churn.apply(
-                self.state, self._cycle, self.np_rng("churn")
-            )
+            departed, joined = plan.churn(self._bulk_churn, self.state, self._cycle)
             if len(joined):
                 self.state.value[joined] = self._draw_initial_values(len(joined))
             if len(departed) or len(joined):

@@ -11,7 +11,6 @@ property the test suite checks across all of these.
 
 from __future__ import annotations
 
-import math
 import random
 from abc import ABC, abstractmethod
 from typing import List, Sequence

@@ -1,6 +1,5 @@
 """Unit + behaviour tests for the ranking protocol (Figure 5)."""
 
-import pytest
 
 from repro.core.protocol import MSG_UPD
 from repro.core.ranking import RankingProtocol

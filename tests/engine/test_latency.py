@@ -1,6 +1,5 @@
 """Unit tests for message-latency models."""
 
-import random
 
 import pytest
 

@@ -62,6 +62,14 @@ class TestFig4c:
             "jk-half", "jk-full", "mod-jk-half", "mod-jk-full",
         }
 
+    def test_runs_on_vectorized_backend(self):
+        # The batched overlap model makes this study legal at scale.
+        result = run_fig4c(cycles=30, backend="vectorized", **SMALL)
+        assert result.scalars["mod-jk-full@c10"] > 0
+        assert (
+            result.scalars["mod-jk-full@c10"] >= result.scalars["mod-jk-half@c10"]
+        )
+
 
 class TestFig4d:
     def test_concurrency_impact_slight(self):
@@ -73,6 +81,13 @@ class TestFig4d:
         assert none_series.final < none_series.values[0] / 5
         assert full_series.final < full_series.values[0] / 5
         assert result.scalars["full_over_none_final_ratio"] < 3.0
+
+    def test_runs_on_vectorized_backend(self):
+        result = run_fig4d(cycles=120, backend="vectorized", **SMALL)
+        none_series = result.series["no-concurrency"]
+        full_series = result.series["full-concurrency"]
+        assert none_series.final < none_series.values[0] / 5
+        assert full_series.final < full_series.values[0] / 5
 
 
 class TestFig6a:

@@ -7,7 +7,6 @@ from repro.core.ranking import RankingProtocol
 from repro.core.slices import SlicePartition
 from repro.engine.simulator import CycleSimulation
 from repro.metrics.collectors import PopulationCollector, SliceDisorderCollector
-from repro.metrics.disorder import slice_disorder
 from repro.workloads.attributes import UniformAttributes
 
 

@@ -19,7 +19,6 @@ from repro.sampling.cyclon_variant import CyclonVariantSampler
 from repro.sampling.uniform import UniformOracleSampler
 from repro.workloads.attributes import (
     BimodalAttributes,
-    DiscreteAttributes,
     ExponentialAttributes,
     NormalAttributes,
     ParetoAttributes,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.slices import SlicePartition
 from repro.metrics.collectors import (
     DistinctValueCollector,
     FunctionCollector,

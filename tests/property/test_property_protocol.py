@@ -7,7 +7,6 @@ simulation), so example counts are tuned down.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.slices import SlicePartition
 from repro.metrics.disorder import global_disorder
 from tests.conftest import make_ordering_sim, make_ranking_sim
 

@@ -154,8 +154,9 @@ class TestServiceSeam:
     @pytest.mark.parametrize(
         "kwargs,match",
         [
-            (dict(backend="vectorized", concurrency=0.5), "atomic exchanges"),
+            (dict(backend="vectorized", concurrency="sometimes"), "unknown concurrency"),
             (dict(backend="reference", workers=4), "single-process"),
+            (dict(backend="vectorized", workers=2), "single-process"),
             (dict(backend="sharded", workers=-1), "positive integer"),
             (dict(backend="bogus"), "unknown backend"),
         ],
@@ -166,7 +167,17 @@ class TestServiceSeam:
 
     def test_validation_names_supported_combinations(self):
         with pytest.raises(ValueError) as excinfo:
-            SlicingService(size=50, backend="vectorized", concurrency="half")
+            SlicingService(size=50, backend="vectorized", workers=8)
         message = str(excinfo.value)
         assert "backend='reference'" in message
         assert "backend='sharded'" in message
+
+    @pytest.mark.parametrize("concurrency", ["half", "full"])
+    def test_concurrency_now_legal_on_bulk_backends(self, concurrency):
+        with SlicingService(
+            size=80, slices=4, algorithm="ordering", backend="sharded",
+            workers=2, concurrency=concurrency, seed=11,
+        ) as service:
+            service.run(3)
+            assert service.cycle == 3
+            assert service.simulation.bus_stats.overlapping > 0

@@ -39,6 +39,7 @@ def assert_states_identical(sim_a, sim_b):
     assert sim_a.bus_stats.sent == sim_b.bus_stats.sent
     assert sim_a.bus_stats.swaps == sim_b.bus_stats.swaps
     assert sim_a.bus_stats.unsuccessful_swaps == sim_b.bus_stats.unsuccessful_swaps
+    assert sim_a.bus_stats.overlapping == sim_b.bus_stats.overlapping
 
 
 def paired_runs(protocol, workers, cycles=6, **overrides):
@@ -117,6 +118,60 @@ class TestPoolBitwise:
             pooled.run(8)
             assert_states_identical(inline, pooled)
         inline.close()
+
+
+class TestConcurrencyParity:
+    """The planned message-overlap model is part of the shared cycle
+    plan, so sharded output stays bitwise identical to vectorized at
+    every worker count under ``half``/``full`` concurrency too."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("concurrency", ["half", "full"])
+    def test_ordering_identical(self, workers, concurrency):
+        vectorized, sharded = paired_runs(
+            "mod-jk", workers=workers, concurrency=concurrency
+        )
+        try:
+            assert_states_identical(vectorized, sharded)
+            assert vectorized.bus_stats.overlapping > 0
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_jk_full_identical(self, workers):
+        vectorized, sharded = paired_runs(
+            "jk", workers=workers, concurrency="full"
+        )
+        try:
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
+
+    def test_exact_window_identical_under_concurrency(self):
+        # Overlap reorders the UPD event stream, which the exact
+        # bit-packed window observes — the order must be planned once.
+        vectorized, sharded = paired_runs(
+            "ranking-window", workers=2, window=15, concurrency="half"
+        )
+        try:
+            assert_states_identical(vectorized, sharded)
+            state_v, state_s = vectorized.state, sharded.state
+            assert np.array_equal(
+                state_v.win_bits[: state_v.size], state_s.win_bits[: state_s.size]
+            )
+        finally:
+            sharded.close()
+
+    def test_identical_under_concurrency_and_churn(self):
+        churn = RegularChurn(rate=0.01, period=2)
+        vectorized, sharded = paired_runs(
+            "mod-jk", workers=3, cycles=8, churn=churn, concurrency="half"
+        )
+        try:
+            assert vectorized.state.size > 300  # churn actually fired
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
 
 
 class TestCrossBackendStatistical:

@@ -72,6 +72,83 @@ class TestRankingEquivalence:
         assert corr > 0.98
 
 
+class TestConcurrencyEquivalence:
+    """The bulk backends' batched overlap model reproduces the
+    reference engine's Section-4.5.2 behaviour statistically at n=1k.
+
+    The anchors are the paper's Figure 4(c)/(d) claims: unsuccessful
+    swaps grow with the overlap probability (and mod-JK wastes more
+    than JK), while convergence survives full concurrency with only a
+    modest slowdown.
+    """
+
+    @staticmethod
+    def unsuccessful_pct(spec):
+        values = []
+        for seed in SEEDS:
+            sim = build_simulation(spec.with_overrides(seed=seed))
+            sim.run(spec.cycles)
+            stats = sim.bus_stats
+            values.append(
+                100.0 * stats.unsuccessful_swaps / max(stats.intended_swaps, 1)
+            )
+        return float(np.mean(values))
+
+    @pytest.mark.parametrize("protocol", ["mod-jk", "jk"])
+    def test_unsuccessful_swaps_match_reference(self, protocol):
+        base = RunSpec(
+            n=1000, cycles=30, slice_count=10, view_size=10, protocol=protocol
+        )
+        pct = {
+            (backend, concurrency): self.unsuccessful_pct(
+                base.with_overrides(backend=backend, concurrency=concurrency)
+            )
+            for backend in ("reference", "vectorized")
+            for concurrency in ("none", "half", "full")
+        }
+        for backend in ("reference", "vectorized"):
+            # Atomic exchanges never fail; more overlap wastes more.
+            assert pct[(backend, "none")] == 0.0
+            assert pct[(backend, "full")] > pct[(backend, "half")] > 0.0
+        for concurrency in ("half", "full"):
+            ref, vec = pct[("reference", concurrency)], pct[("vectorized", concurrency)]
+            assert 0.5 * ref <= vec <= 2.0 * ref, (concurrency, ref, vec)
+
+    def test_modjk_wastes_more_than_jk_under_full(self):
+        base = RunSpec(
+            n=1000, cycles=30, slice_count=10, view_size=10,
+            backend="vectorized", concurrency="full",
+        )
+        modjk = self.unsuccessful_pct(base.with_overrides(protocol="mod-jk"))
+        jk = self.unsuccessful_pct(base.with_overrides(protocol="jk"))
+        assert modjk > jk
+
+    def test_full_concurrency_sdm_band_vs_reference(self):
+        # Figure 4(d) under the bulk model: the SDM trajectory under
+        # full concurrency stays within a constant band of the
+        # reference engine's.
+        spec = RunSpec(
+            n=1000, cycles=30, slice_count=10, view_size=10,
+            protocol="mod-jk", concurrency="full",
+        )
+        ref, vec = mean_curves(spec)
+        assert vec[0] == pytest.approx(ref[0], rel=0.15)
+        for t in (5, 10, 20, 30):
+            assert 0.5 * ref[t] <= vec[t] <= 1.5 * ref[t], (t, ref[t], vec[t])
+
+    def test_ranking_unaffected_by_overlap(self):
+        # One-way UPD messages compare immutable attributes, so overlap
+        # reorders the event stream without changing the counters: the
+        # plain-ranking trajectory is identical under any regime.
+        base = RunSpec(
+            n=500, cycles=15, slice_count=10, view_size=10,
+            protocol="ranking", backend="vectorized",
+        )
+        none_curve, _ = sdm_curve(base)
+        full_curve, _ = sdm_curve(base.with_overrides(concurrency="full"))
+        assert np.array_equal(none_curve, full_curve)
+
+
 class TestOrderingEquivalence:
     def test_both_backends_reach_their_floor(self):
         spec = RunSpec(

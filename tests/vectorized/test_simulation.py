@@ -41,9 +41,17 @@ class TestConstruction:
         with pytest.raises(ValueError, match="sampler"):
             make_sim(sampler="newscast")
 
-    def test_rejects_concurrency(self):
-        with pytest.raises(ValueError, match="atomic exchanges"):
-            make_sim(concurrency="full")
+    def test_rejects_malformed_concurrency(self):
+        with pytest.raises(ValueError, match="unknown concurrency"):
+            make_sim(concurrency="sometimes")
+        with pytest.raises(ValueError, match="probability"):
+            make_sim(concurrency=1.5)
+
+    @pytest.mark.parametrize("concurrency", ["none", "half", "full", 0.25])
+    def test_accepts_concurrency_regimes(self, concurrency):
+        sim = make_sim(concurrency=concurrency)
+        sim.run_cycle()
+        assert sim.now == 1
 
     def test_explicit_attributes(self):
         attrs = [0.1 * i for i in range(10)]
