@@ -22,6 +22,10 @@ This package is the single source of that schedule:
   artificial message-overlap model in batched form: planned overlap
   masks split each exchange into a REQ phase and a deferred-ACK apply
   phase, reproducing the reference engine's stale one-sided swaps.
+* :mod:`~repro.bulk.rebalance` — plan-level shard load rebalancing:
+  dead-row compaction as an RNG-free relabeling permutation, its
+  worker-count-independent trigger (occupancy probe + live-load
+  ratio), and the recomputed shard boundaries.
 
 The plan records a step trace (:attr:`CyclePlan.steps`); the parity
 tests assert the two backends produce identical traces, which is what
@@ -36,10 +40,12 @@ from repro.bulk.concurrency import (
 )
 from repro.bulk.matching import iter_disjoint_waves
 from repro.bulk.plan import CyclePlan
+from repro.bulk.rebalance import RebalancePlan
 
 __all__ = [
     "CyclePlan",
     "InlineExchangeApplier",
+    "RebalancePlan",
     "deliver_one_sided",
     "iter_disjoint_waves",
     "run_exchanges",

@@ -33,6 +33,12 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.bulk.matching import iter_disjoint_waves
+from repro.bulk.rebalance import (
+    RebalancePlan,
+    live_load_ratio,
+    occupancy_counts,
+    validate_rebalance_knobs,
+)
 
 __all__ = ["CyclePlan"]
 
@@ -50,6 +56,12 @@ class CyclePlan:
         any one protocol message is an *overlapping* message
         (Section 4.5.2).  0 models atomic exchanges; 0.5 and 1.0 are
         the paper's ``half`` and ``full`` regimes.
+    rebalance_every, rebalance_threshold:
+        Dead-row compaction triggers (:mod:`repro.bulk.rebalance`):
+        compact on every ``rebalance_every``-th cycle, and/or whenever
+        the max/min live-load ratio over the fixed probe partition
+        exceeds ``rebalance_threshold``.  ``None`` disables a trigger;
+        both ``None`` (the default) disables rebalancing entirely.
     """
 
     #: Stream used for overlap masks and flush shuffles.  Separate from
@@ -61,13 +73,18 @@ class CyclePlan:
         self,
         rng_of: Callable[[str], np.random.Generator],
         overlap_probability: float = 0.0,
+        rebalance_every: Optional[int] = None,
+        rebalance_threshold: Optional[float] = None,
     ) -> None:
         if not 0.0 <= overlap_probability <= 1.0:
             raise ValueError(
                 f"overlap probability must be in [0, 1], got {overlap_probability}"
             )
+        validate_rebalance_knobs(rebalance_every, rebalance_threshold)
         self._rng_of = rng_of
         self.overlap_probability = float(overlap_probability)
+        self.rebalance_every = rebalance_every
+        self.rebalance_threshold = rebalance_threshold
         #: Trace of plan points served: ``(name, size)`` tuples.
         self.steps: List[Tuple[str, int]] = []
 
@@ -87,6 +104,39 @@ class CyclePlan:
         departed, joined = bulk_churn.apply(state, cycle, self.rng("churn"))
         self._note("churn", len(departed) + len(joined))
         return departed, joined
+
+    # ------------------------------------------------------------------
+    # Shard load rebalancing (dead-row compaction)
+    # ------------------------------------------------------------------
+
+    def rebalance(self, state, cycle: int) -> Optional[RebalancePlan]:
+        """Decide whether this cycle compacts the dead rows away.
+
+        The decision is a pure function of the state, the cycle counter
+        and the knobs — no RNG, and no dependence on the worker count
+        (the skew probe uses the fixed
+        :data:`~repro.bulk.rebalance.REBALANCE_PROBE_SHARDS` partition)
+        — so every backend and every worker count reaches the same
+        decision and applies the same permutation, preserving bitwise
+        parity.  Returns the :class:`RebalancePlan` to apply, or
+        ``None``.
+        """
+        every, threshold = self.rebalance_every, self.rebalance_threshold
+        if every is None and threshold is None:
+            return None
+        live = state.live_ids()
+        if len(live) < 2 or len(live) == state.size:
+            return None  # nothing dead below the high-water mark
+        ratio = live_load_ratio(occupancy_counts(live, state.size))
+        triggered = every is not None and (cycle + 1) % every == 0
+        if threshold is not None and ratio > threshold:
+            triggered = True
+        if not triggered:
+            return None
+        self._note("rebalance", len(live))
+        return RebalancePlan(
+            live=live.copy(), old_size=int(state.size), ratio=float(ratio)
+        )
 
     # ------------------------------------------------------------------
     # View refresh (the Cyclon-variant membership round)

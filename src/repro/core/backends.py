@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Protocol, Tuple, runtime_checkable
 
+from repro.bulk.rebalance import validate_rebalance_knobs
 from repro.core.ordering import OrderingProtocol
 from repro.core.ranking import DEFAULT_WINDOW, RankingProtocol
 from repro.engine.network import ConcurrencyModel
@@ -73,17 +74,27 @@ class BackendSpec:
 
     ``factory`` receives the service-level keyword arguments (``size``,
     ``partition``, ``algorithm``, ``window``, ``attributes``,
-    ``view_size``, ``concurrency``, ``workers``, ``churn``, ``seed``)
-    and returns a ready :class:`SimulationBackend`.  ``multiprocess``
-    states whether the engine accepts ``workers > 1``.
+    ``view_size``, ``concurrency``, ``workers``, ``churn``,
+    ``rebalance_every``, ``rebalance_threshold``, ``seed``) and
+    returns a ready :class:`SimulationBackend`.  ``multiprocess``
+    states whether the engine accepts ``workers > 1``; ``rebalances``
+    whether it serves the plan-driven dead-row compaction knobs
+    (:mod:`repro.bulk.rebalance`).
     """
 
     name: str
     summary: str
     factory: Callable[..., SimulationBackend]
     multiprocess: bool = False
+    rebalances: bool = False
 
-    def validate(self, concurrency, workers) -> None:
+    def validate(
+        self,
+        concurrency,
+        workers,
+        rebalance_every=None,
+        rebalance_threshold=None,
+    ) -> None:
         """Fail fast on parameters this backend cannot serve, naming
         the supported combinations."""
         # Every backend shares the reference spec grammar for the
@@ -101,6 +112,16 @@ class BackendSpec:
                     f"workers={workers} was requested — multi-process "
                     "execution needs backend='sharded'" + _supported_suffix()
                 )
+        validate_rebalance_knobs(rebalance_every, rebalance_threshold)
+        if (rebalance_every is not None or rebalance_threshold is not None) and (
+            not self.rebalances
+        ):
+            raise ValueError(
+                f"backend={self.name!r} does not support live-load "
+                "rebalancing (rebalance_every / rebalance_threshold) — "
+                "dead-row compaction is a bulk-backend feature"
+                + _supported_suffix()
+            )
 
     def create(self, **kwargs) -> SimulationBackend:
         return self.factory(**kwargs)
@@ -132,9 +153,10 @@ def supported_combinations() -> Tuple[str, ...]:
     lines = []
     for spec in _REGISTRY.values():
         workers = "None or any N >= 1" if spec.multiprocess else "None or 1"
+        rebalancing = ", rebalancing" if spec.rebalances else ""
         lines.append(
             f"backend={spec.name!r}: any concurrency, workers={workers}"
-            f" ({spec.summary})"
+            f"{rebalancing} ({spec.summary})"
         )
     return tuple(lines)
 
@@ -168,7 +190,10 @@ def slicer_factory(partition, algorithm: str, window) -> Callable:
 def _reference_factory(
     *, size, partition, algorithm, window, attributes, view_size,
     concurrency, workers, churn, seed,
+    rebalance_every=None, rebalance_threshold=None,
 ):
+    # The rebalance knobs are rejected for this backend by validate();
+    # they appear here only so spec.create() can pass one kwargs dict.
     from repro.engine.simulator import CycleSimulation
 
     return CycleSimulation(
@@ -231,6 +256,7 @@ register_backend(
         name="vectorized",
         summary="numpy bulk engine, ~10^6 nodes",
         factory=_vectorized_factory,
+        rebalances=True,
     )
 )
 register_backend(
@@ -239,5 +265,6 @@ register_backend(
         summary="multi-process shared-memory engine, ~10^7 nodes",
         factory=_sharded_factory,
         multiprocess=True,
+        rebalances=True,
     )
 )

@@ -78,6 +78,15 @@ class SlicingService:
         (``"none"``/``"half"``/``"full"`` or an overlap probability) —
         supported by every backend; the bulk backends run it in
         batched form (:mod:`repro.bulk.concurrency`).
+    rebalance_every, rebalance_threshold:
+        Bulk backends only — plan-driven dead-row compaction
+        (:mod:`repro.bulk.rebalance`): compact every
+        ``rebalance_every`` cycles and/or when the max/min live-load
+        ratio over the occupancy probe exceeds
+        ``rebalance_threshold``.  Keeps long correlated-churn runs
+        compact (and, on ``backend="sharded"``, keeps the worker
+        loads even).  A compaction relabels node ids, so ids obtained
+        from :meth:`join`/:meth:`members` are not stable across one.
     attributes, view_size, seed, churn:
         Forwarded to the underlying simulation.
     """
@@ -91,6 +100,8 @@ class SlicingService:
         backend: str = "reference",
         workers: Optional[int] = None,
         concurrency: Union[str, float] = "none",
+        rebalance_every: Optional[int] = None,
+        rebalance_threshold: Optional[float] = None,
         attributes: Union[AttributeDistribution, Sequence[float], None] = None,
         view_size: int = 10,
         seed: int = 0,
@@ -100,7 +111,12 @@ class SlicingService:
         self.algorithm = algorithm
         self.backend = backend
         spec = get_backend(backend)
-        spec.validate(concurrency=concurrency, workers=workers)
+        spec.validate(
+            concurrency=concurrency,
+            workers=workers,
+            rebalance_every=rebalance_every,
+            rebalance_threshold=rebalance_threshold,
+        )
         self._sim = spec.create(
             size=size,
             partition=self.partition,
@@ -111,6 +127,8 @@ class SlicingService:
             concurrency=concurrency,
             workers=workers,
             churn=churn,
+            rebalance_every=rebalance_every,
+            rebalance_threshold=rebalance_threshold,
             seed=seed,
         )
         self._subscribers: List[Callable[[SliceChange], None]] = []

@@ -63,6 +63,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: all CPU cores)",
     )
     parser.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bulk backends: compact dead rows (and rebalance the "
+        "sharded worker loads) every K cycles — effective on the "
+        "churn figures (fig6c, fig6d)",
+    )
+    parser.add_argument(
+        "--rebalance-threshold",
+        type=float,
+        default=None,
+        metavar="R",
+        help="bulk backends: compact when the max/min live-load ratio "
+        "over the occupancy probe exceeds R (> 1.0) — effective on "
+        "the churn figures (fig6c, fig6d)",
+    )
+    parser.add_argument(
         "--max-rows", type=int, default=20, help="table rows per series"
     )
     parser.add_argument(
@@ -87,6 +105,10 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["backend"] = args.backend
     if args.workers is not None and "workers" in accepted:
         kwargs["workers"] = args.workers
+    for knob in ("rebalance_every", "rebalance_threshold"):
+        value = getattr(args, knob)
+        if value is not None and knob in accepted:
+            kwargs[knob] = value
     started = time.time()
     result = function(**kwargs)
     elapsed = time.time() - started

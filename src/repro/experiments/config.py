@@ -96,6 +96,14 @@ class RunSpec:
         Bulk backends only: opt into the counter-rescaling
         approximation of the sliding window instead of the default
         exact bit-packed buffers.
+    rebalance_every, rebalance_threshold:
+        Bulk backends only: plan-driven dead-row compaction
+        (:mod:`repro.bulk.rebalance`) every ``rebalance_every``
+        cycles and/or when the max/min live-load ratio over the
+        occupancy probe exceeds ``rebalance_threshold`` — keeps the
+        sharded backend's worker loads even under long correlated
+        churn (compactions relabel node ids but never change
+        results across backends/worker counts).
     seed:
         Root seed — a run is a pure function of its spec.  A sharded
         run is additionally independent of its worker count (bitwise
@@ -120,6 +128,8 @@ class RunSpec:
     backend: str = "reference"
     workers: Optional[int] = None
     window_approx: bool = False
+    rebalance_every: Optional[int] = None
+    rebalance_threshold: Optional[float] = None
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "RunSpec":
@@ -147,6 +157,10 @@ class RunSpec:
             bits.append(f"backend={self.backend}")
         if self.workers is not None:
             bits.append(f"workers={self.workers}")
+        if self.rebalance_every is not None:
+            bits.append(f"rebalance_every={self.rebalance_every}")
+        if self.rebalance_threshold is not None:
+            bits.append(f"rebalance_threshold={self.rebalance_threshold}")
         if self.churn is not None:
             bits.append(f"churn={self.churn}")
         bits.append(f"seed={self.seed}")
@@ -220,7 +234,12 @@ def build_simulation(spec: RunSpec):
     four samplers) the registry's service surface does not model.
     """
     backend_spec = get_backend(spec.backend)
-    backend_spec.validate(concurrency=spec.concurrency, workers=spec.workers)
+    backend_spec.validate(
+        concurrency=spec.concurrency,
+        workers=spec.workers,
+        rebalance_every=spec.rebalance_every,
+        rebalance_threshold=spec.rebalance_threshold,
+    )
     partition = spec.partition()
     if spec.backend == "reference":
         return CycleSimulation(
@@ -254,5 +273,7 @@ def build_simulation(spec: RunSpec):
         window_approx=spec.window_approx,
         concurrency=spec.concurrency,
         workers=spec.workers,
+        rebalance_every=spec.rebalance_every,
+        rebalance_threshold=spec.rebalance_threshold,
         seed=spec.seed,
     )

@@ -427,6 +427,8 @@ def run_fig6c(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    rebalance_every=None,
+    rebalance_threshold=None,
 ) -> FigureResult:
     """Figure 6(c): churn burst — ``churn_rate`` of the nodes leave and
     join per cycle (paper: 0.1%) for the first ``burst_end`` cycles,
@@ -442,6 +444,7 @@ def run_fig6c(
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
         churn="burst", churn_rate=churn_rate, churn_burst_end=burst_end, seed=seed, backend=backend, workers=workers,
+        rebalance_every=rebalance_every, rebalance_threshold=rebalance_threshold,
     )
     jk_series, _sim, _values = _sdm_run(base.with_overrides(protocol="jk"))
     ranking_series, _sim, _values = _sdm_run(
@@ -488,6 +491,8 @@ def run_fig6d(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    rebalance_every=None,
+    rebalance_threshold=None,
 ) -> FigureResult:
     """Figure 6(d): low regular churn (``churn_rate`` every 10 cycles,
     paper: 0.1%, correlated) — ordering vs ranking vs sliding-window
@@ -504,6 +509,7 @@ def run_fig6d(
     base = RunSpec(
         n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
         churn="regular", churn_rate=churn_rate, churn_period=10, seed=seed, backend=backend, workers=workers,
+        rebalance_every=rebalance_every, rebalance_threshold=rebalance_threshold,
     )
     ordering_series, _sim, _values = _sdm_run(
         base.with_overrides(protocol="mod-jk")

@@ -29,6 +29,19 @@ all bulk data (state columns, random blocks, proposal/wave lists,
 metric merge buffers) lives in shared memory.  Bulk metrics reduce
 across shards (each shard sorts and ranks its own rows against the
 others' published sort keys — :mod:`repro.sharded.metrics`).
+
+Long correlated-churn runs concentrate dead rows in the low shards
+(ids are append-only and the original cohort dies first).  With the
+``rebalance_every`` / ``rebalance_threshold`` knobs the cycle gains a
+**rebalance phase** (:mod:`repro.bulk.rebalance`): the plan decides a
+dead-row compaction permutation, the workers migrate rows through
+barrier-separated pack/unpack rounds over a shared staging buffer, and
+the shard boundaries are recomputed over the compacted live span.
+Because the permutation and its trigger live in the plan (no RNG, no
+worker-count dependence), the rebalanced run stays bitwise identical
+to the vectorized backend at every worker count.  Per-shard live-row
+occupancy is tracked in shared memory every refresh
+(``shard_live_loads()`` / ``shard_load_ratio()``).
 """
 
 from __future__ import annotations
@@ -41,20 +54,16 @@ from typing import Optional
 import numpy as np
 
 from repro.bulk.concurrency import run_exchanges
+from repro.bulk.rebalance import live_load_ratio, migration_columns, rebalance_bounds
 from repro.core.ordering import SELECTION_RANDOM, SELECTION_RANDOM_MISPLACED
 from repro.sharded.kernels import DISPATCH, ShardContext
 from repro.sharded.shm import InlineScratch, SharedBlock, SharedScratch
+from repro.vectorized import metrics as vmetrics
 from repro.vectorized.simulation import VectorSimulation, _ORDERING_SELECTION
 from repro.vectorized.state import ArrayState, column_spec
 from repro.metrics.statistics import z_value
 
 __all__ = ["ShardedSimulation"]
-
-
-def _shard_bounds(capacity: int, workers: int):
-    """Contiguous row ranges, one per worker, covering ``[0, capacity)``."""
-    edges = np.linspace(0, capacity, workers + 1).astype(np.int64)
-    return [(int(edges[i]), int(edges[i + 1])) for i in range(workers)]
 
 
 def _prefix_offsets(counts):
@@ -107,7 +116,14 @@ class _PoolExecutor:
 
     def __init__(self, sim: "ShardedSimulation") -> None:
         self.scratch = SharedScratch()
-        self.bounds = _shard_bounds(sim.state.capacity, sim.workers)
+        # Initial boundaries split the populated span ``[0, size)``
+        # evenly (the last shard absorbs the spare capacity, where
+        # joiners append) — the same rule a rebalance re-applies over
+        # the compacted live span.  Bounds never affect results, only
+        # which worker does which rows' work.
+        self.bounds = rebalance_bounds(
+            sim.state.size, sim.workers, sim.state.capacity
+        )
         self._state = sim.state
         method = os.environ.get("REPRO_SHARDED_START_METHOD") or (
             "fork"
@@ -369,6 +385,7 @@ class ShardedSimulation(VectorSimulation):
         self._stats.begin_cycle()
         plan = self._new_plan()
         self._apply_churn(plan)
+        self._maybe_rebalance(plan)
         if self.state.live_count >= 2:
             executor = self._executor()
             self._refresh_phases(executor, plan, uniform=self.sampler == "uniform")
@@ -383,12 +400,106 @@ class ShardedSimulation(VectorSimulation):
             payloads = [{}] * len(executor.bounds)
         return executor.run(command, payloads)
 
+    def _apply_rebalance(self, decision) -> None:
+        """Execute one planned compaction as a distributed row
+        migration over the existing wave-boundary sync.
+
+        Each column moves in two barrier-separated phases — **pack**
+        (every worker gathers the live rows of its *old* range into a
+        shared staging window at the rows' new positions) and
+        **unpack** (every worker writes its *new* range back from
+        staging, relabeling view ids through the migration map) — so
+        no worker ever reads a row another worker is rewriting.  A
+        final **commit** message installs the recomputed shard
+        boundaries; the permutation itself comes from the plan, so the
+        arrays end up byte-identical to the vectorized backend's
+        :func:`~repro.bulk.rebalance.compact_state`.
+        """
+        state = self.state
+        executor = self._executor()
+        scratch = executor.scratch
+        new_size, old_size = decision.new_size, decision.old_size
+        # Publish the permutation: the live gather list (new row k
+        # reads old row live[k]) and the old->new relabeling map.
+        live = scratch.ensure("mig_live", np.int64, new_size)
+        live[:new_size] = decision.live
+        id_map = scratch.ensure("mig_map", np.int64, old_size)
+        id_map[:old_size] = decision.id_map()
+        # One byte buffer stages the widest column; kernels view it
+        # with each column's own dtype (rounded to 8 so any itemsize
+        # divides the allocation).
+        columns = migration_columns(state)
+        row_bytes = max(
+            getattr(state, name).dtype.itemsize
+            * (getattr(state, name).shape[1] if getattr(state, name).ndim == 2 else 1)
+            for name in columns
+        )
+        scratch.ensure(
+            "mig_bytes", np.uint8, -(-(state.capacity * row_bytes) // 8) * 8
+        )
+        pack_runs = _shard_run_payloads(
+            executor.bounds, state.capacity, decision.live
+        )
+        new_bounds = rebalance_bounds(
+            new_size, len(executor.bounds), state.capacity
+        )
+        for name in columns:
+            executor.run(
+                "rebalance_pack",
+                [{"column": name, **run} for run in pack_runs],
+            )
+            executor.run(
+                "rebalance_unpack",
+                [
+                    {"column": name, "lo": lo, "hi": hi, "new_size": new_size}
+                    for lo, hi in new_bounds
+                ],
+            )
+        # The driver is the single writer of the liveness/size
+        # metadata (exactly as for churn); workers pick the new size
+        # up from the commit broadcast below.
+        state.alive[:new_size] = True
+        state.alive[new_size:old_size] = False
+        state.size = new_size
+        state._live_dirty = True
+        state.maybe_dead_entries = False
+        replies = executor.run(
+            "rebalance_commit", [{"lo": lo, "hi": hi} for lo, hi in new_bounds]
+        )
+        committed = [(reply["lo"], reply["hi"]) for reply in replies]
+        if committed != new_bounds:
+            raise RuntimeError(
+                "rebalance commit failed: workers adopted bounds "
+                f"{committed}, driver computed {new_bounds}"
+            )
+        executor.bounds = new_bounds
+
+    def shard_live_loads(self) -> list:
+        """Per-shard live-row counts from the last view refresh
+        (shard order).  Empty before the first refresh."""
+        if self._live_counts is None:
+            return []
+        return [int(count) for count in self._live_counts]
+
+    def shard_load_ratio(self) -> float:
+        """Max/min live-load ratio across the shards at the last
+        refresh (``inf`` if some shard held no live rows; 1.0 before
+        the first refresh or with a single worker)."""
+        return live_load_ratio(np.asarray(self.shard_live_loads(), dtype=np.int64))
+
     def _refresh_phases(self, executor, plan, uniform: bool) -> None:
         state = self.state
+        shards = len(executor.bounds)
+        occupancy = executor.scratch.ensure("occupancy", np.int64, shards)
         replies = self._broadcast(
-            executor, "refresh_age", [{"uniform": uniform}] * len(executor.bounds)
+            executor,
+            "refresh_age",
+            [{"uniform": uniform, "shard": index} for index in range(shards)],
         )
-        live_counts = [reply["live"] for reply in replies]
+        # Live counts ride the shared occupancy slots (one per shard,
+        # written by refresh_age) — the load tracking shard_live_loads()
+        # and the skewed-churn benchmark read.
+        live_counts = [int(count) for count in occupancy[:shards]]
         empty_counts = [reply["empty"] for reply in replies]
         live_offsets, live_total = _prefix_offsets(live_counts)
         self._live_counts, self._live_offsets = live_counts, live_offsets
@@ -617,11 +728,27 @@ class ShardedSimulation(VectorSimulation):
         if total == 0:
             stats = (0.0, 1.0)
         else:
-            replies = self._broadcast(
-                executor, "metric_sdm", [{"n_live": total}] * len(executor.bounds)
+            # Exact reduction: each shard publishes an integer
+            # (truth, believed) histogram; summing counts is rounding-
+            # free, and the single weighted sum below is the same
+            # canonical-order computation slice_disorder_arrays runs —
+            # so SDM/accuracy are bitwise worker-count independent.
+            shards = len(executor.bounds)
+            cells = len(self.partition) ** 2
+            executor.scratch.ensure("sdm_counts", np.int64, shards * cells)
+            self._broadcast(
+                executor,
+                "metric_sdm",
+                [{"n_live": total, "slot": index} for index in range(shards)],
             )
-            sdm = sum(reply["sdm"] for reply in replies)
-            accurate = sum(reply["accurate"] for reply in replies)
+            counts = (
+                executor.scratch["sdm_counts"][: shards * cells]
+                .reshape(shards, cells)
+                .sum(axis=0)
+                .reshape(len(self.partition), len(self.partition))
+            )
+            sdm = vmetrics.sdm_from_counts(counts, self.geometry)
+            accurate = int(np.trace(counts))
             stats = (sdm, accurate / total)
         self._slice_stats_cache = (state_tag, stats)
         return stats

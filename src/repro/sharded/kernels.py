@@ -66,12 +66,17 @@ class ShardContext:
 # ----------------------------------------------------------------------
 
 
-def cmd_refresh_age(ctx: ShardContext, uniform: bool) -> dict:
+def cmd_refresh_age(ctx: ShardContext, uniform: bool, shard: int) -> dict:
     """Age + purge this shard's live views (or blank them, for the
-    uniform oracle) and report live/empty-slot counts."""
+    uniform oracle).  The live count is published to the shared
+    ``occupancy`` slot for this shard — the per-shard load tracking
+    the driver's ``shard_live_loads()`` and the refresh's own
+    live-offset bookkeeping read; the empty-slot count rides the
+    reply."""
     state = ctx.state
     live = ctx.live_rows()
     ctx.cache = {"live": live}
+    ctx.scratch["occupancy"][shard] = len(live)
     if len(live):
         if uniform:
             state.view_ids[live] = EMPTY
@@ -84,7 +89,7 @@ def cmd_refresh_age(ctx: ShardContext, uniform: bool) -> dict:
             state.purge_dead_entries(live)
     empty_rows, empty_cols = state.empty_live_slots(ctx.lo, ctx.hi)
     ctx.cache["empty"] = (empty_rows, empty_cols)
-    return {"live": len(live), "empty": len(empty_rows)}
+    return {"empty": len(empty_rows)}
 
 
 def cmd_write_live(ctx: ShardContext, offset: int) -> dict:
@@ -340,6 +345,70 @@ def cmd_conc_ack(ctx: ShardContext, offset: int, count: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Shard load rebalancing (dead-row compaction / row migration)
+# ----------------------------------------------------------------------
+
+
+def _stage_window(ctx: ShardContext, column: str, row: int, count: int):
+    """``(column_array, staging_window)`` where the window is the
+    ``[row, row + count)`` rows of the shared byte staging buffer,
+    viewed with the column's dtype and row width."""
+    col = getattr(ctx.state, column)
+    width = col.shape[1] if col.ndim == 2 else 1
+    stage = ctx.scratch["mig_bytes"]
+    usable = (len(stage) // col.dtype.itemsize) * col.dtype.itemsize
+    typed = stage[:usable].view(col.dtype)
+    window = typed[row * width : (row + count) * width]
+    return col, window.reshape(count, width) if col.ndim == 2 else window
+
+
+def cmd_rebalance_pack(ctx: ShardContext, column: str, offset: int, count: int) -> dict:
+    """Migration pack phase: gather the live rows this shard owns
+    (one contiguous run of the planned permutation, cut by the driver)
+    into the staging buffer at the rows' *new* positions."""
+    if count:
+        col, stage = _stage_window(ctx, column, offset, count)
+        rows = ctx.scratch["mig_live"][offset : offset + count]
+        stage[...] = col[rows]
+    return {}
+
+
+def cmd_rebalance_unpack(
+    ctx: ShardContext, column: str, lo: int, hi: int, new_size: int
+) -> dict:
+    """Migration unpack phase: write this shard's *new* row range back
+    from staging.  View ids relabel through the migration map (entries
+    pointing at dead rows purge to ``EMPTY``); view ages zero where the
+    already-unpacked ids came up empty — together the exact effect of
+    :func:`repro.bulk.rebalance.remap_views` on the compacted block."""
+    stop = min(hi, new_size)
+    count = stop - lo
+    if count <= 0:
+        return {}
+    col, stage = _stage_window(ctx, column, lo, count)
+    if column == "view_ids":
+        view = stage.copy()
+        occupied = view != EMPTY
+        view[occupied] = ctx.scratch["mig_map"][view[occupied]]
+        col[lo:stop] = view
+    elif column == "view_ages":
+        ages = stage.copy()
+        ages[ctx.state.view_ids[lo:stop] == EMPTY] = 0
+        col[lo:stop] = ages
+    else:
+        col[lo:stop] = stage
+    return {}
+
+
+def cmd_rebalance_commit(ctx: ShardContext, lo: int, hi: int) -> dict:
+    """Adopt the recomputed shard boundaries (and drop any cycle cache
+    carrying pre-migration row ids)."""
+    ctx.lo, ctx.hi = int(lo), int(hi)
+    ctx.cache = {}
+    return {"lo": ctx.lo, "hi": ctx.hi}
+
+
+# ----------------------------------------------------------------------
 # Bulk metrics (tree reduction)
 # ----------------------------------------------------------------------
 
@@ -378,20 +447,23 @@ def cmd_metric_ranks(ctx: ShardContext, segments, own: int, name: str) -> dict:
     return {}
 
 
-def cmd_metric_sdm(ctx: ShardContext, n_live: int) -> dict:
-    """Partial SDM sum + accuracy count from the alpha ranks."""
+def cmd_metric_sdm(ctx: ShardContext, n_live: int, slot: int) -> dict:
+    """This shard's integer ``(truth, believed)`` assignment counts,
+    published to the shared histogram at ``slot``.  Counts reduce
+    exactly (no float rounding), so the driver's SDM/accuracy equal
+    the vectorized backend's bitwise at every worker count."""
+    geometry = ctx.geometry
+    cells = len(geometry) ** 2
+    window = ctx.scratch["sdm_counts"][slot * cells : (slot + 1) * cells]
     live = ctx.cache["m_live"]
     if len(live) == 0:
-        return {"sdm": 0.0, "accurate": 0, "n": 0}
-    geometry = ctx.geometry
+        window[:] = 0
+        return {}
     alpha = ctx.cache["alpha"]
     truth = geometry.index_of(alpha / n_live)
     believed = geometry.index_of(ctx.state.value[live])
-    return {
-        "sdm": float(geometry.slice_distance(truth, believed).sum()),
-        "accurate": int((truth == believed).sum()),
-        "n": len(live),
-    }
+    window[:] = vmetrics.assignment_counts(truth, believed, len(geometry)).ravel()
+    return {}
 
 
 def cmd_metric_gdm(ctx: ShardContext) -> dict:
@@ -436,6 +508,9 @@ DISPATCH = {
     "rank_targets": cmd_rank_targets,
     "rank_apply": cmd_rank_apply,
     "ord_select": cmd_ord_select,
+    "rebalance_pack": cmd_rebalance_pack,
+    "rebalance_unpack": cmd_rebalance_unpack,
+    "rebalance_commit": cmd_rebalance_commit,
     "conc_wave": cmd_conc_wave,
     "conc_req": cmd_conc_req,
     "conc_ack": cmd_conc_ack,

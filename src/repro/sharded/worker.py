@@ -14,9 +14,15 @@ Message format (driver -> worker)::
 ``remaps`` are scratch re-attachment notices (see
 :class:`~repro.sharded.shm.SharedScratch`); ``size`` and
 ``maybe_dead_entries`` replicate the driver's state metadata, which
-only the driver mutates (churn is planned centrally).  The worker
-replies ``("ok", result_dict)`` or ``("err", traceback_text)``; a
-``None`` message shuts it down.
+only the driver mutates (churn and rebalancing are planned centrally).
+The worker replies ``("ok", result_dict)`` or ``("err",
+traceback_text)``; a ``None`` message shuts it down.
+
+The shard's row range is *not* fixed for the worker's lifetime: a
+rebalance (``rebalance_pack`` / ``rebalance_unpack`` rounds followed
+by ``rebalance_commit`` — see :mod:`repro.bulk.rebalance`) migrates
+rows between shards and installs recomputed boundaries in the
+:class:`~repro.sharded.kernels.ShardContext`.
 """
 
 from __future__ import annotations

@@ -16,7 +16,9 @@ from repro.metrics.disorder import _rank_by
 
 __all__ = [
     "PartitionArrays",
+    "assignment_counts",
     "ranks_1based",
+    "sdm_from_counts",
     "slice_disorder_arrays",
     "global_disorder_arrays",
     "true_slice_index_arrays",
@@ -79,6 +81,16 @@ class PartitionArrays:
             / self.widths[true_idx]
         )
 
+    def slice_distance_matrix(self) -> np.ndarray:
+        """The full ``(S, S)`` table of :meth:`slice_distance` terms,
+        cached — the weights of the histogram-form SDM."""
+        matrix = getattr(self, "_distance_matrix", None)
+        if matrix is None:
+            indices = np.arange(len(self.uppers))
+            matrix = self.slice_distance(indices[:, None], indices[None, :])
+            self._distance_matrix = matrix
+        return matrix
+
 
 def ranks_1based(keys: np.ndarray, ids: np.ndarray) -> np.ndarray:
     """1-based ranks by ``keys`` with ties broken by id (the paper's
@@ -100,18 +112,43 @@ def true_slice_index_arrays(
     return geometry.index_of(alpha / n)
 
 
+def assignment_counts(
+    truth: np.ndarray, believed: np.ndarray, n_slices: int
+) -> np.ndarray:
+    """Integer ``(S, S)`` histogram of ``(true, believed)`` slice
+    assignments — the exactly-reducible form of the SDM and accuracy:
+    integer counts sum without rounding, so a distributed reduction is
+    independent of how the rows are sharded."""
+    flat = np.bincount(
+        truth * n_slices + believed, minlength=n_slices * n_slices
+    )
+    return flat.reshape(n_slices, n_slices)
+
+
+def sdm_from_counts(counts: np.ndarray, geometry: PartitionArrays) -> float:
+    """SDM from an assignment histogram: one weighted sum in canonical
+    (slice-pair) order, so every reduction path lands on the same
+    float."""
+    return float((counts * geometry.slice_distance_matrix()).sum())
+
+
 def slice_disorder_arrays(
     attributes: np.ndarray,
     values: np.ndarray,
     ids: np.ndarray,
     geometry: PartitionArrays,
 ) -> float:
-    """SDM over the given live-node arrays (Section 4.4)."""
+    """SDM over the given live-node arrays (Section 4.4).  Computed in
+    histogram form, making the value independent of row order and
+    sharding (bitwise — the sharded backend's tree reduction produces
+    this exact float at every worker count)."""
     if len(attributes) == 0:
         return 0.0
     truth = true_slice_index_arrays(attributes, ids, geometry)
     believed = geometry.index_of(values)
-    return float(geometry.slice_distance(truth, believed).sum())
+    return sdm_from_counts(
+        assignment_counts(truth, believed, len(geometry)), geometry
+    )
 
 
 def global_disorder_arrays(

@@ -39,6 +39,7 @@ from typing import Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.bulk.plan import CyclePlan
+from repro.bulk.rebalance import compact_state, validate_rebalance_knobs
 from repro.core.ordering import (
     SELECTION_MAX_GAIN,
     SELECTION_RANDOM,
@@ -213,6 +214,19 @@ class VectorSimulation:
         overlap probability — the paper's Section-4.5.2 artificial
         concurrency, batched: overlapping messages apply stale
         payloads one-sidedly after the inline exchanges.
+    rebalance_every, rebalance_threshold:
+        Dead-row compaction (:mod:`repro.bulk.rebalance`): relabel the
+        live rows onto ``[0, live_count)`` on every
+        ``rebalance_every``-th cycle, and/or whenever the max/min
+        live-load ratio over the fixed occupancy probe exceeds
+        ``rebalance_threshold``.  On this backend compaction is a pure
+        relabeling (it reclaims capacity and keeps long churn runs
+        compact); on the sharded backend the same planned permutation
+        drives the shard-boundary rebalance — and because the plan
+        decides it, the two backends stay bitwise identical.  Note
+        that a compaction relabels node ids, so the compatibility
+        API's ids are not stable across one.  Both ``None`` (default)
+        disables rebalancing.
     seed:
         Root seed; a run is a pure function of it (though its draws
         differ from the reference engine's, so cross-backend
@@ -232,6 +246,8 @@ class VectorSimulation:
         churn=None,
         window_approx: bool = False,
         concurrency: Union[str, float] = "none",
+        rebalance_every: Optional[int] = None,
+        rebalance_threshold: Optional[float] = None,
         seed: int = 0,
         trace: TraceLog = NULL_TRACE,
     ) -> None:
@@ -249,6 +265,11 @@ class VectorSimulation:
         # Shares the reference engine's spec parsing ('none'/'half'/
         # 'full' or a probability); rejects malformed specs here.
         self.concurrency = ConcurrencyModel.from_spec(concurrency)
+        validate_rebalance_knobs(rebalance_every, rebalance_threshold)
+        self.rebalance_every = rebalance_every
+        self.rebalance_threshold = rebalance_threshold
+        self._rebalance_count = 0
+        self._last_rebalance = None
         if protocol == "ranking-window" and window is None:
             window = DEFAULT_WINDOW
         self.partition = partition
@@ -359,13 +380,20 @@ class VectorSimulation:
     def _new_plan(self) -> CyclePlan:
         """One cycle's random schedule (see :mod:`repro.bulk.plan`);
         both bulk backends build their plans through this hook."""
-        return CyclePlan(self.np_rng, self.concurrency.probability)
+        return CyclePlan(
+            self.np_rng,
+            self.concurrency.probability,
+            rebalance_every=self.rebalance_every,
+            rebalance_threshold=self.rebalance_threshold,
+        )
 
     def run_cycle(self) -> None:
-        """One full cycle: churn, refresh, protocol round, advance."""
+        """One full cycle: churn, rebalance, refresh, protocol round,
+        advance."""
         self._stats.begin_cycle()
         plan = self._new_plan()
         self._apply_churn(plan)
+        self._maybe_rebalance(plan)
         if self.sampler == "uniform":
             refresh_views_uniform(self.state, plan)
         else:
@@ -415,6 +443,39 @@ class VectorSimulation:
         else:
             # Unrecognized model: drive it through the object API.
             self.churn.apply(self)
+
+    def _maybe_rebalance(self, plan: CyclePlan) -> None:
+        """Apply the plan's compaction decision, if any.  The decision
+        lives in the plan (no scheduling outside it); only the *apply*
+        differs per backend (:meth:`_apply_rebalance`)."""
+        decision = plan.rebalance(self.state, self._cycle)
+        if decision is None:
+            return
+        self._apply_rebalance(decision)
+        self._rebalance_count += 1
+        self._last_rebalance = (
+            self._cycle, decision.old_size, decision.new_size, decision.ratio,
+        )
+        self.trace.record(
+            self._cycle, "rebalance", None,
+            (decision.old_size, decision.new_size),
+        )
+
+    def _apply_rebalance(self, decision) -> None:
+        """Backend hook: execute one planned compaction.  The sharded
+        driver overrides this with the distributed row migration."""
+        compact_state(self.state, decision)
+
+    @property
+    def rebalance_count(self) -> int:
+        """How many dead-row compactions this run has applied."""
+        return self._rebalance_count
+
+    @property
+    def last_rebalance(self):
+        """``(cycle, old_size, new_size, trigger_ratio)`` of the most
+        recent compaction, or ``None``."""
+        return self._last_rebalance
 
     # ------------------------------------------------------------------
     # Bulk metrics

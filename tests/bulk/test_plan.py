@@ -137,3 +137,27 @@ class TestPlanTraceParity:
         assert vector_traces == sharded_traces
         assert len(vector_traces) == 5
         assert all(trace for trace in vector_traces)
+
+    def test_rebalance_step_traced_identically(self):
+        from repro.churn.models import RegularChurn
+
+        kwargs = dict(
+            size=200, partition=SlicePartition.equal(5), protocol="ranking",
+            view_size=6, seed=21, churn=RegularChurn(rate=0.05, period=1),
+            rebalance_every=2,
+        )
+        vectorized = VectorSimulation(**kwargs)
+        vector_traces = self.traced(vectorized, 6)
+        with ShardedSimulation(workers=2, **kwargs) as sharded:
+            sharded_traces = self.traced(sharded, 6)
+        assert vector_traces == sharded_traces
+        # The compaction is a recorded plan step, not a backend-private
+        # side effect: it shows up in the shared trace.
+        rebalance_steps = [
+            step
+            for trace in vector_traces
+            for step in trace
+            if step[0] == "rebalance"
+        ]
+        assert rebalance_steps
+        assert vectorized.rebalance_count == len(rebalance_steps)

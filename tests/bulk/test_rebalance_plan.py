@@ -1,0 +1,283 @@
+"""Property tests for the plan-level rebalancing machinery
+(:mod:`repro.bulk.rebalance`): boundary coverage, permutation
+bijectivity, occupancy accounting, trigger determinism, and the
+in-place compaction's structural invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.plan import CyclePlan
+from repro.bulk import rebalance
+from repro.bulk.rebalance import (
+    RebalancePlan,
+    compact_state,
+    live_load_ratio,
+    migration_columns,
+    occupancy_counts,
+    rebalance_bounds,
+    validate_rebalance_knobs,
+)
+from repro.vectorized.state import EMPTY, ArrayState
+
+#: Shared profile: plenty of cases but bounded tier-1 runtime.
+FAST = settings(max_examples=60, deadline=None)
+
+
+@st.composite
+def live_sets(draw):
+    """``(old_size, live)``: a population high-water mark and an
+    ascending, non-empty strict-or-full subset of its ids."""
+    old_size = draw(st.integers(min_value=2, max_value=300))
+    ids = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=old_size - 1),
+            min_size=1,
+            max_size=old_size,
+        )
+    )
+    return old_size, np.array(sorted(ids), dtype=np.int64)
+
+
+class TestSentinelPin:
+    def test_plan_layer_empty_matches_state_sentinel(self):
+        # rebalance.py duplicates the sentinel to stay import-acyclic;
+        # this is the pin that keeps the two definitions equal.
+        assert rebalance.EMPTY == EMPTY
+
+
+class TestRebalanceBounds:
+    @given(data=live_sets(), workers=st.integers(1, 9), spare=st.integers(0, 64))
+    @FAST
+    def test_bounds_cover_exactly_the_live_rows(self, data, workers, spare):
+        old_size, live = data
+        live_total = len(live)
+        capacity = old_size + spare
+        bounds = rebalance_bounds(live_total, workers, capacity)
+        assert len(bounds) == workers
+        # Contiguous, non-overlapping, covering [0, capacity).
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == capacity
+        for (_lo_a, hi_a), (lo_b, _hi_b) in zip(bounds, bounds[1:]):
+            assert hi_a == lo_b
+        assert all(lo <= hi for lo, hi in bounds)
+        # After compaction the live rows are [0, live_total): each
+        # shard's live share is its range clipped to that span, and the
+        # shares partition it exactly and near-evenly.
+        shares = [max(0, min(hi, live_total) - min(lo, live_total)) for lo, hi in bounds]
+        assert sum(shares) == live_total
+        assert max(shares) - min(shares) <= 1
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            rebalance_bounds(10, 0, 20)
+
+
+class TestPermutation:
+    @given(data=live_sets())
+    @FAST
+    def test_id_map_is_a_bijection_onto_the_compacted_range(self, data):
+        old_size, live = data
+        plan = RebalancePlan(live=live, old_size=old_size, ratio=1.0)
+        id_map = plan.id_map()
+        assert len(id_map) == old_size
+        # Live ids map onto exactly [0, len(live)), order-preserving.
+        assert np.array_equal(id_map[live], np.arange(len(live)))
+        # Dead ids all map to the purge sentinel.
+        dead = np.setdiff1d(np.arange(old_size), live)
+        assert (id_map[dead] == EMPTY).all()
+
+    @given(data=live_sets(), shards=st.integers(1, 16))
+    @FAST
+    def test_occupancy_counts_partition_the_live_set(self, data, shards):
+        old_size, live = data
+        counts = occupancy_counts(live, old_size, shards)
+        assert counts.sum() == len(live)
+        assert (counts >= 0).all()
+        assert len(counts) == max(1, min(shards, old_size))
+
+    def test_live_load_ratio_extremes(self):
+        assert live_load_ratio(np.array([5, 5, 5])) == 1.0
+        assert live_load_ratio(np.array([10, 5])) == 2.0
+        assert live_load_ratio(np.array([3, 0])) == float("inf")
+        assert live_load_ratio(np.array([0, 0])) == 1.0
+        assert live_load_ratio(np.array([], dtype=np.int64)) == 1.0
+
+
+def build_state(rng, old_size, live, window=None):
+    """An ArrayState with the given live set, random views (possibly
+    pointing at dead rows or empty), and distinguishable column data."""
+    view_size = 4
+    state = ArrayState(view_size, capacity=old_size + 8)
+    attributes = rng.random(old_size)
+    values = rng.random(old_size)
+    state.add_nodes(attributes, values)
+    if window is not None:
+        state.enable_window(window)
+        state.win_bits[:old_size] = rng.integers(
+            0, 256, size=state.win_bits[:old_size].shape
+        )
+        state.win_pos[:old_size] = rng.integers(0, window, size=old_size)
+        state.win_len[:old_size] = rng.integers(0, window, size=old_size)
+    view = rng.integers(-1, old_size, size=(old_size, view_size))
+    state.view_ids[:old_size] = view
+    ages = rng.integers(0, 9, size=(old_size, view_size)).astype(np.int32)
+    ages[view == EMPTY] = 0
+    state.view_ages[:old_size] = ages
+    dead = np.setdiff1d(np.arange(old_size), live)
+    state.remove_nodes(dead)
+    return state
+
+
+class TestCompactState:
+    @given(data=live_sets(), seed=st.integers(0, 2**32 - 1))
+    @FAST
+    def test_compaction_structural_invariants(self, data, seed):
+        old_size, live = data
+        rng = np.random.default_rng(seed)
+        state = build_state(rng, old_size, live)
+        before = {
+            name: getattr(state, name)[live].copy()
+            for name in ("attribute", "value", "joined_at", "obs_le", "obs_total")
+        }
+        old_view = state.view_ids[live].copy()
+        old_ages = state.view_ages[live].copy()
+        plan = RebalancePlan(live=live.copy(), old_size=old_size, ratio=2.0)
+        id_map = plan.id_map()
+        compact_state(state, plan)
+
+        new_size = len(live)
+        assert state.size == new_size
+        assert np.array_equal(state.live_ids(), np.arange(new_size))
+        assert not state.maybe_dead_entries
+        # Row data rode the permutation in live order.
+        for name, expected in before.items():
+            assert np.array_equal(getattr(state, name)[:new_size], expected), name
+        # Views: live entries relabel through the bijection, dead
+        # entries purge to EMPTY with age 0, nothing else changes.
+        view = state.view_ids[:new_size]
+        ages = state.view_ages[:new_size]
+        was_live_entry = (old_view != EMPTY) & state_alive_lookup(old_view, live)
+        assert np.array_equal(
+            view[was_live_entry],
+            id_map[old_view[was_live_entry]],
+        )
+        assert (view[~was_live_entry] == EMPTY).all()
+        assert (ages[~was_live_entry] == 0).all()
+        assert np.array_equal(ages[was_live_entry], old_ages[was_live_entry])
+        # No surviving entry dangles: every occupied slot names a live row.
+        occupied = view != EMPTY
+        assert ((view[occupied] >= 0) & (view[occupied] < new_size)).all()
+
+    @given(data=live_sets(), seed=st.integers(0, 2**32 - 1))
+    @FAST
+    def test_compaction_moves_window_columns(self, data, seed):
+        old_size, live = data
+        rng = np.random.default_rng(seed)
+        state = build_state(rng, old_size, live, window=24)
+        expected = {
+            name: getattr(state, name)[live].copy()
+            for name in ("win_bits", "win_pos", "win_len")
+        }
+        assert "win_bits" in migration_columns(state)
+        compact_state(
+            state, RebalancePlan(live=live.copy(), old_size=old_size, ratio=2.0)
+        )
+        for name, value in expected.items():
+            assert np.array_equal(getattr(state, name)[: len(live)], value), name
+
+
+def state_alive_lookup(view, live):
+    """Boolean mask over view entries: entry names a live old id."""
+    alive = np.zeros(max(int(view.max()), int(live.max())) + 2, dtype=bool)
+    alive[live] = True
+    return np.where(view != EMPTY, alive[np.where(view != EMPTY, view, 0)], False)
+
+
+class TestTrigger:
+    @staticmethod
+    def make_plan(**knobs):
+        return CyclePlan(lambda name: np.random.default_rng(0), 0.0, **knobs)
+
+    @staticmethod
+    def make_churned_state(old_size=64, kill=range(0, 24)):
+        rng = np.random.default_rng(7)
+        live = np.setdiff1d(np.arange(old_size), np.asarray(list(kill)))
+        return build_state(rng, old_size, live), live
+
+    def test_disabled_by_default(self):
+        state, _live = self.make_churned_state()
+        assert self.make_plan().rebalance(state, cycle=0) is None
+
+    def test_nothing_dead_means_no_plan(self):
+        state, _live = self.make_churned_state(kill=())
+        plan = self.make_plan(rebalance_every=1, rebalance_threshold=1.01)
+        assert plan.rebalance(state, 0) is None
+        assert plan.steps == []
+
+    def test_every_k_cycles(self):
+        state, live = self.make_churned_state()
+        plan = self.make_plan(rebalance_every=3)
+        assert plan.rebalance(state, 0) is None
+        assert plan.rebalance(state, 1) is None
+        decision = plan.rebalance(state, 2)
+        assert decision is not None
+        assert np.array_equal(decision.live, live)
+        assert decision.old_size == 64
+        assert decision.new_size == len(live)
+        assert ("rebalance", len(live)) in plan.steps
+
+    def test_threshold_fires_on_skew_not_on_balance(self):
+        # Dead rows concentrated at the bottom: heavy skew.
+        skewed, _live = self.make_churned_state(kill=range(0, 24))
+        # The same dead count striped evenly across the id space.
+        striped, _live = self.make_churned_state(kill=range(0, 64, 3)[:24])
+        plan = self.make_plan(rebalance_threshold=3.0)
+        assert plan.rebalance(skewed, 0) is not None
+        assert plan.rebalance(striped, 0) is None
+
+    def test_decision_is_deterministic_and_rng_free(self):
+        state, _live = self.make_churned_state()
+        plan_a = self.make_plan(rebalance_every=1)
+        plan_b = self.make_plan(rebalance_every=1)
+        first = plan_a.rebalance(state, 0)
+        second = plan_b.rebalance(state, 0)
+        assert np.array_equal(first.live, second.live)
+        assert (first.old_size, first.ratio) == (second.old_size, second.ratio)
+        # The decision draws nothing: a plan whose rng factory explodes
+        # still decides.
+        def no_rng(name):
+            raise AssertionError("rebalance decision must not draw")
+
+        assert CyclePlan(no_rng, 0.0, rebalance_every=1).rebalance(state, 0) is not None
+
+    @given(
+        every=st.one_of(st.none(), st.integers(1, 10)),
+        threshold=st.one_of(st.none(), st.floats(1.01, 100.0)),
+    )
+    @FAST
+    def test_valid_knobs_accepted(self, every, threshold):
+        validate_rebalance_knobs(every, threshold)
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"rebalance_every": 0},
+            {"rebalance_every": -3},
+            {"rebalance_every": True},
+            {"rebalance_every": 2.5},
+            {"rebalance_threshold": 1.0},
+            {"rebalance_threshold": 0.5},
+            {"rebalance_threshold": -2.0},
+            {"rebalance_threshold": "1.5"},
+            {"rebalance_threshold": True},
+            {"rebalance_every": "3"},
+        ],
+    )
+    def test_malformed_knobs_rejected(self, knobs):
+        with pytest.raises(ValueError, match="rebalance"):
+            validate_rebalance_knobs(
+                knobs.get("rebalance_every"), knobs.get("rebalance_threshold")
+            )

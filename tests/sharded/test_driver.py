@@ -1,5 +1,8 @@
 """ShardedSimulation driver behaviour: service seam, distributed
-metrics, capacity limits, and resource lifecycle."""
+metrics, dead-shard resilience, worker start methods, capacity limits,
+and resource lifecycle."""
+
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -10,6 +13,7 @@ from repro.core.slices import SlicePartition
 from repro.sharded import ShardedSimulation
 from repro.sharded.shm import SharedScratch
 from repro.vectorized import metrics as vmetrics
+from repro.vectorized.simulation import VectorSimulation
 
 
 def make_sim(workers, size=240, protocol="ranking", **kwargs):
@@ -73,6 +77,99 @@ class TestDistributedMetrics:
             assert sim.slice_disorder() == pytest.approx(central, abs=1e-9)
         finally:
             sim.close()
+
+
+class TestDeadShard:
+    """A shard whose rows all die must neither stall the pool nor skew
+    the tree-reduced metrics (its zero-count segments have to drop out
+    of every merge and reduction)."""
+
+    @staticmethod
+    def kill_first_shard(sim):
+        lo, hi = sim._executor().bounds[0]
+        for node_id in range(lo, min(hi, sim.state.size)):
+            sim.remove_node(node_id)
+        assert len(sim.state.live_ids()[sim.state.live_ids() < hi]) == 0
+
+    def central_metrics(self, sim):
+        live = sim.state.live_ids()
+        return (
+            vmetrics.slice_disorder_arrays(
+                sim.state.attribute[live], sim.state.value[live],
+                live, sim.geometry,
+            ),
+            vmetrics.accuracy_arrays(
+                sim.state.attribute[live], sim.state.value[live],
+                live, sim.geometry,
+            ),
+            vmetrics.global_disorder_arrays(
+                sim.state.attribute[live], sim.state.value[live], live
+            ),
+        )
+
+    def test_metrics_survive_a_fully_dead_shard(self):
+        with make_sim(workers=3, size=240) as sim:
+            sim.run(2)
+            self.kill_first_shard(sim)
+            sim.run(2)  # the pool keeps cycling
+            assert sim.state.live_count > 0
+            sdm, accuracy, gdm = self.central_metrics(sim)
+            assert sim.slice_disorder() == pytest.approx(sdm, abs=1e-9)
+            assert sim.accuracy() == pytest.approx(accuracy, abs=1e-12)
+            assert sim.global_disorder() == pytest.approx(gdm, rel=1e-12)
+            assert sum(sim.slice_sizes()) == sim.live_count
+            assert 0.0 <= sim.confident_fraction() <= 1.0
+            loads = sim.shard_live_loads()
+            assert loads[0] == 0 and sum(loads) == sim.live_count
+            assert sim.shard_load_ratio() == float("inf")
+
+    def test_rebalance_refills_a_dead_shard(self):
+        with make_sim(workers=3, size=240, rebalance_threshold=1.5) as sim:
+            sim.run(2)
+            self.kill_first_shard(sim)
+            sim.run(2)
+            assert sim.rebalance_count > 0
+            loads = sim.shard_live_loads()
+            assert min(loads) > 0, f"shard still starved: {loads}"
+            assert sim.shard_load_ratio() <= 1.5
+            sdm, accuracy, _gdm = self.central_metrics(sim)
+            assert sim.slice_disorder() == pytest.approx(sdm, abs=1e-9)
+            assert sim.accuracy() == pytest.approx(accuracy, abs=1e-12)
+
+
+class TestStartMethods:
+    """The worker protocol — including the rebalance pack/unpack/commit
+    messages — must work under every multiprocessing start method the
+    platform offers, not just fork (spawn re-imports the worker module
+    and re-attaches every shared segment from its pickled init)."""
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_pool_bitwise_parity_under_start_method(self, method, monkeypatch):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unsupported on this platform")
+        monkeypatch.setenv("REPRO_SHARDED_START_METHOD", method)
+        kwargs = dict(
+            size=120, partition=SlicePartition.equal(8), protocol="ranking",
+            view_size=8, seed=9, churn=RegularChurn(rate=0.05, period=1),
+            rebalance_every=2,
+        )
+        vectorized = VectorSimulation(**kwargs)
+        vectorized.run(4)
+        with ShardedSimulation(workers=2, **kwargs) as sharded:
+            sharded.run(4)
+            assert sharded._pool is not None
+            # The new protocol messages actually ran.
+            assert sharded.rebalance_count == vectorized.rebalance_count > 0
+            n = vectorized.state.size
+            assert sharded.state.size == n
+            for column in ("attribute", "value", "alive", "obs_le", "obs_total"):
+                assert np.array_equal(
+                    getattr(vectorized.state, column)[:n],
+                    getattr(sharded.state, column)[:n],
+                ), f"{column} diverged under {method}"
+            assert np.array_equal(
+                vectorized.state.view_ids[:n], sharded.state.view_ids[:n]
+            )
 
 
 class TestLifecycle:
@@ -151,6 +248,17 @@ class TestServiceSeam:
             assert service.size == 60
             assert service.slice_of(newcomer) in (0, 1, 2)
 
+    def test_service_rebalancing_knobs(self):
+        churn = RegularChurn(rate=0.05, period=1)
+        with SlicingService(
+            size=150, slices=5, backend="sharded", workers=2, seed=4,
+            churn=churn, rebalance_every=2, rebalance_threshold=1.5,
+        ) as service:
+            service.run(8)
+            assert service.simulation.rebalance_count > 0
+            assert service.size == 150
+            assert sum(service.slice_sizes()) == 150
+
     @pytest.mark.parametrize(
         "kwargs,match",
         [
@@ -159,6 +267,10 @@ class TestServiceSeam:
             (dict(backend="vectorized", workers=2), "single-process"),
             (dict(backend="sharded", workers=-1), "positive integer"),
             (dict(backend="bogus"), "unknown backend"),
+            (dict(backend="reference", rebalance_every=5), "rebalanc"),
+            (dict(backend="reference", rebalance_threshold=2.0), "rebalanc"),
+            (dict(backend="sharded", rebalance_every=0), "rebalance_every"),
+            (dict(backend="sharded", rebalance_threshold=0.9), "rebalance_threshold"),
         ],
     )
     def test_combination_validation(self, kwargs, match):

@@ -174,6 +174,129 @@ class TestConcurrencyParity:
             sharded.close()
 
 
+def skewed_churn(rate=0.05):
+    """The paper's correlated-churn policy at an aggressive rate:
+    lowest attributes leave every cycle, above-max attributes join, so
+    the original id range [0, size) dies off while every joiner lands
+    at the top — dead rows concentrate in one (low) id range."""
+    return RegularChurn(rate=rate, period=1)
+
+
+class TestRebalancingParity:
+    """The tentpole invariant: the plan-driven rebalance (dead-row
+    compaction + shard-boundary recompute) preserves bitwise parity
+    with the vectorized backend at every worker count — rebalancing
+    off, every-K, and threshold-triggered alike — under the
+    correlated/skewed churn that motivates it."""
+
+    KNOBS = [
+        {},
+        {"rebalance_every": 3},
+        {"rebalance_threshold": 1.2},
+    ]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "knobs", KNOBS, ids=["off", "every-3", "threshold-1.2"]
+    )
+    def test_skewed_churn_identical(self, workers, knobs):
+        vectorized, sharded = paired_runs(
+            "ranking", workers=workers, cycles=10, churn=skewed_churn(), **knobs
+        )
+        try:
+            if knobs:
+                # The scenario is only meaningful if compaction fired.
+                assert vectorized.rebalance_count > 0
+            else:
+                assert vectorized.rebalance_count == 0
+            assert sharded.rebalance_count == vectorized.rebalance_count
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("concurrency", ["none", "half", "full"])
+    def test_identical_under_concurrency_with_rebalancing(
+        self, workers, concurrency
+    ):
+        vectorized, sharded = paired_runs(
+            "mod-jk", workers=workers, cycles=10, churn=skewed_churn(),
+            concurrency=concurrency, rebalance_every=2,
+        )
+        try:
+            assert vectorized.rebalance_count > 0
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
+
+    def test_exact_window_identical_with_rebalancing(self):
+        # The migration must move the bit-packed window columns too.
+        vectorized, sharded = paired_runs(
+            "ranking-window", workers=2, cycles=10, window=15,
+            churn=skewed_churn(), rebalance_every=2,
+        )
+        try:
+            assert vectorized.rebalance_count > 0
+            assert_states_identical(vectorized, sharded)
+            state_v, state_s = vectorized.state, sharded.state
+            n = state_v.size
+            assert np.array_equal(state_v.win_bits[:n], state_s.win_bits[:n])
+            assert np.array_equal(state_v.win_pos[:n], state_s.win_pos[:n])
+            assert np.array_equal(state_v.win_len[:n], state_s.win_len[:n])
+        finally:
+            sharded.close()
+
+    def test_compaction_reclaims_capacity(self):
+        # Without rebalancing this churn schedule would exhaust a tight
+        # spare_capacity (ids are append-only); compaction recycles the
+        # dead rows, so the same run fits indefinitely.
+        partition = SlicePartition.equal(10)
+        kwargs = dict(
+            size=200, partition=partition, protocol="ranking", view_size=8,
+            seed=3, churn=skewed_churn(0.1), spare_capacity=64,
+        )
+        with ShardedSimulation(workers=2, rebalance_every=2, **kwargs) as sim:
+            sim.run(12)
+            assert sim.rebalance_count > 0
+            assert sim.live_count == 200
+            assert sim.state.size <= 200 + 64
+        with pytest.raises(RuntimeError, match="spare_capacity"):
+            with ShardedSimulation(workers=2, **kwargs) as sim:
+                sim.run(12)
+
+    def test_rebalanced_shards_report_even_loads(self):
+        vectorized, sharded = paired_runs(
+            "ranking", workers=4, cycles=10, churn=skewed_churn(),
+            rebalance_threshold=1.5,
+        )
+        try:
+            loads = sharded.shard_live_loads()
+            assert len(loads) == 4
+            assert sum(loads) == sharded.live_count
+            assert sharded.shard_load_ratio() <= 2.0
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("workers", [2, 4, 5])
+    def test_tree_reduced_metrics_exactly_equal_vectorized(self, workers):
+        # The SDM reduces integer assignment histograms (rounding-free)
+        # and applies the distance weights once in canonical order, so
+        # even the *metrics* — not just the arrays — are bitwise
+        # worker-count independent, rebalancing included.
+        vectorized, sharded = paired_runs(
+            "ranking", workers=workers, cycles=8, churn=skewed_churn(),
+            rebalance_every=3,
+        )
+        try:
+            assert sharded.slice_disorder() == vectorized.slice_disorder()
+            assert sharded.accuracy() == vectorized.accuracy()
+            assert sharded.confident_fraction() == vectorized.confident_fraction()
+            assert sharded.slice_sizes() == vectorized.slice_sizes()
+        finally:
+            sharded.close()
+
+
 class TestCrossBackendStatistical:
     """SDM/accuracy equivalence of all three backends at n = 1k."""
 
