@@ -1,0 +1,209 @@
+"""Benchmark regression gate: diff fresh cycles/sec against committed
+baselines.
+
+The nightly CI job appends fresh throughput entries to the JSON logs
+under ``benchmarks/results/`` (``sharded-scaling.json``,
+``concurrency-throughput.json``, ``distributed-overhead.json``).  This
+script flattens every throughput metric (numeric leaves whose name
+contains ``cps`` or ``cycles_per_sec``; the *last* occurrence of a key
+wins, because the result files are append-logs) and compares each one
+against the committed baseline under ``benchmarks/results/baselines/``:
+
+* a metric more than ``--threshold`` (default 25%) *below* its
+  baseline is a **regression** — the script prints the comparison
+  table, writes the JSON report, and exits non-zero so the CI job
+  fails;
+* metrics without a baseline are reported as ``new`` (not gated);
+* baselines whose results file has no fresh value are ``stale``
+  (not gated — that benchmark did not run).
+
+Refresh the baselines from a trusted run (e.g. the nightly artifact of
+a known-good commit, on the same runner class) with::
+
+    python benchmarks/check_regression.py --update-baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+BASELINES_DIR = os.path.join(RESULTS_DIR, "baselines")
+DEFAULT_THRESHOLD = 0.25
+
+#: A numeric leaf is a throughput metric iff its key contains one of
+#: these markers (matches ``vectorized_cps``, ``sharded_cps``,
+#: ``cycles_per_sec``, ...).
+METRIC_MARKERS = ("cps", "cycles_per_sec")
+
+#: Fields used to label list entries instead of positional indices, so
+#: keys stay stable when runs are appended or reordered.
+IDENTITY_FIELDS = ("benchmark", "n", "workers", "rebalancing", "transport")
+
+
+def _is_metric(key: str) -> bool:
+    return any(marker in key for marker in METRIC_MARKERS)
+
+
+def _entry_label(entry: dict) -> str:
+    parts = [
+        f"{field}={entry[field]}" for field in IDENTITY_FIELDS if field in entry
+    ]
+    return "[" + ",".join(parts) + "]" if parts else ""
+
+
+def flatten_metrics(node, prefix: str = "") -> Dict[str, float]:
+    """All throughput metrics of a parsed results JSON, as one flat
+    ``{key: value}`` map.  Later occurrences of a key overwrite earlier
+    ones (append-log semantics: the freshest run wins)."""
+    metrics: Dict[str, float] = {}
+    if isinstance(node, list):
+        for index, item in enumerate(node):
+            label = _entry_label(item) if isinstance(item, dict) else f"[{index}]"
+            metrics.update(flatten_metrics(item, prefix + label))
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (dict, list)):
+                metrics.update(flatten_metrics(value, path))
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                # Match on the whole path: per-worker rates sit under a
+                # "..._cps" dict whose leaves are bare worker counts.
+                if _is_metric(path):
+                    metrics[path] = float(value)
+    return metrics
+
+
+def load_metrics(path: str) -> Optional[Dict[str, float]]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return flatten_metrics(json.load(handle))
+
+
+def compare(
+    baseline: Dict[str, float],
+    fresh: Optional[Dict[str, float]],
+    threshold: float,
+) -> List[dict]:
+    """Per-metric comparison rows for one benchmark file."""
+    rows = []
+    fresh = fresh or {}
+    for key, base_value in sorted(baseline.items()):
+        fresh_value = fresh.get(key)
+        if fresh_value is None:
+            rows.append({"metric": key, "status": "stale", "baseline": base_value})
+            continue
+        ratio = fresh_value / base_value if base_value else float("inf")
+        status = "ok" if ratio >= 1.0 - threshold else "regression"
+        rows.append(
+            {
+                "metric": key,
+                "status": status,
+                "baseline": base_value,
+                "fresh": fresh_value,
+                "ratio": round(ratio, 4),
+            }
+        )
+    for key, fresh_value in sorted(fresh.items()):
+        if key not in baseline:
+            rows.append({"metric": key, "status": "new", "fresh": fresh_value})
+    return rows
+
+
+def run_gate(
+    results_dir: str,
+    baselines_dir: str,
+    threshold: float,
+    report_path: Optional[str] = None,
+    update: bool = False,
+) -> int:
+    """Compare every baselined benchmark; returns the exit code."""
+    if update:
+        os.makedirs(baselines_dir, exist_ok=True)
+        updated = []
+        for name in sorted(os.listdir(results_dir)):
+            if not name.endswith(".json"):
+                continue
+            metrics = load_metrics(os.path.join(results_dir, name))
+            if not metrics:
+                continue
+            with open(os.path.join(baselines_dir, name), "w") as handle:
+                json.dump({"metrics": metrics}, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            updated.append(name)
+        print(f"updated baselines: {', '.join(updated) or '(none)'}")
+        return 0
+
+    if not os.path.isdir(baselines_dir):
+        print(f"no baselines directory at {baselines_dir}; nothing to gate")
+        return 0
+    report = {"threshold": threshold, "benchmarks": {}}
+    failed = []
+    for name in sorted(os.listdir(baselines_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(baselines_dir, name)) as handle:
+            baseline = json.load(handle)["metrics"]
+        fresh = load_metrics(os.path.join(results_dir, name))
+        rows = compare(baseline, fresh, threshold)
+        report["benchmarks"][name] = rows
+        for row in rows:
+            line = f"  {row['status']:>10s}  {row['metric']}"
+            if "ratio" in row:
+                line += (
+                    f"  {row['fresh']:.4g} vs {row['baseline']:.4g}"
+                    f" ({100 * row['ratio']:.1f}% of baseline)"
+                )
+            print(line)
+            if row["status"] == "regression":
+                failed.append(f"{name}: {row['metric']}")
+    if report_path:
+        os.makedirs(os.path.dirname(report_path) or ".", exist_ok=True)
+        with open(report_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {report_path}")
+    if failed:
+        print(
+            f"\nFAIL: {len(failed)} benchmark metric(s) regressed more than "
+            f"{100 * threshold:.0f}%:"
+        )
+        for item in failed:
+            print(f"  {item}")
+        return 1
+    print("\nOK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=RESULTS_DIR)
+    parser.add_argument("--baselines", default=BASELINES_DIR)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    parser.add_argument(
+        "--report",
+        default=os.path.join(RESULTS_DIR, "regression-report.json"),
+        help="where to write the JSON comparison (uploaded as a CI artifact)",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="rewrite the baselines from the current results instead of gating",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(
+        args.results,
+        args.baselines,
+        args.threshold,
+        report_path=args.report,
+        update=args.update_baselines,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

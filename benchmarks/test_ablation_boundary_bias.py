@@ -48,8 +48,13 @@ def run_ablation():
     for bias in (True, False):
         label = "biased" if bias else "unbiased"
         spec = RunSpec(
-            n=N, cycles=CYCLES, slice_count=10, view_size=10,
-            protocol="ranking", boundary_bias=bias, seed=SEED,
+            n=N,
+            cycles=CYCLES,
+            slice_count=10,
+            view_size=10,
+            protocol="ranking",
+            boundary_bias=bias,
+            seed=SEED,
         )
         sim = build_simulation(spec)
         collector = SliceDisorderCollector(spec.partition(), name=label, every=10)

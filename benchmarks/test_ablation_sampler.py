@@ -29,8 +29,13 @@ def run_ablation():
     )
     for sampler in SAMPLERS:
         spec = RunSpec(
-            n=N, cycles=CYCLES, slice_count=50, view_size=20,
-            protocol="ranking", sampler=sampler, seed=SEED,
+            n=N,
+            cycles=CYCLES,
+            slice_count=50,
+            view_size=20,
+            protocol="ranking",
+            sampler=sampler,
+            seed=SEED,
         )
         sim = build_simulation(spec)
         collector = SliceDisorderCollector(spec.partition(), name=sampler, every=5)

@@ -30,7 +30,10 @@ def run_sweep():
     for protocol in ("mod-jk", "ranking"):
         for view_size in VIEW_SIZES:
             spec = RunSpec(
-                n=N, cycles=CYCLES, slice_count=10, view_size=view_size,
+                n=N,
+                cycles=CYCLES,
+                slice_count=10,
+                view_size=view_size,
                 protocol=protocol,
             )
             stats = replicate(spec, cycles_to_sdm(THRESHOLD), seeds=(0, 1, 2))

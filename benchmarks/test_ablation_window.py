@@ -27,16 +27,27 @@ def run_sweep():
         "ablation-window",
         "Sliding-window length sweep (ranking, regular correlated churn)",
         params={
-            "n": N, "cycles": CYCLES, "slices": 20, "view": 10,
-            "churn_rate": 0.005, "churn_period": 10,
+            "n": N,
+            "cycles": CYCLES,
+            "slices": 20,
+            "view": 10,
+            "churn_rate": 0.005,
+            "churn_period": 10,
         },
     )
     for window in WINDOWS:
         protocol = "ranking" if window is None else "ranking-window"
         spec = RunSpec(
-            n=N, cycles=CYCLES, slice_count=20, view_size=10,
-            protocol=protocol, window=window,
-            churn="regular", churn_rate=0.005, churn_period=10, seed=SEED,
+            n=N,
+            cycles=CYCLES,
+            slice_count=20,
+            view_size=10,
+            protocol=protocol,
+            window=window,
+            churn="regular",
+            churn_rate=0.005,
+            churn_period=10,
+            seed=SEED,
         )
         sim = build_simulation(spec)
         collector = SliceDisorderCollector(

@@ -60,7 +60,10 @@ class TestConcurrencyThroughput:
         backend, plus a sharded half run: the overlap phases must cost
         at most a small constant factor."""
         base = RunSpec(
-            n=1_000_000, slice_count=10, view_size=10, protocol="mod-jk",
+            n=1_000_000,
+            slice_count=10,
+            view_size=10,
+            protocol="mod-jk",
             backend="vectorized",
         )
         cycles = 5

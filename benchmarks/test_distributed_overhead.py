@@ -1,0 +1,102 @@
+"""Nightly distributed-backend overhead: cycles/sec over the message
+transports vs the single-process vectorized baseline.
+
+The distributed backend trades shared memory for framed messages
+(plan blocks down, deltas up, value re-broadcast at phase boundaries),
+so its single-machine throughput bounds the messaging overhead — the
+number that matters before pointing ``hosts=`` at real machines.
+Records JSON to ``benchmarks/results/distributed-overhead.json`` for
+the CI artifact and the benchmark regression gate
+(``benchmarks/check_regression.py``).
+
+Nightly-marked like the other scale benchmarks::
+
+    python -m pytest benchmarks/test_distributed_overhead.py -m nightly -q
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.config import RunSpec, build_simulation
+
+pytestmark = pytest.mark.nightly
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "distributed-overhead.json"
+)
+CORES = os.cpu_count() or 1
+
+
+def record(entry: dict) -> None:
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    existing = []
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            existing = json.load(handle)
+    existing.append(entry)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+def cycles_per_second(spec: RunSpec, cycles: int, transport=None) -> float:
+    if transport is not None:
+        os.environ["REPRO_DISTRIBUTED_TRANSPORT"] = transport
+    try:
+        sim = build_simulation(spec)
+        try:
+            started = time.perf_counter()
+            sim.run(cycles)
+            return cycles / (time.perf_counter() - started)
+        finally:
+            if hasattr(sim, "close"):
+                sim.close()
+    finally:
+        os.environ.pop("REPRO_DISTRIBUTED_TRANSPORT", None)
+
+
+class TestDistributedOverhead:
+    def test_100k_transport_ladder(self, capsys):
+        """n = 10^5 ranking: vectorized baseline vs distributed over
+        loopback and localhost TCP at 2 workers."""
+        spec = RunSpec(
+            n=100_000,
+            slice_count=10,
+            view_size=10,
+            protocol="ranking",
+        )
+        cycles = 3
+        baseline = cycles_per_second(
+            spec.with_overrides(backend="vectorized"), cycles
+        )
+        rates = {}
+        for transport in ("loopback", "tcp"):
+            rates[transport] = cycles_per_second(
+                spec.with_overrides(backend="distributed", workers=2),
+                cycles,
+                transport=transport,
+            )
+        record(
+            {
+                "benchmark": "distributed-overhead",
+                "n": 100_000,
+                "cores": CORES,
+                "cycles": cycles,
+                "workers": 2,
+                "vectorized_cps": baseline,
+                "distributed_cps": rates,
+            }
+        )
+        with capsys.disabled():
+            print(f"\nn=1e5 vectorized:            {baseline:7.3f} cycles/sec")
+            for transport, rate in rates.items():
+                print(
+                    f"n=1e5 distributed {transport:>8s}: {rate:7.3f} cycles/sec"
+                    f" ({baseline / rate:4.1f}x overhead)"
+                )
+        assert all(rate > 0 for rate in rates.values())
+        # The messaging overhead must stay within an order of magnitude
+        # of the shared-memory-free baseline on one machine.
+        assert rates["tcp"] >= baseline / 20.0

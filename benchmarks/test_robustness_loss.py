@@ -36,8 +36,12 @@ def run_sweep():
             ("ordering", lambda: OrderingProtocol(partition)),
         ):
             sim = CycleSimulation(
-                size=N, partition=partition, slicer_factory=factory,
-                view_size=10, loss_probability=loss, seed=SEED,
+                size=N,
+                partition=partition,
+                slicer_factory=factory,
+                view_size=10,
+                loss_probability=loss,
+                seed=SEED,
             )
             collector = SliceDisorderCollector(partition, name=f"{name}@{loss}")
             sim.run(CYCLES, collectors=[collector])

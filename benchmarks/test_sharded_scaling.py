@@ -73,7 +73,10 @@ class TestScalingLadder:
     def test_100k_scaling(self, capsys):
         """The nightly CI point: n = 10^5, cycles/sec per worker count."""
         spec = RunSpec(
-            n=100_000, slice_count=10, view_size=10, protocol="ranking",
+            n=100_000,
+            slice_count=10,
+            view_size=10,
+            protocol="ranking",
             backend="sharded",
         )
         baseline = cycles_per_second(
@@ -86,7 +89,9 @@ class TestScalingLadder:
             )
         record(
             {
-                "benchmark": "sharded-scaling", "n": 100_000, "cores": CORES,
+                "benchmark": "sharded-scaling",
+                "n": 100_000,
+                "cores": CORES,
                 "vectorized_cps": baseline,
                 "sharded_cps": {str(w): r for w, r in rates.items()},
             }
@@ -101,7 +106,10 @@ class TestScalingLadder:
         """The ISSUE acceptance bar: >= 3x over the single-process
         vectorized backend at n = 10^6 on a 4+ core machine."""
         spec = RunSpec(
-            n=1_000_000, slice_count=10, view_size=10, protocol="ranking",
+            n=1_000_000,
+            slice_count=10,
+            view_size=10,
+            protocol="ranking",
             backend="sharded",
         )
         cycles = 3
@@ -116,7 +124,9 @@ class TestScalingLadder:
         best = max(rates.values())
         record(
             {
-                "benchmark": "sharded-scaling", "n": 1_000_000, "cores": CORES,
+                "benchmark": "sharded-scaling",
+                "n": 1_000_000,
+                "cores": CORES,
                 "vectorized_cps": baseline,
                 "sharded_cps": {str(w): r for w, r in rates.items()},
                 "speedup_best": best / baseline,
@@ -159,9 +169,13 @@ class TestScalingLadder:
         # plus slack for the fractional-rate carry.
         spare = int(rate * cycles * n) + 4096
         entry = {
-            "benchmark": "sharded-skewed-churn", "n": n, "cores": CORES,
-            "cycles": cycles, "churn_rate": rate,
-            "rebalance_knobs": rebalance_knobs, "ladder": [],
+            "benchmark": "sharded-skewed-churn",
+            "n": n,
+            "cores": CORES,
+            "cycles": cycles,
+            "churn_rate": rate,
+            "rebalance_knobs": rebalance_knobs,
+            "ladder": [],
         }
         divergences = {}
         for workers in worker_ladder():
@@ -169,10 +183,15 @@ class TestScalingLadder:
                 continue
             for knobs in ({}, rebalance_knobs):
                 sim = ShardedSimulation(
-                    size=n, partition=SlicePartition.equal(10),
-                    protocol="ranking", view_size=10, seed=0, workers=workers,
+                    size=n,
+                    partition=SlicePartition.equal(10),
+                    protocol="ranking",
+                    view_size=10,
+                    seed=0,
+                    workers=workers,
                     churn=RegularChurn(rate=rate, period=1),
-                    spare_capacity=spare, **knobs,
+                    spare_capacity=spare,
+                    **knobs,
                 )
                 try:
                     started = time.perf_counter()
@@ -223,8 +242,12 @@ class TestScalingLadder:
         three beyond the paper.  Needs ~4 GB of RAM."""
         n = 10_000_000
         spec = RunSpec(
-            n=n, slice_count=10, view_size=10, protocol="ranking",
-            backend="sharded", workers=min(CORES, 8),
+            n=n,
+            slice_count=10,
+            view_size=10,
+            protocol="ranking",
+            backend="sharded",
+            workers=min(CORES, 8),
         )
         sim = build_simulation(spec)
         try:
@@ -239,9 +262,13 @@ class TestScalingLadder:
             sim.close()
         record(
             {
-                "benchmark": "ten-million", "n": n, "cores": CORES,
-                "cycles": 10, "cycles_per_sec": 10 / elapsed,
-                "sdm_per_node": disorder / n, "accuracy": accuracy,
+                "benchmark": "ten-million",
+                "n": n,
+                "cores": CORES,
+                "cycles": 10,
+                "cycles_per_sec": 10 / elapsed,
+                "sdm_per_node": disorder / n,
+                "accuracy": accuracy,
             }
         )
         with capsys.disabled():

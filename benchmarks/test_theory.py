@@ -33,8 +33,12 @@ def test_lemma41_on_the_live_protocol(benchmark, capsys):
 
     def run():
         spec = RunSpec(
-            n=n, cycles=120, slice_count=slice_count, view_size=20,
-            protocol="mod-jk", seed=4,
+            n=n,
+            cycles=120,
+            slice_count=slice_count,
+            view_size=20,
+            protocol="mod-jk",
+            seed=4,
         )
         sim = build_simulation(spec)
         sim.run(spec.cycles)

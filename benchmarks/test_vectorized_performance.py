@@ -60,13 +60,18 @@ class TestScaleRegimes:
     )
     def test_ranking_cycles_per_second(self, benchmark, capsys, n, cycles):
         spec = RunSpec(
-            n=n, slice_count=10, view_size=10, protocol="ranking",
+            n=n,
+            slice_count=10,
+            view_size=10,
+            protocol="ranking",
             backend="vectorized",
         )
         per_cycle, sim = time_cycles(spec, cycles)
         benchmark.pedantic(
-            run_cycles, args=(spec.with_overrides(cycles=cycles), cycles),
-            rounds=1, iterations=1,
+            run_cycles,
+            args=(spec.with_overrides(cycles=cycles), cycles),
+            rounds=1,
+            iterations=1,
         )
         with capsys.disabled():
             print(
@@ -78,7 +83,10 @@ class TestScaleRegimes:
 
     def test_ordering_100k_cycles_per_second(self, benchmark, capsys):
         spec = RunSpec(
-            n=100_000, slice_count=10, view_size=10, protocol="mod-jk",
+            n=100_000,
+            slice_count=10,
+            view_size=10,
+            protocol="mod-jk",
             backend="vectorized",
         )
         per_cycle, sim = time_cycles(spec, 3)

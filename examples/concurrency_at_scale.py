@@ -53,14 +53,22 @@ def main():
         "--backend", choices=["vectorized", "sharded"], default="vectorized"
     )
     parser.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="worker processes for --backend sharded",
     )
     args = parser.parse_args()
 
     base = RunSpec(
-        n=args.n, cycles=args.cycles, slice_count=10, view_size=20,
-        protocol="mod-jk", backend=args.backend, workers=args.workers, seed=0,
+        n=args.n,
+        cycles=args.cycles,
+        slice_count=10,
+        view_size=20,
+        protocol="mod-jk",
+        backend=args.backend,
+        workers=args.workers,
+        seed=0,
     )
     print(
         f"mod-JK, n={args.n:,}, {args.cycles} cycles per regime "

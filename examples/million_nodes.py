@@ -28,7 +28,9 @@ def main():
         "--slices", type=int, default=10, help="equal slices to maintain"
     )
     parser.add_argument(
-        "--target", type=float, default=0.4,
+        "--target",
+        type=float,
+        default=0.4,
         help="confident fraction to report time-to-confidence for",
     )
     args = parser.parse_args()

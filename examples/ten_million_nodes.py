@@ -32,7 +32,9 @@ def main():
     )
     parser.add_argument("--cycles", type=int, default=30, help="cycles to run")
     parser.add_argument(
-        "--workers", type=int, default=None,
+        "--workers",
+        type=int,
+        default=None,
         help="worker processes (default: all CPU cores)",
     )
     parser.add_argument(

@@ -74,12 +74,14 @@ class BackendSpec:
 
     ``factory`` receives the service-level keyword arguments (``size``,
     ``partition``, ``algorithm``, ``window``, ``attributes``,
-    ``view_size``, ``concurrency``, ``workers``, ``churn``,
+    ``view_size``, ``concurrency``, ``workers``, ``hosts``, ``churn``,
     ``rebalance_every``, ``rebalance_threshold``, ``seed``) and
     returns a ready :class:`SimulationBackend`.  ``multiprocess``
     states whether the engine accepts ``workers > 1``; ``rebalances``
     whether it serves the plan-driven dead-row compaction knobs
-    (:mod:`repro.bulk.rebalance`).
+    (:mod:`repro.bulk.rebalance`); ``remote_hosts`` whether it accepts
+    a ``hosts=["host:port", ...]`` list of pre-started remote workers
+    (the distributed backend's multi-host mode).
     """
 
     name: str
@@ -87,6 +89,7 @@ class BackendSpec:
     factory: Callable[..., SimulationBackend]
     multiprocess: bool = False
     rebalances: bool = False
+    remote_hosts: bool = False
 
     def validate(
         self,
@@ -94,6 +97,7 @@ class BackendSpec:
         workers,
         rebalance_every=None,
         rebalance_threshold=None,
+        hosts=None,
     ) -> None:
         """Fail fast on parameters this backend cannot serve, naming
         the supported combinations."""
@@ -110,7 +114,25 @@ class BackendSpec:
                 raise ValueError(
                     f"backend={self.name!r} is single-process, but "
                     f"workers={workers} was requested — multi-process "
-                    "execution needs backend='sharded'" + _supported_suffix()
+                    "execution needs backend='sharded' or 'distributed'"
+                    + _supported_suffix()
+                )
+        if hosts is not None:
+            if not self.remote_hosts:
+                raise ValueError(
+                    f"backend={self.name!r} does not accept hosts= — "
+                    "remote workers need backend='distributed'"
+                    + _supported_suffix()
+                )
+            hosts = list(hosts)
+            if not hosts:
+                raise ValueError(
+                    "hosts must name at least one 'host:port' worker"
+                )
+            if workers is not None and workers != len(hosts):
+                raise ValueError(
+                    f"workers={workers} disagrees with the {len(hosts)} "
+                    "hosts given; pass one or the other"
                 )
         validate_rebalance_knobs(rebalance_every, rebalance_threshold)
         if (rebalance_every is not None or rebalance_threshold is not None) and (
@@ -154,9 +176,10 @@ def supported_combinations() -> Tuple[str, ...]:
     for spec in _REGISTRY.values():
         workers = "None or any N >= 1" if spec.multiprocess else "None or 1"
         rebalancing = ", rebalancing" if spec.rebalances else ""
+        hosts = ", hosts=[...]" if spec.remote_hosts else ""
         lines.append(
             f"backend={spec.name!r}: any concurrency, workers={workers}"
-            f"{rebalancing} ({spec.summary})"
+            f"{rebalancing}{hosts} ({spec.summary})"
         )
     return tuple(lines)
 
@@ -188,12 +211,24 @@ def slicer_factory(partition, algorithm: str, window) -> Callable:
 
 
 def _reference_factory(
-    *, size, partition, algorithm, window, attributes, view_size,
-    concurrency, workers, churn, seed,
-    rebalance_every=None, rebalance_threshold=None,
+    *,
+    size,
+    partition,
+    algorithm,
+    window,
+    attributes,
+    view_size,
+    concurrency,
+    workers,
+    churn,
+    seed,
+    rebalance_every=None,
+    rebalance_threshold=None,
+    hosts=None,
 ):
-    # The rebalance knobs are rejected for this backend by validate();
-    # they appear here only so spec.create() can pass one kwargs dict.
+    # The rebalance/hosts knobs are rejected for this backend by
+    # validate(); they appear here only so spec.create() can pass one
+    # kwargs dict.
     from repro.engine.simulator import CycleSimulation
 
     return CycleSimulation(
@@ -209,8 +244,17 @@ def _reference_factory(
 
 
 def _bulk_kwargs(
-    *, size, partition, algorithm, window, attributes, view_size,
-    concurrency, churn, seed, **protocol_options,
+    *,
+    size,
+    partition,
+    algorithm,
+    window,
+    attributes,
+    view_size,
+    concurrency,
+    churn,
+    seed,
+    **protocol_options,
 ):
     """Engine kwargs shared by the bulk factories.  ``algorithm`` may
     be a service algorithm (``"ordering"`` maps to the paper's mod-JK)
@@ -232,16 +276,24 @@ def _bulk_kwargs(
     )
 
 
-def _vectorized_factory(*, workers, **kwargs):
+def _vectorized_factory(*, workers, hosts=None, **kwargs):
     from repro.vectorized import VectorSimulation
 
     return VectorSimulation(**_bulk_kwargs(**kwargs))
 
 
-def _sharded_factory(*, workers, **kwargs):
+def _sharded_factory(*, workers, hosts=None, **kwargs):
     from repro.sharded import ShardedSimulation
 
     return ShardedSimulation(workers=workers, **_bulk_kwargs(**kwargs))
+
+
+def _distributed_factory(*, workers, hosts=None, **kwargs):
+    from repro.distributed import DistributedSimulation
+
+    return DistributedSimulation(
+        workers=workers, hosts=hosts, **_bulk_kwargs(**kwargs)
+    )
 
 
 register_backend(
@@ -266,5 +318,15 @@ register_backend(
         factory=_sharded_factory,
         multiprocess=True,
         rebalances=True,
+    )
+)
+register_backend(
+    BackendSpec(
+        name="distributed",
+        summary="multi-host message-transport engine (TCP/loopback)",
+        factory=_distributed_factory,
+        multiprocess=True,
+        rebalances=True,
+        remote_hosts=True,
     )
 )

@@ -68,11 +68,20 @@ class SlicingService:
         (:class:`~repro.vectorized.simulation.VectorSimulation`),
         which serves the same API at million-node scale;
         ``"sharded"`` runs the multi-process shared-memory engine
-        (:class:`~repro.sharded.ShardedSimulation`) for 10^7-node runs.
+        (:class:`~repro.sharded.ShardedSimulation`) for 10^7-node runs;
+        ``"distributed"`` runs the same cycle over a message transport
+        (:class:`~repro.distributed.DistributedSimulation`) — spawned
+        localhost-TCP workers by default, or pre-started remote workers
+        via ``hosts``.
     workers:
-        Worker-process count for ``backend="sharded"`` (``None`` = all
+        Worker count for the multi-process backends (``None`` = all
         CPU cores there; the single-process backends accept only
         ``None``/``1``).
+    hosts:
+        ``backend="distributed"`` only: ``["host:port", ...]`` of
+        pre-started standalone workers (``python -m
+        repro.distributed.worker --listen HOST:PORT``); ``None``
+        spawns local workers.
     concurrency:
         The paper's artificial message-overlap model
         (``"none"``/``"half"``/``"full"`` or an overlap probability) —
@@ -99,6 +108,7 @@ class SlicingService:
         window: Optional[int] = None,
         backend: str = "reference",
         workers: Optional[int] = None,
+        hosts: Optional[Sequence[str]] = None,
         concurrency: Union[str, float] = "none",
         rebalance_every: Optional[int] = None,
         rebalance_threshold: Optional[float] = None,
@@ -116,6 +126,7 @@ class SlicingService:
             workers=workers,
             rebalance_every=rebalance_every,
             rebalance_threshold=rebalance_threshold,
+            hosts=hosts,
         )
         self._sim = spec.create(
             size=size,
@@ -126,6 +137,7 @@ class SlicingService:
             view_size=view_size,
             concurrency=concurrency,
             workers=workers,
+            hosts=hosts,
             churn=churn,
             rebalance_every=rebalance_every,
             rebalance_threshold=rebalance_threshold,

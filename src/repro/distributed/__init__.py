@@ -1,0 +1,31 @@
+"""Distributed (multi-host) bulk backend: the sharded cycle over an
+explicit message transport.
+
+:class:`DistributedSimulation` consumes the same
+:class:`~repro.bulk.CyclePlan` as the vectorized and sharded backends
+— plan on the driver, apply on remote shard workers — but every
+cross-process surface is a length-prefixed framed message over TCP
+sockets (or the in-process loopback transport), so the same cycle runs
+across machines.  Results are bitwise identical to the other bulk
+backends at every worker count.
+
+Reach it as ``SlicingService(backend="distributed", workers=N)`` (or
+``hosts=["host:port", ...]`` for pre-started remote workers; start
+those with ``python -m repro.distributed.worker --listen HOST:PORT``).
+"""
+
+from repro.distributed.driver import DistributedSimulation
+from repro.distributed.framing import (
+    DEFAULT_MAX_FRAME,
+    ConnectionClosed,
+    FrameError,
+    TransportError,
+)
+
+__all__ = [
+    "DistributedSimulation",
+    "DEFAULT_MAX_FRAME",
+    "TransportError",
+    "FrameError",
+    "ConnectionClosed",
+]

@@ -206,7 +206,9 @@ class MessageBus:
         overlapped = self.concurrency.overlaps(self._rng)
         self.stats.note_sent(message.kind, overlapped)
         self._trace.record(
-            message.send_time, "send", message.sender,
+            message.send_time,
+            "send",
+            message.sender,
             (message.kind, message.receiver, overlapped),
         )
         if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:

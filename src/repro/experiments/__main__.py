@@ -49,18 +49,28 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=list(BACKENDS),
         default="reference",
         help="simulation engine: per-node objects (reference), the "
-        "numpy bulk engine (vectorized; reaches 10^6 nodes), or the "
+        "numpy bulk engine (vectorized; reaches 10^6 nodes), the "
         "multi-process shared-memory engine (sharded; reaches 10^7 "
-        "nodes, see --workers). Every figure runs on every backend, "
-        "including the concurrency studies (fig4c, fig4d), which the "
-        "bulk engines model in batched form",
+        "nodes, see --workers), or the multi-host message-transport "
+        "engine (distributed; see --workers/--hosts). Every figure "
+        "runs on every backend, including the concurrency studies "
+        "(fig4c, fig4d), which the bulk engines model in batched form",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes for --backend sharded "
+        help="worker processes for --backend sharded/distributed "
         "(default: all CPU cores)",
+    )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT,HOST:PORT,...",
+        help="--backend distributed only: comma-separated pre-started "
+        "remote workers (start each with 'python -m "
+        "repro.distributed.worker --listen HOST:PORT'); omit to spawn "
+        "local workers",
     )
     parser.add_argument(
         "--rebalance-every",
@@ -105,6 +115,10 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["backend"] = args.backend
     if args.workers is not None and "workers" in accepted:
         kwargs["workers"] = args.workers
+    if args.hosts is not None and "hosts" in accepted:
+        kwargs["hosts"] = tuple(
+            spec.strip() for spec in args.hosts.split(",") if spec.strip()
+        )
     for knob in ("rebalance_every", "rebalance_threshold"):
         value = getattr(args, knob)
         if value is not None and knob in accepted:

@@ -84,14 +84,21 @@ class RunSpec:
         ``None`` (uniform), a distribution, or explicit values.
     backend:
         One of :data:`BACKENDS`: ``"reference"`` (object-per-node
-        engines), ``"vectorized"`` (numpy bulk engine), or
-        ``"sharded"`` (multi-process shared-memory engine).  Every
+        engines), ``"vectorized"`` (numpy bulk engine), ``"sharded"``
+        (multi-process shared-memory engine), or ``"distributed"``
+        (multi-host message-transport engine).  Every
         backend supports every concurrency regime (the bulk backends
         model message overlap in batched form); the bulk backends
         support the ``cyclon-variant`` and ``uniform`` samplers only.
     workers:
-        Worker-process count for ``backend="sharded"`` (``None`` = all
-        CPU cores); must be ``None``/1 for the single-process backends.
+        Worker count for the multi-process backends (``"sharded"`` /
+        ``"distributed"``; ``None`` = all CPU cores); must be
+        ``None``/1 for the single-process backends.
+    hosts:
+        ``backend="distributed"`` only: ``("host:port", ...)`` of
+        pre-started standalone workers (``python -m
+        repro.distributed.worker --listen HOST:PORT``); ``None``
+        spawns local TCP workers.
     window_approx:
         Bulk backends only: opt into the counter-rescaling
         approximation of the sliding window instead of the default
@@ -127,6 +134,7 @@ class RunSpec:
     attributes: Union[AttributeDistribution, Sequence[float], None] = None
     backend: str = "reference"
     workers: Optional[int] = None
+    hosts: Optional[Sequence[str]] = None
     window_approx: bool = False
     rebalance_every: Optional[int] = None
     rebalance_threshold: Optional[float] = None
@@ -157,6 +165,8 @@ class RunSpec:
             bits.append(f"backend={self.backend}")
         if self.workers is not None:
             bits.append(f"workers={self.workers}")
+        if self.hosts is not None:
+            bits.append(f"hosts={','.join(self.hosts)}")
         if self.rebalance_every is not None:
             bits.append(f"rebalance_every={self.rebalance_every}")
         if self.rebalance_threshold is not None:
@@ -239,6 +249,7 @@ def build_simulation(spec: RunSpec):
         workers=spec.workers,
         rebalance_every=spec.rebalance_every,
         rebalance_threshold=spec.rebalance_threshold,
+        hosts=spec.hosts,
     )
     partition = spec.partition()
     if spec.backend == "reference":
@@ -273,6 +284,7 @@ def build_simulation(spec: RunSpec):
         window_approx=spec.window_approx,
         concurrency=spec.concurrency,
         workers=spec.workers,
+        hosts=spec.hosts,
         rebalance_every=spec.rebalance_every,
         rebalance_threshold=spec.rebalance_threshold,
         seed=spec.seed,

@@ -115,6 +115,7 @@ def run_fig4a(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    hosts=None,
 ) -> FigureResult:
     """Figure 4(a): SDM vs GDM along one mod-JK run.
 
@@ -125,8 +126,15 @@ def run_fig4a(
     if full_scale:
         n, cycles = 10_000, 100
     spec = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        protocol="mod-jk", seed=seed, backend=backend, workers=workers,
+        n=n,
+        cycles=cycles,
+        slice_count=slice_count,
+        view_size=view_size,
+        protocol="mod-jk",
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        hosts=hosts,
     )
     partition = spec.partition()
     sim = build_simulation(spec)
@@ -136,7 +144,8 @@ def run_fig4a(
     sim.run(cycles, collectors=[sdm, gdm])
 
     result = FigureResult(
-        "fig4a", "SDM vs GDM over one mod-JK run",
+        "fig4a",
+        "SDM vs GDM over one mod-JK run",
         params={"n": n, "cycles": cycles, "slices": slice_count, "view": view_size},
     )
     result.add_series(sdm.series)
@@ -160,6 +169,7 @@ def run_fig4b(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    hosts=None,
 ) -> FigureResult:
     """Figure 4(b): SDM over time — JK vs mod-JK, 10 equal slices.
 
@@ -171,14 +181,22 @@ def run_fig4b(
     if full_scale:
         n, cycles = 10_000, 60
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed, backend=backend, workers=workers,
+        n=n,
+        cycles=cycles,
+        slice_count=slice_count,
+        view_size=view_size,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        hosts=hosts,
     )
     partition = base.partition()
     jk_series, _sim, initial_values = _sdm_run(base.with_overrides(protocol="jk"))
     mod_series, _sim, _values = _sdm_run(base.with_overrides(protocol="mod-jk"))
 
     result = FigureResult(
-        "fig4b", "SDM over time: JK vs mod-JK",
+        "fig4b",
+        "SDM over time: JK vs mod-JK",
         params={"n": n, "cycles": cycles, "slices": slice_count, "view": view_size},
     )
     result.add_series(jk_series, "jk")
@@ -210,6 +228,7 @@ def run_fig4c(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    hosts=None,
 ) -> FigureResult:
     """Figure 4(c): percentage of unsuccessful swaps under half/full
     concurrency, for JK and mod-JK, sampled at cycles 10/50/90.
@@ -224,11 +243,18 @@ def run_fig4c(
     if full_scale:
         n, cycles = 10_000, 100
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed,
-        backend=backend, workers=workers,
+        n=n,
+        cycles=cycles,
+        slice_count=slice_count,
+        view_size=view_size,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        hosts=hosts,
     )
     result = FigureResult(
-        "fig4c", "Percentage of unsuccessful swaps",
+        "fig4c",
+        "Percentage of unsuccessful swaps",
         params={"n": n, "cycles": cycles, "slices": slice_count, "view": view_size},
     )
     checkpoints = [c for c in (10, 50, 90) if c < cycles] or [cycles - 1]
@@ -270,6 +296,7 @@ def run_fig4d(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    hosts=None,
 ) -> FigureResult:
     """Figure 4(d): mod-JK convergence, no concurrency vs full
     concurrency.
@@ -281,8 +308,15 @@ def run_fig4d(
     if full_scale:
         n, cycles = 10_000, 100
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        protocol="mod-jk", seed=seed, backend=backend, workers=workers,
+        n=n,
+        cycles=cycles,
+        slice_count=slice_count,
+        view_size=view_size,
+        protocol="mod-jk",
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        hosts=hosts,
     )
     partition = base.partition()
     none_series, _sim, initial_values = _sdm_run(
@@ -291,7 +325,8 @@ def run_fig4d(
     full_series, _sim, _values = _sdm_run(base.with_overrides(concurrency="full"))
 
     result = FigureResult(
-        "fig4d", "mod-JK under no vs full concurrency",
+        "fig4d",
+        "mod-JK under no vs full concurrency",
         params={"n": n, "cycles": cycles, "slices": slice_count, "view": view_size},
     )
     result.add_series(none_series, "no-concurrency")
@@ -330,6 +365,7 @@ def run_fig6a(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    hosts=None,
 ) -> FigureResult:
     """Figure 6(a): SDM over time — ranking vs ordering, static system.
 
@@ -340,7 +376,14 @@ def run_fig6a(
     if full_scale:
         n, cycles = 10_000, 1000
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size, seed=seed, backend=backend, workers=workers,
+        n=n,
+        cycles=cycles,
+        slice_count=slice_count,
+        view_size=view_size,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        hosts=hosts,
     )
     partition = base.partition()
     ordering_series, _sim, initial_values = _sdm_run(
@@ -349,7 +392,8 @@ def run_fig6a(
     ranking_series, _sim, _values = _sdm_run(base.with_overrides(protocol="ranking"))
 
     result = FigureResult(
-        "fig6a", "Ranking vs ordering, static system",
+        "fig6a",
+        "Ranking vs ordering, static system",
         params={"n": n, "cycles": cycles, "slices": slice_count, "view": view_size},
     )
     result.add_series(ordering_series, "ordering")
@@ -373,6 +417,7 @@ def run_fig6b(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    hosts=None,
 ) -> FigureResult:
     """Figure 6(b): ranking on an idealized uniform sampler vs on the
     Cyclon-variant views, plus the percentage deviation between the
@@ -385,8 +430,15 @@ def run_fig6b(
     if full_scale:
         n, cycles = 10_000, 1000
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        protocol="ranking", seed=seed, backend=backend, workers=workers,
+        n=n,
+        cycles=cycles,
+        slice_count=slice_count,
+        view_size=view_size,
+        protocol="ranking",
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        hosts=hosts,
     )
     uniform_series, _sim, _values = _sdm_run(base.with_overrides(sampler="uniform"))
     views_series, _sim, _values = _sdm_run(
@@ -400,7 +452,8 @@ def run_fig6b(
         deviation.append(time, 100.0 * (views_value - uniform_value) / reference)
 
     result = FigureResult(
-        "fig6b", "Ranking: uniform oracle vs Cyclon-variant views",
+        "fig6b",
+        "Ranking: uniform oracle vs Cyclon-variant views",
         params={"n": n, "cycles": cycles, "slices": slice_count, "view": view_size},
     )
     result.add_series(uniform_series, "sdm-uniform")
@@ -427,6 +480,7 @@ def run_fig6c(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    hosts=None,
     rebalance_every=None,
     rebalance_threshold=None,
 ) -> FigureResult:
@@ -442,9 +496,19 @@ def run_fig6c(
     if full_scale:
         n, cycles = 10_000, 1000
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        churn="burst", churn_rate=churn_rate, churn_burst_end=burst_end, seed=seed, backend=backend, workers=workers,
-        rebalance_every=rebalance_every, rebalance_threshold=rebalance_threshold,
+        n=n,
+        cycles=cycles,
+        slice_count=slice_count,
+        view_size=view_size,
+        churn="burst",
+        churn_rate=churn_rate,
+        churn_burst_end=burst_end,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        hosts=hosts,
+        rebalance_every=rebalance_every,
+        rebalance_threshold=rebalance_threshold,
     )
     jk_series, _sim, _values = _sdm_run(base.with_overrides(protocol="jk"))
     ranking_series, _sim, _values = _sdm_run(
@@ -454,8 +518,12 @@ def run_fig6c(
     result = FigureResult(
         "fig6c", "Churn burst (correlated): ranking vs JK",
         params={
-            "n": n, "cycles": cycles, "slices": slice_count, "view": view_size,
-            "churn_rate": churn_rate, "burst_end": burst_end,
+            "n": n,
+            "cycles": cycles,
+            "slices": slice_count,
+            "view": view_size,
+            "churn_rate": churn_rate,
+            "burst_end": burst_end,
         },
     )
     result.add_series(jk_series, "jk")
@@ -491,6 +559,7 @@ def run_fig6d(
     full_scale: bool = False,
     backend: str = "reference",
     workers=None,
+    hosts=None,
     rebalance_every=None,
     rebalance_threshold=None,
 ) -> FigureResult:
@@ -507,9 +576,19 @@ def run_fig6d(
         window = window if window is not None else DEFAULT_WINDOW
     window = window if window is not None else 2_000
     base = RunSpec(
-        n=n, cycles=cycles, slice_count=slice_count, view_size=view_size,
-        churn="regular", churn_rate=churn_rate, churn_period=10, seed=seed, backend=backend, workers=workers,
-        rebalance_every=rebalance_every, rebalance_threshold=rebalance_threshold,
+        n=n,
+        cycles=cycles,
+        slice_count=slice_count,
+        view_size=view_size,
+        churn="regular",
+        churn_rate=churn_rate,
+        churn_period=10,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        hosts=hosts,
+        rebalance_every=rebalance_every,
+        rebalance_threshold=rebalance_threshold,
     )
     ordering_series, _sim, _values = _sdm_run(
         base.with_overrides(protocol="mod-jk")
@@ -524,8 +603,13 @@ def run_fig6d(
     result = FigureResult(
         "fig6d", "Regular churn: ordering vs ranking vs sliding-window",
         params={
-            "n": n, "cycles": cycles, "slices": slice_count, "view": view_size,
-            "churn_rate": churn_rate, "churn_period": 10, "window": window,
+            "n": n,
+            "cycles": cycles,
+            "slices": slice_count,
+            "view": view_size,
+            "churn_rate": churn_rate,
+            "churn_period": 10,
+            "window": window,
         },
     )
     result.add_series(ordering_series, "ordering")
@@ -569,7 +653,8 @@ def run_lemma41(
     """
     rng = random.Random(seed)
     result = FigureResult(
-        "lemma41", "Chernoff bound on slice populations vs Monte Carlo",
+        "lemma41",
+        "Chernoff bound on slice populations vs Monte Carlo",
         params={"n": n, "eps": eps, "trials": trials},
     )
     widths = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5]
@@ -614,7 +699,9 @@ def run_theorem51(
     result = FigureResult(
         "theorem51", "Sample-size bound of Theorem 5.1 vs Monte Carlo",
         params={
-            "slices": slice_count, "confidence": confidence, "trials": trials,
+            "slices": slice_count,
+            "confidence": confidence,
+            "trials": trials,
         },
     )
     required_series = TimeSeries("required_samples")

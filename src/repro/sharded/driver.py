@@ -448,11 +448,12 @@ class ShardedSimulation(VectorSimulation):
                 "rebalance_pack",
                 [{"column": name, **run} for run in pack_runs],
             )
+            self._after_pack(name, new_size)
             executor.run(
                 "rebalance_unpack",
                 [
                     {"column": name, "lo": lo, "hi": hi, "new_size": new_size}
-                    for lo, hi in new_bounds
+                    for lo, hi in self._unpack_spans(name, new_bounds, new_size)
                 ],
             )
         # The driver is the single writer of the liveness/size
@@ -464,7 +465,8 @@ class ShardedSimulation(VectorSimulation):
         state._live_dirty = True
         state.maybe_dead_entries = False
         replies = executor.run(
-            "rebalance_commit", [{"lo": lo, "hi": hi} for lo, hi in new_bounds]
+            "rebalance_commit",
+            self._commit_payloads(new_bounds, old_size, new_size),
         )
         committed = [(reply["lo"], reply["hi"]) for reply in replies]
         if committed != new_bounds:
@@ -473,6 +475,23 @@ class ShardedSimulation(VectorSimulation):
                 f"{committed}, driver computed {new_bounds}"
             )
         executor.bounds = new_bounds
+
+    def _after_pack(self, name: str, new_size: int) -> None:
+        """Migration hook between a column's pack and unpack rounds.
+        No-op here (staging is shared memory); the distributed driver
+        installs its replicated columns from the assembled staging."""
+
+    def _unpack_spans(self, name: str, new_bounds, new_size: int):
+        """Migration hook: the row span each worker unpacks for
+        ``name``.  Shard-owned ranges here; the distributed driver
+        widens replicated columns to the full compacted range."""
+        return new_bounds
+
+    def _commit_payloads(self, new_bounds, old_size: int, new_size: int):
+        """Migration hook: the commit broadcast's payloads.  The
+        distributed commit additionally carries the sizes so every
+        replica can rewrite its liveness column."""
+        return [{"lo": lo, "hi": hi} for lo, hi in new_bounds]
 
     def shard_live_loads(self) -> list:
         """Per-shard live-row counts from the last view refresh

@@ -178,8 +178,11 @@ def cmd_rank_fold(ctx: ShardContext, boundary_bias: bool, window_exact: bool) ->
         )
         j1_cols = np.argmin(distance, axis=1)
     ctx.cache.update(
-        rows=rows, sub_view=sub_view, sub_valid=sub_valid,
-        j1_cols=j1_cols, a_self=a_self,
+        rows=rows,
+        sub_view=sub_view,
+        sub_valid=sub_valid,
+        j1_cols=j1_cols,
+        a_self=a_self,
     )
     return {"rows": len(rows)}
 
@@ -438,8 +441,12 @@ def cmd_metric_ranks(ctx: ShardContext, segments, own: int, name: str) -> dict:
     """Merge step: global 1-based ranks of this shard's elements,
     stored (in live-row order) under ``name`` for the reducers."""
     rank_sorted = cross_shard_ranks(
-        ctx.cache["m_keys"], ctx.cache["m_ids"], segments, own,
-        ctx.scratch["mkeys"], ctx.scratch["mids"],
+        ctx.cache["m_keys"],
+        ctx.cache["m_ids"],
+        segments,
+        own,
+        ctx.scratch["mkeys"],
+        ctx.scratch["mids"],
     )
     ranks = np.empty(len(rank_sorted), dtype=np.int64)
     ranks[ctx.cache["m_order"]] = rank_sorted + 1

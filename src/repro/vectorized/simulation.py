@@ -454,10 +454,15 @@ class VectorSimulation:
         self._apply_rebalance(decision)
         self._rebalance_count += 1
         self._last_rebalance = (
-            self._cycle, decision.old_size, decision.new_size, decision.ratio,
+            self._cycle,
+            decision.old_size,
+            decision.new_size,
+            decision.ratio,
         )
         self.trace.record(
-            self._cycle, "rebalance", None,
+            self._cycle,
+            "rebalance",
+            None,
             (decision.old_size, decision.new_size),
         )
 

@@ -127,8 +127,12 @@ class TestPlanTraceParity:
     @pytest.mark.parametrize("concurrency", ["none", "half"])
     def test_traces_identical(self, protocol, concurrency):
         kwargs = dict(
-            size=200, partition=SlicePartition.equal(5), protocol=protocol,
-            view_size=6, seed=21, concurrency=concurrency,
+            size=200,
+            partition=SlicePartition.equal(5),
+            protocol=protocol,
+            view_size=6,
+            seed=21,
+            concurrency=concurrency,
         )
         vectorized = VectorSimulation(**kwargs)
         vector_traces = self.traced(vectorized, 5)
@@ -142,8 +146,12 @@ class TestPlanTraceParity:
         from repro.churn.models import RegularChurn
 
         kwargs = dict(
-            size=200, partition=SlicePartition.equal(5), protocol="ranking",
-            view_size=6, seed=21, churn=RegularChurn(rate=0.05, period=1),
+            size=200,
+            partition=SlicePartition.equal(5),
+            protocol="ranking",
+            view_size=6,
+            seed=21,
+            churn=RegularChurn(rate=0.05, period=1),
             rebalance_every=2,
         )
         vectorized = VectorSimulation(**kwargs)

@@ -39,7 +39,10 @@ class TestGenerateSessionTrace:
         # With shape < 1 the session lengths must be heavy-tailed:
         # the max should dwarf the median.
         config = SessionTraceConfig(
-            cycles=2000, arrival_rate=1.0, session_shape=0.5, session_scale=20.0,
+            cycles=2000,
+            arrival_rate=1.0,
+            session_shape=0.5,
+            session_scale=20.0,
             attribute_is_uptime=True,
         )
         schedule = generate_session_trace(config, random.Random(3))

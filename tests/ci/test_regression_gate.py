@@ -1,0 +1,166 @@
+"""Unit tests for the benchmark regression gate
+(``benchmarks/check_regression.py``) — the comparison logic the
+nightly CI job enforces."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "check_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", os.path.abspath(_GATE_PATH)
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFlatten:
+    def test_nested_structures_and_identity_labels(self, gate):
+        data = [
+            {
+                "benchmark": "scaling",
+                "n": 1000,
+                "vectorized_cps": 2.0,
+                "sharded_cps": {"1": 1.5, "2": 2.5},
+                "cores": 8,  # not a metric
+                "ladder": [
+                    {"workers": 2, "rebalancing": True, "cycles_per_sec": 3.0}
+                ],
+            }
+        ]
+        metrics = gate.flatten_metrics(data)
+        assert metrics["[benchmark=scaling,n=1000].vectorized_cps"] == 2.0
+        assert metrics["[benchmark=scaling,n=1000].sharded_cps.2"] == 2.5
+        assert (
+            metrics[
+                "[benchmark=scaling,n=1000].ladder"
+                "[workers=2,rebalancing=True].cycles_per_sec"
+            ]
+            == 3.0
+        )
+        assert not any("cores" in key for key in metrics)
+
+    def test_append_log_takes_last_occurrence(self, gate):
+        data = [
+            {"benchmark": "b", "n": 10, "vectorized_cps": 1.0},
+            {"benchmark": "b", "n": 10, "vectorized_cps": 9.0},
+        ]
+        assert gate.flatten_metrics(data) == {
+            "[benchmark=b,n=10].vectorized_cps": 9.0
+        }
+
+    def test_booleans_are_not_metrics(self, gate):
+        assert gate.flatten_metrics([{"benchmark": "b", "fast_cps": True}]) == {}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, gate):
+        rows = gate.compare({"k": 4.0}, {"k": 3.2}, threshold=0.25)
+        assert rows[0]["status"] == "ok"
+
+    def test_regression_flagged(self, gate):
+        rows = gate.compare({"k": 4.0}, {"k": 2.9}, threshold=0.25)
+        assert rows[0]["status"] == "regression"
+
+    def test_improvement_passes(self, gate):
+        rows = gate.compare({"k": 4.0}, {"k": 40.0}, threshold=0.25)
+        assert rows[0]["status"] == "ok"
+
+    def test_new_and_stale_metrics_not_gated(self, gate):
+        rows = gate.compare({"gone": 1.0}, {"fresh": 1.0}, threshold=0.25)
+        statuses = {row["metric"]: row["status"] for row in rows}
+        assert statuses == {"gone": "stale", "fresh": "new"}
+
+
+class TestGate:
+    def _write(self, path, payload):
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+    def _dirs(self, tmp_path):
+        results = os.path.join(str(tmp_path), "results")
+        baselines = os.path.join(results, "baselines")
+        os.makedirs(baselines)
+        return results, baselines
+
+    def test_passing_run_exits_zero_and_writes_report(self, gate, tmp_path):
+        results, baselines = self._dirs(tmp_path)
+        self._write(
+            os.path.join(results, "x.json"),
+            [{"benchmark": "x", "vectorized_cps": 2.0}],
+        )
+        self._write(
+            os.path.join(baselines, "x.json"),
+            {"metrics": {"[benchmark=x].vectorized_cps": 2.1}},
+        )
+        report = os.path.join(str(tmp_path), "report.json")
+        assert (
+            gate.run_gate(results, baselines, 0.25, report_path=report) == 0
+        )
+        with open(report) as handle:
+            content = json.load(handle)
+        assert content["benchmarks"]["x.json"][0]["status"] == "ok"
+
+    def test_regressed_run_exits_nonzero(self, gate, tmp_path):
+        results, baselines = self._dirs(tmp_path)
+        self._write(
+            os.path.join(results, "x.json"),
+            [{"benchmark": "x", "vectorized_cps": 1.0}],
+        )
+        self._write(
+            os.path.join(baselines, "x.json"),
+            {"metrics": {"[benchmark=x].vectorized_cps": 2.0}},
+        )
+        assert gate.run_gate(results, baselines, 0.25) == 1
+
+    def test_missing_results_file_is_stale_not_fatal(self, gate, tmp_path):
+        results, baselines = self._dirs(tmp_path)
+        self._write(
+            os.path.join(baselines, "gone.json"), {"metrics": {"k": 1.0}}
+        )
+        assert gate.run_gate(results, baselines, 0.25) == 0
+
+    def test_update_baselines_round_trips(self, gate, tmp_path):
+        results, baselines = self._dirs(tmp_path)
+        self._write(
+            os.path.join(results, "x.json"),
+            [{"benchmark": "x", "vectorized_cps": 3.0}],
+        )
+        assert gate.run_gate(results, baselines, 0.25, update=True) == 0
+        assert gate.run_gate(results, baselines, 0.25) == 0
+        with open(os.path.join(baselines, "x.json")) as handle:
+            assert json.load(handle)["metrics"] == {
+                "[benchmark=x].vectorized_cps": 3.0
+            }
+
+    def test_main_cli(self, gate, tmp_path):
+        results, baselines = self._dirs(tmp_path)
+        self._write(
+            os.path.join(results, "x.json"),
+            [{"benchmark": "x", "vectorized_cps": 1.0}],
+        )
+        self._write(
+            os.path.join(baselines, "x.json"),
+            {"metrics": {"[benchmark=x].vectorized_cps": 2.0}},
+        )
+        code = gate.main(
+            [
+                "--results",
+                results,
+                "--baselines",
+                baselines,
+                "--report",
+                os.path.join(str(tmp_path), "r.json"),
+            ]
+        )
+        assert code == 1

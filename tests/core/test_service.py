@@ -97,7 +97,9 @@ class TestMembership:
 
     def test_joiner_finds_high_slice(self):
         service = SlicingService(
-            size=60, slices=3, seed=4,
+            size=60,
+            slices=3,
+            seed=4,
             attributes=[float(i) for i in range(60)],
         )
         service.run(30)

@@ -1,0 +1,117 @@
+"""Service/registry surface of the distributed backend: validation,
+spec wiring, and the SlicingService integration point."""
+
+import pytest
+
+from repro.core.backends import get_backend, supported_combinations
+from repro.core.service import SlicingService
+from repro.experiments.config import RunSpec, build_simulation
+
+
+class TestRegistry:
+    def test_distributed_backend_registered(self):
+        spec = get_backend("distributed")
+        assert spec.multiprocess
+        assert spec.rebalances
+        assert spec.remote_hosts
+
+    def test_capability_lines_name_hosts(self):
+        lines = "\n".join(supported_combinations())
+        assert "backend='distributed'" in lines
+        assert "hosts=[...]" in lines
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized", "sharded"])
+    def test_hosts_rejected_on_other_backends(self, backend):
+        with pytest.raises(ValueError, match="hosts"):
+            get_backend(backend).validate(
+                concurrency="none", workers=None, hosts=["a:1"]
+            )
+
+    def test_hosts_and_workers_must_agree(self):
+        spec = get_backend("distributed")
+        with pytest.raises(ValueError, match="disagrees"):
+            spec.validate(concurrency="none", workers=3, hosts=["a:1", "b:2"])
+        spec.validate(concurrency="none", workers=2, hosts=["a:1", "b:2"])
+
+    def test_empty_hosts_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            get_backend("distributed").validate(
+                concurrency="none", workers=None, hosts=[]
+            )
+
+    def test_workers_validation_still_fails_fast(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            get_backend("distributed").validate(concurrency="none", workers=0)
+
+
+class TestRunSpec:
+    def test_describe_names_hosts(self):
+        spec = RunSpec(
+            backend="distributed", workers=2, hosts=("a:1", "b:2")
+        )
+        described = spec.describe()
+        assert "backend=distributed" in described
+        assert "hosts=a:1,b:2" in described
+
+    def test_build_simulation_dispatches_distributed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISTRIBUTED_TRANSPORT", "loopback")
+        spec = RunSpec(
+            n=80,
+            cycles=2,
+            slice_count=5,
+            view_size=6,
+            protocol="ranking",
+            backend="distributed",
+            workers=2,
+            seed=1,
+        )
+        sim = build_simulation(spec)
+        try:
+            assert type(sim).__name__ == "DistributedSimulation"
+            sim.run(spec.cycles)
+            assert sim.live_count == 80
+        finally:
+            sim.close()
+
+
+class TestService:
+    def test_service_runs_and_serves_queries(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISTRIBUTED_TRANSPORT", "loopback")
+        with SlicingService(
+            size=80,
+            slices=5,
+            algorithm="ranking",
+            backend="distributed",
+            workers=2,
+            seed=4,
+        ) as service:
+            changes = []
+            service.subscribe(changes.append)
+            service.run(4)
+            assert service.size == 80
+            assert sum(service.slice_sizes()) == 80
+            assert 0.0 <= service.accuracy() <= 1.0
+            assert service.disorder() >= 0.0
+            members = service.members(0)
+            assert all(service.slice_of(node) == 0 for node in members)
+
+    def test_service_join_leave_replicate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISTRIBUTED_TRANSPORT", "loopback")
+        with SlicingService(
+            size=60,
+            slices=4,
+            algorithm="ranking",
+            backend="distributed",
+            workers=2,
+            seed=4,
+        ) as service:
+            service.run(2)
+            node = service.join(0.9)
+            service.leave(0)
+            service.run(2)
+            assert service.size == 60
+            assert service.slice_of(node) in range(4)
+
+    def test_service_rejects_hosts_on_sharded(self):
+        with pytest.raises(ValueError, match="hosts"):
+            SlicingService(size=50, backend="sharded", hosts=["a:1"])

@@ -43,7 +43,9 @@ class TestConstruction:
             )
         with pytest.raises(ValueError):
             EventSimulation(
-                size=10, partition=partition, slicer_factory=factory,
+                size=10,
+                partition=partition,
+                slicer_factory=factory,
                 period_jitter=1.0,
             )
 

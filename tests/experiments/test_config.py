@@ -105,7 +105,10 @@ class TestBuildChurn:
 
     def test_uncorrelated_with_distribution(self):
         spec = RunSpec(
-            n=10, view_size=4, churn="regular", correlated_churn=False,
+            n=10,
+            view_size=4,
+            churn="regular",
+            correlated_churn=False,
             attributes=UniformAttributes(),
         )
         sim = build_simulation(spec)

@@ -59,7 +59,10 @@ class TestFig4c:
     def test_four_series_present(self):
         result = run_fig4c(cycles=15, **SMALL)
         assert set(result.series) == {
-            "jk-half", "jk-full", "mod-jk-half", "mod-jk-full",
+            "jk-half",
+            "jk-full",
+            "mod-jk-half",
+            "mod-jk-full",
         }
 
     def test_runs_on_vectorized_backend(self):
@@ -165,7 +168,14 @@ class TestTheoryHarnesses:
 
     def test_registry_complete(self):
         assert set(ALL_FIGURES) == {
-            "fig4a", "fig4b", "fig4c", "fig4d",
-            "fig6a", "fig6b", "fig6c", "fig6d",
-            "lemma41", "theorem51",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig4d",
+            "fig6a",
+            "fig6b",
+            "fig6c",
+            "fig6d",
+            "lemma41",
+            "theorem51",
         }

@@ -19,8 +19,12 @@ def run_with_churn(protocol_name, churn, n=200, cycles=150, seed=9, slice_count=
     else:
         factory = lambda: OrderingProtocol(partition)
     sim = CycleSimulation(
-        size=n, partition=partition, slicer_factory=factory,
-        view_size=10, churn=churn, seed=seed,
+        size=n,
+        partition=partition,
+        slicer_factory=factory,
+        view_size=10,
+        churn=churn,
+        seed=seed,
     )
     sdm = SliceDisorderCollector(partition)
     pop = PopulationCollector()
@@ -70,7 +74,8 @@ class TestUncorrelatedChurn:
         # correct for the ranking protocol.
         distribution = UniformAttributes()
         churn = RegularChurn(
-            rate=0.01, period=5,
+            rate=0.01,
+            period=5,
             departures=UniformDepartures(),
             arrivals=DistributionArrivals(distribution),
         )

@@ -18,8 +18,13 @@ from repro.vectorized.simulation import VectorSimulation
 
 def make_sim(workers, size=240, protocol="ranking", **kwargs):
     return ShardedSimulation(
-        size=size, partition=SlicePartition.equal(8), protocol=protocol,
-        view_size=8, seed=9, workers=workers, **kwargs,
+        size=size,
+        partition=SlicePartition.equal(8),
+        protocol=protocol,
+        view_size=8,
+        seed=9,
+        workers=workers,
+        **kwargs,
     )
 
 
@@ -37,16 +42,20 @@ class TestDistributedMetrics:
     def test_slice_disorder_matches_central(self, pooled):
         live = pooled.state.live_ids()
         central = vmetrics.slice_disorder_arrays(
-            pooled.state.attribute[live], pooled.state.value[live],
-            live, pooled.geometry,
+            pooled.state.attribute[live],
+            pooled.state.value[live],
+            live,
+            pooled.geometry,
         )
         assert pooled.slice_disorder() == pytest.approx(central, abs=1e-9)
 
     def test_accuracy_matches_central(self, pooled):
         live = pooled.state.live_ids()
         central = vmetrics.accuracy_arrays(
-            pooled.state.attribute[live], pooled.state.value[live],
-            live, pooled.geometry,
+            pooled.state.attribute[live],
+            pooled.state.value[live],
+            live,
+            pooled.geometry,
         )
         assert pooled.accuracy() == pytest.approx(central, abs=1e-12)
 
@@ -71,8 +80,10 @@ class TestDistributedMetrics:
         try:
             live = sim.state.live_ids()
             central = vmetrics.slice_disorder_arrays(
-                sim.state.attribute[live], sim.state.value[live],
-                live, sim.geometry,
+                sim.state.attribute[live],
+                sim.state.value[live],
+                live,
+                sim.geometry,
             )
             assert sim.slice_disorder() == pytest.approx(central, abs=1e-9)
         finally:
@@ -95,12 +106,16 @@ class TestDeadShard:
         live = sim.state.live_ids()
         return (
             vmetrics.slice_disorder_arrays(
-                sim.state.attribute[live], sim.state.value[live],
-                live, sim.geometry,
+                sim.state.attribute[live],
+                sim.state.value[live],
+                live,
+                sim.geometry,
             ),
             vmetrics.accuracy_arrays(
-                sim.state.attribute[live], sim.state.value[live],
-                live, sim.geometry,
+                sim.state.attribute[live],
+                sim.state.value[live],
+                live,
+                sim.geometry,
             ),
             vmetrics.global_disorder_arrays(
                 sim.state.attribute[live], sim.state.value[live], live
@@ -149,8 +164,12 @@ class TestStartMethods:
             pytest.skip(f"start method {method!r} unsupported on this platform")
         monkeypatch.setenv("REPRO_SHARDED_START_METHOD", method)
         kwargs = dict(
-            size=120, partition=SlicePartition.equal(8), protocol="ranking",
-            view_size=8, seed=9, churn=RegularChurn(rate=0.05, period=1),
+            size=120,
+            partition=SlicePartition.equal(8),
+            protocol="ranking",
+            view_size=8,
+            seed=9,
+            churn=RegularChurn(rate=0.05, period=1),
             rebalance_every=2,
         )
         vectorized = VectorSimulation(**kwargs)
@@ -228,8 +247,12 @@ class TestLifecycle:
 class TestServiceSeam:
     def test_service_runs_and_queries(self):
         with SlicingService(
-            size=200, slices=4, algorithm="ranking", backend="sharded",
-            workers=2, seed=7,
+            size=200,
+            slices=4,
+            algorithm="ranking",
+            backend="sharded",
+            workers=2,
+            seed=7,
         ) as service:
             service.run(4)
             assert sum(service.slice_sizes()) == 200
@@ -251,8 +274,14 @@ class TestServiceSeam:
     def test_service_rebalancing_knobs(self):
         churn = RegularChurn(rate=0.05, period=1)
         with SlicingService(
-            size=150, slices=5, backend="sharded", workers=2, seed=4,
-            churn=churn, rebalance_every=2, rebalance_threshold=1.5,
+            size=150,
+            slices=5,
+            backend="sharded",
+            workers=2,
+            seed=4,
+            churn=churn,
+            rebalance_every=2,
+            rebalance_threshold=1.5,
         ) as service:
             service.run(8)
             assert service.simulation.rebalance_count > 0
@@ -287,8 +316,13 @@ class TestServiceSeam:
     @pytest.mark.parametrize("concurrency", ["half", "full"])
     def test_concurrency_now_legal_on_bulk_backends(self, concurrency):
         with SlicingService(
-            size=80, slices=4, algorithm="ordering", backend="sharded",
-            workers=2, concurrency=concurrency, seed=11,
+            size=80,
+            slices=4,
+            algorithm="ordering",
+            backend="sharded",
+            workers=2,
+            concurrency=concurrency,
+            seed=11,
         ) as service:
             service.run(3)
             assert service.cycle == 3

@@ -45,8 +45,12 @@ def assert_states_identical(sim_a, sim_b):
 def paired_runs(protocol, workers, cycles=6, **overrides):
     partition = SlicePartition.equal(10)
     kwargs = dict(
-        size=300, partition=partition, protocol=protocol, view_size=8,
-        seed=13, **overrides,
+        size=300,
+        partition=partition,
+        protocol=protocol,
+        view_size=8,
+        seed=13,
+        **overrides,
     )
     vectorized = VectorSimulation(**kwargs)
     vectorized.run(cycles)
@@ -109,8 +113,12 @@ class TestPoolBitwise:
     def test_pool_matches_inline_under_churn(self):
         partition = SlicePartition.equal(10)
         kwargs = dict(
-            size=250, partition=partition, protocol="mod-jk", view_size=8,
-            seed=5, churn=RegularChurn(rate=0.01, period=2),
+            size=250,
+            partition=partition,
+            protocol="mod-jk",
+            view_size=8,
+            seed=5,
+            churn=RegularChurn(rate=0.01, period=2),
         )
         inline = ShardedSimulation(workers=1, **kwargs)
         inline.run(8)
@@ -220,8 +228,12 @@ class TestRebalancingParity:
         self, workers, concurrency
     ):
         vectorized, sharded = paired_runs(
-            "mod-jk", workers=workers, cycles=10, churn=skewed_churn(),
-            concurrency=concurrency, rebalance_every=2,
+            "mod-jk",
+            workers=workers,
+            cycles=10,
+            churn=skewed_churn(),
+            concurrency=concurrency,
+            rebalance_every=2,
         )
         try:
             assert vectorized.rebalance_count > 0
@@ -232,8 +244,12 @@ class TestRebalancingParity:
     def test_exact_window_identical_with_rebalancing(self):
         # The migration must move the bit-packed window columns too.
         vectorized, sharded = paired_runs(
-            "ranking-window", workers=2, cycles=10, window=15,
-            churn=skewed_churn(), rebalance_every=2,
+            "ranking-window",
+            workers=2,
+            cycles=10,
+            window=15,
+            churn=skewed_churn(),
+            rebalance_every=2,
         )
         try:
             assert vectorized.rebalance_count > 0
@@ -252,8 +268,13 @@ class TestRebalancingParity:
         # dead rows, so the same run fits indefinitely.
         partition = SlicePartition.equal(10)
         kwargs = dict(
-            size=200, partition=partition, protocol="ranking", view_size=8,
-            seed=3, churn=skewed_churn(0.1), spare_capacity=64,
+            size=200,
+            partition=partition,
+            protocol="ranking",
+            view_size=8,
+            seed=3,
+            churn=skewed_churn(0.1),
+            spare_capacity=64,
         )
         with ShardedSimulation(workers=2, rebalance_every=2, **kwargs) as sim:
             sim.run(12)
@@ -266,7 +287,10 @@ class TestRebalancingParity:
 
     def test_rebalanced_shards_report_even_loads(self):
         vectorized, sharded = paired_runs(
-            "ranking", workers=4, cycles=10, churn=skewed_churn(),
+            "ranking",
+            workers=4,
+            cycles=10,
+            churn=skewed_churn(),
             rebalance_threshold=1.5,
         )
         try:
@@ -285,7 +309,10 @@ class TestRebalancingParity:
         # even the *metrics* — not just the arrays — are bitwise
         # worker-count independent, rebalancing included.
         vectorized, sharded = paired_runs(
-            "ranking", workers=workers, cycles=8, churn=skewed_churn(),
+            "ranking",
+            workers=workers,
+            cycles=8,
+            churn=skewed_churn(),
             rebalance_every=3,
         )
         try:
@@ -303,8 +330,12 @@ class TestCrossBackendStatistical:
     @pytest.fixture(scope="class")
     def curves(self):
         spec = RunSpec(
-            n=1000, cycles=30, slice_count=10, view_size=10,
-            protocol="ranking", seed=3,
+            n=1000,
+            cycles=30,
+            slice_count=10,
+            view_size=10,
+            protocol="ranking",
+            seed=3,
         )
         out = {}
         for backend in ("reference", "vectorized", "sharded"):

@@ -116,8 +116,12 @@ class TestConcurrencyEquivalence:
 
     def test_modjk_wastes_more_than_jk_under_full(self):
         base = RunSpec(
-            n=1000, cycles=30, slice_count=10, view_size=10,
-            backend="vectorized", concurrency="full",
+            n=1000,
+            cycles=30,
+            slice_count=10,
+            view_size=10,
+            backend="vectorized",
+            concurrency="full",
         )
         modjk = self.unsuccessful_pct(base.with_overrides(protocol="mod-jk"))
         jk = self.unsuccessful_pct(base.with_overrides(protocol="jk"))
@@ -128,8 +132,12 @@ class TestConcurrencyEquivalence:
         # full concurrency stays within a constant band of the
         # reference engine's.
         spec = RunSpec(
-            n=1000, cycles=30, slice_count=10, view_size=10,
-            protocol="mod-jk", concurrency="full",
+            n=1000,
+            cycles=30,
+            slice_count=10,
+            view_size=10,
+            protocol="mod-jk",
+            concurrency="full",
         )
         ref, vec = mean_curves(spec)
         assert vec[0] == pytest.approx(ref[0], rel=0.15)
@@ -141,8 +149,12 @@ class TestConcurrencyEquivalence:
         # reorders the event stream without changing the counters: the
         # plain-ranking trajectory is identical under any regime.
         base = RunSpec(
-            n=500, cycles=15, slice_count=10, view_size=10,
-            protocol="ranking", backend="vectorized",
+            n=500,
+            cycles=15,
+            slice_count=10,
+            view_size=10,
+            protocol="ranking",
+            backend="vectorized",
         )
         none_curve, _ = sdm_curve(base)
         full_curve, _ = sdm_curve(base.with_overrides(concurrency="full"))

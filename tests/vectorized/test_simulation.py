@@ -23,8 +23,12 @@ from repro.vectorized.state import EMPTY
 def make_sim(n=300, protocol="ranking", slice_count=10, view_size=8, seed=7, **kw):
     partition = SlicePartition.equal(slice_count)
     return VectorSimulation(
-        size=n, partition=partition, protocol=protocol, view_size=view_size,
-        seed=seed, **kw,
+        size=n,
+        partition=partition,
+        protocol=protocol,
+        view_size=view_size,
+        seed=seed,
+        **kw,
     )
 
 

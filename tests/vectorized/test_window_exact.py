@@ -87,8 +87,13 @@ def test_windowed_run_tracks_correlated_churn_better_than_cumulative():
     results = {}
     for protocol, window in (("ranking", None), ("ranking-window", 60)):
         sim = VectorSimulation(
-            size=600, partition=partition, protocol=protocol, window=window,
-            view_size=10, seed=21, churn=RegularChurn(rate=0.005, period=1),
+            size=600,
+            partition=partition,
+            protocol=protocol,
+            window=window,
+            view_size=10,
+            seed=21,
+            churn=RegularChurn(rate=0.005, period=1),
         )
         sim.run(80)
         results[protocol] = sim.slice_disorder()
@@ -98,12 +103,21 @@ def test_windowed_run_tracks_correlated_churn_better_than_cumulative():
 def test_approximation_flag_switches_implementations():
     partition = SlicePartition.equal(10)
     exact = VectorSimulation(
-        size=300, partition=partition, protocol="ranking-window", window=16,
-        view_size=8, seed=4,
+        size=300,
+        partition=partition,
+        protocol="ranking-window",
+        window=16,
+        view_size=8,
+        seed=4,
     )
     approx = VectorSimulation(
-        size=300, partition=partition, protocol="ranking-window", window=16,
-        view_size=8, seed=4, window_approx=True,
+        size=300,
+        partition=partition,
+        protocol="ranking-window",
+        window=16,
+        view_size=8,
+        seed=4,
+        window_approx=True,
     )
     assert exact.state.window == 16 and exact.window_exact
     assert approx.state.window is None and not approx.window_exact
