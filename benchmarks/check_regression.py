@@ -15,7 +15,13 @@ against the committed baseline under ``benchmarks/results/baselines/``:
   fails;
 * metrics without a baseline are reported as ``new`` (not gated);
 * baselines whose results file has no fresh value are ``stale``
-  (not gated — that benchmark did not run).
+  (not gated — that benchmark did not run);
+* per-phase timing metrics (keys containing ``phase``, recorded by
+  the telemetry-profiled benchmarks) are ``tracked``: they appear in
+  the table with their drift ratio so a shifting phase split is
+  visible, but never gate — phase splits move legitimately with
+  machine load, worker count and numpy version, while end-to-end
+  cycles/sec should not.
 
 Refresh the baselines from a trusted run (e.g. the nightly artifact of
 a known-good commit, on the same runner class) with::
@@ -40,6 +46,12 @@ DEFAULT_THRESHOLD = 0.25
 #: ``cycles_per_sec``, ...).
 METRIC_MARKERS = ("cps", "cycles_per_sec")
 
+#: A numeric leaf under a key containing one of these markers is a
+#: *tracked* metric (matches the ``phases`` / ``phase_counters``
+#: breakdowns the profiled benchmarks record): compared and printed,
+#: never gated.
+TRACKED_MARKERS = ("phase",)
+
 #: Fields used to label list entries instead of positional indices, so
 #: keys stay stable when runs are appended or reordered.
 IDENTITY_FIELDS = ("benchmark", "n", "workers", "rebalancing", "transport")
@@ -47,6 +59,10 @@ IDENTITY_FIELDS = ("benchmark", "n", "workers", "rebalancing", "transport")
 
 def _is_metric(key: str) -> bool:
     return any(marker in key for marker in METRIC_MARKERS)
+
+
+def _is_tracked(key: str) -> bool:
+    return any(marker in key for marker in TRACKED_MARKERS)
 
 
 def _entry_label(entry: dict) -> str:
@@ -72,8 +88,10 @@ def flatten_metrics(node, prefix: str = "") -> Dict[str, float]:
                 metrics.update(flatten_metrics(value, path))
             elif isinstance(value, (int, float)) and not isinstance(value, bool):
                 # Match on the whole path: per-worker rates sit under a
-                # "..._cps" dict whose leaves are bare worker counts.
-                if _is_metric(path):
+                # "..._cps" dict whose leaves are bare worker counts,
+                # and phase seconds under a "phases" dict whose leaves
+                # are bare span names.
+                if _is_metric(path) or _is_tracked(path):
                     metrics[path] = float(value)
     return metrics
 
@@ -99,7 +117,10 @@ def compare(
             rows.append({"metric": key, "status": "stale", "baseline": base_value})
             continue
         ratio = fresh_value / base_value if base_value else float("inf")
-        status = "ok" if ratio >= 1.0 - threshold else "regression"
+        if _is_tracked(key):
+            status = "tracked"
+        else:
+            status = "ok" if ratio >= 1.0 - threshold else "regression"
         rows.append(
             {
                 "metric": key,

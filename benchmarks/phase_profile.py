@@ -1,0 +1,56 @@
+"""Phase-telemetry capture shared by the nightly benchmarks.
+
+The throughput benchmarks already archive cycles/sec into the JSON
+result logs; this module adds the *where the time went* dimension on
+top: each profiled run appends its per-cycle telemetry records
+(:mod:`repro.obs`) to ``benchmarks/results/phase-timings.ndjson`` —
+uploaded as a nightly CI artifact — and summarizes them into a
+JSON-ready phase breakdown stored next to the throughput numbers.
+
+``check_regression.py`` *tracks* these phase metrics (they show up in
+the comparison table so drift is visible) but only *gates* on the
+cycles/sec keys: phase splits shift legitimately with machine load,
+worker count and numpy version, so they inform rather than fail CI.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import CycleReport, NdjsonSink, Telemetry
+
+PHASE_TIMINGS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "phase-timings.ndjson"
+)
+
+#: Accounting counters surfaced next to the span seconds (only those
+#: the profiled engine actually recorded appear).
+ACCOUNTING_COUNTERS = (
+    "worker_kernel_ns",
+    "barrier_wait_ns",
+    "wire.sent_bytes",
+    "wire.recv_bytes",
+    "wire.frames",
+)
+
+
+def phase_telemetry(engine: str) -> Telemetry:
+    """A telemetry whose per-cycle records append to the nightly
+    phase-timings NDJSON artifact, tagged with ``engine``."""
+    os.makedirs(os.path.dirname(PHASE_TIMINGS_PATH), exist_ok=True)
+    return Telemetry(
+        engine=engine, sink=NdjsonSink(PHASE_TIMINGS_PATH, append=True)
+    )
+
+
+def phase_breakdown(telemetry: Telemetry) -> dict:
+    """Flat JSON-ready summary of one profiled run: top-level span
+    seconds plus the worker/wire accounting counters."""
+    report = CycleReport(telemetry.records)
+    entry = {
+        name: round(seconds, 6) for name, seconds in report.phase_seconds().items()
+    }
+    for key in ACCOUNTING_COUNTERS:
+        if key in report.counters:
+            entry[key.replace(".", "_")] = int(report.counters[key])
+    return entry

@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from phase_profile import phase_breakdown, phase_telemetry
 from repro.experiments.config import RunSpec, build_simulation
 
 pytestmark = pytest.mark.nightly
@@ -39,9 +40,9 @@ def record(entry: dict) -> None:
         json.dump(existing, handle, indent=2)
 
 
-def measure(spec: RunSpec, cycles: int):
+def measure(spec: RunSpec, cycles: int, telemetry=None):
     """(cycles/sec, cumulative unsuccessful-swap %) for one regime."""
-    sim = build_simulation(spec)
+    sim = build_simulation(spec, telemetry=telemetry)
     try:
         started = time.perf_counter()
         sim.run(cycles)
@@ -52,6 +53,8 @@ def measure(spec: RunSpec, cycles: int):
     finally:
         if hasattr(sim, "close"):
             sim.close()
+        if telemetry is not None:
+            telemetry.close()
 
 
 class TestConcurrencyThroughput:
@@ -68,16 +71,23 @@ class TestConcurrencyThroughput:
         )
         cycles = 5
         results = {}
+        phases = {}
         for concurrency in ("none", "half", "full"):
+            telemetry = phase_telemetry(f"vectorized-{concurrency}")
             results[concurrency] = measure(
-                base.with_overrides(concurrency=concurrency), cycles
+                base.with_overrides(concurrency=concurrency), cycles,
+                telemetry=telemetry,
             )
+            phases[f"vectorized_{concurrency}"] = phase_breakdown(telemetry)
+        telemetry = phase_telemetry("sharded-half")
         sharded_rate, _ = measure(
             base.with_overrides(
                 backend="sharded", workers=min(CORES, 8), concurrency="half"
             ),
             cycles,
+            telemetry=telemetry,
         )
+        phases["sharded_half"] = phase_breakdown(telemetry)
         record(
             {
                 "benchmark": "concurrency-throughput", "n": 1_000_000,
@@ -89,6 +99,7 @@ class TestConcurrencyThroughput:
                     regime: pct for regime, (_rate, pct) in results.items()
                 },
                 "sharded_half_cps": sharded_rate,
+                "phases": phases,
             }
         )
         with capsys.disabled():

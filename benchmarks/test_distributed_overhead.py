@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from phase_profile import phase_breakdown, phase_telemetry
 from repro.experiments.config import RunSpec, build_simulation
 
 pytestmark = pytest.mark.nightly
@@ -41,11 +42,13 @@ def record(entry: dict) -> None:
         json.dump(existing, handle, indent=2)
 
 
-def cycles_per_second(spec: RunSpec, cycles: int, transport=None) -> float:
+def cycles_per_second(
+    spec: RunSpec, cycles: int, transport=None, telemetry=None
+) -> float:
     if transport is not None:
         os.environ["REPRO_DISTRIBUTED_TRANSPORT"] = transport
     try:
-        sim = build_simulation(spec)
+        sim = build_simulation(spec, telemetry=telemetry)
         try:
             started = time.perf_counter()
             sim.run(cycles)
@@ -53,6 +56,8 @@ def cycles_per_second(spec: RunSpec, cycles: int, transport=None) -> float:
         finally:
             if hasattr(sim, "close"):
                 sim.close()
+            if telemetry is not None:
+                telemetry.close()
     finally:
         os.environ.pop("REPRO_DISTRIBUTED_TRANSPORT", None)
 
@@ -68,16 +73,25 @@ class TestDistributedOverhead:
             protocol="ranking",
         )
         cycles = 3
+        phases = {}
+        telemetry = phase_telemetry("vectorized")
         baseline = cycles_per_second(
-            spec.with_overrides(backend="vectorized"), cycles
+            spec.with_overrides(backend="vectorized"), cycles,
+            telemetry=telemetry,
         )
+        phases["vectorized"] = phase_breakdown(telemetry)
         rates = {}
         for transport in ("loopback", "tcp"):
+            telemetry = phase_telemetry(f"distributed-{transport}")
             rates[transport] = cycles_per_second(
                 spec.with_overrides(backend="distributed", workers=2),
                 cycles,
                 transport=transport,
+                telemetry=telemetry,
             )
+            # The per-transport breakdown itemizes the messaging cost
+            # directly: worker kernel vs barrier wait vs wire bytes.
+            phases[f"distributed_{transport}"] = phase_breakdown(telemetry)
         record(
             {
                 "benchmark": "distributed-overhead",
@@ -87,6 +101,7 @@ class TestDistributedOverhead:
                 "workers": 2,
                 "vectorized_cps": baseline,
                 "distributed_cps": rates,
+                "phases": phases,
             }
         )
         with capsys.disabled():

@@ -27,6 +27,7 @@ import time
 
 import pytest
 
+from phase_profile import phase_breakdown, phase_telemetry
 from repro.churn.models import RegularChurn
 from repro.experiments.config import RunSpec, build_simulation
 
@@ -49,8 +50,8 @@ def record(entry: dict) -> None:
         json.dump(existing, handle, indent=2)
 
 
-def cycles_per_second(spec: RunSpec, cycles: int) -> float:
-    sim = build_simulation(spec)
+def cycles_per_second(spec: RunSpec, cycles: int, telemetry=None) -> float:
+    sim = build_simulation(spec, telemetry=telemetry)
     try:
         started = time.perf_counter()
         sim.run(cycles)
@@ -58,6 +59,8 @@ def cycles_per_second(spec: RunSpec, cycles: int) -> float:
     finally:
         if hasattr(sim, "close"):
             sim.close()
+        if telemetry is not None:
+            telemetry.close()
 
 
 def worker_ladder():
@@ -79,14 +82,21 @@ class TestScalingLadder:
             protocol="ranking",
             backend="sharded",
         )
+        phases = {}
+        telemetry = phase_telemetry("vectorized")
         baseline = cycles_per_second(
-            spec.with_overrides(backend="vectorized"), cycles=5
+            spec.with_overrides(backend="vectorized"), cycles=5,
+            telemetry=telemetry,
         )
+        phases["vectorized"] = phase_breakdown(telemetry)
         rates = {}
         for workers in worker_ladder():
+            telemetry = phase_telemetry(f"sharded-w{workers}")
             rates[workers] = cycles_per_second(
-                spec.with_overrides(workers=workers), cycles=5
+                spec.with_overrides(workers=workers), cycles=5,
+                telemetry=telemetry,
             )
+            phases[f"sharded_w{workers}"] = phase_breakdown(telemetry)
         record(
             {
                 "benchmark": "sharded-scaling",
@@ -94,6 +104,7 @@ class TestScalingLadder:
                 "cores": CORES,
                 "vectorized_cps": baseline,
                 "sharded_cps": {str(w): r for w, r in rates.items()},
+                "phases": phases,
             }
         )
         with capsys.disabled():

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Where does a cycle's time go?  Profile one ranking run at n = 10^5
+on the three bulk backends and print the per-phase breakdown
+side by side.
+
+Each engine runs the *same* plan (bitwise-identical results — the
+telemetry only times, it never touches an RNG stream), so the columns
+differ purely in execution strategy:
+
+* ``vectorized``  — single-process numpy;
+* ``sharded``     — 2 worker processes over shared memory, with the
+  driver/worker split visible as ``cmd:*`` dispatch spans plus kernel
+  vs barrier-wait accounting;
+* ``distributed`` — 2 workers over the in-process loopback message
+  transport, adding per-command wire-byte accounting.
+
+The "serial spine" line names the span with the most *self* time —
+the first target for any further optimization work.
+
+Run:  python examples/profile_cycle.py
+"""
+
+from repro.experiments.config import RunSpec, build_simulation
+from repro.obs import CycleReport, Telemetry
+
+N = 100_000
+CYCLES = 5
+BACKENDS = (
+    ("vectorized", {}),
+    ("sharded", {"workers": 2}),
+    ("distributed", {"workers": 2}),
+)
+
+
+def profile(backend: str, **overrides) -> CycleReport:
+    spec = RunSpec(
+        n=N,
+        slice_count=10,
+        view_size=10,
+        protocol="ranking",
+        backend=backend,
+        seed=0,
+        **overrides,
+    )
+    telemetry = Telemetry(engine=backend)
+    sim = build_simulation(spec, telemetry=telemetry)
+    try:
+        sim.run(CYCLES)
+    finally:
+        if hasattr(sim, "close"):
+            sim.close()
+    return CycleReport(telemetry.records)
+
+
+def main():
+    print(f"ranking, n={N:,}, {CYCLES} cycles — per-phase seconds\n")
+    reports = {}
+    for backend, overrides in BACKENDS:
+        print(f"profiling {backend} ...", flush=True)
+        reports[backend] = profile(backend, **overrides)
+    print()
+
+    # Side-by-side top-level phase table.
+    phases = []
+    for report in reports.values():
+        for name in report.phase_seconds():
+            if name not in phases:
+                phases.append(name)
+    header = f"{'phase':<12}" + "".join(f"{b:>14}" for b in reports)
+    print(header)
+    print("-" * len(header))
+    for phase in sorted(phases):
+        row = f"{phase:<12}"
+        for report in reports.values():
+            seconds = report.phase_seconds().get(phase)
+            row += f"{seconds:>14.3f}" if seconds is not None else f"{'-':>14}"
+        print(row)
+    row = f"{'wall':<12}"
+    for report in reports.values():
+        row += f"{report.wall_ns / 1e9:>14.3f}"
+    print(row)
+    row = f"{'coverage':<12}"
+    for report in reports.values():
+        row += f"{report.coverage * 100.0:>13.1f}%"
+    print(row)
+
+    print("\nserial spine (max self time) per backend:")
+    for backend, report in reports.items():
+        print(f"  {backend:>12}: {report.serial_spine()}")
+
+    # The multi-process engines itemize their coordination costs.
+    print("\ncoordination accounting:")
+    for backend, report in reports.items():
+        counters = report.counters
+        if "worker_kernel_ns" not in counters:
+            continue
+        kernel = counters["worker_kernel_ns"] / 1e9
+        wait = counters["barrier_wait_ns"] / 1e9
+        line = (
+            f"  {backend:>12}: worker kernel {kernel:.3f}s, "
+            f"barrier wait {wait:.3f}s"
+        )
+        if "wire.sent_bytes" in counters:
+            mb = (counters["wire.sent_bytes"] + counters["wire.recv_bytes"]) / 1e6
+            line += f", wire {mb:.1f} MB in {counters['wire.frames']:.0f} frames"
+        print(line)
+
+    print("\nfull per-span report for the sharded run:\n")
+    print(reports["sharded"].render())
+
+
+if __name__ == "__main__":
+    main()

@@ -225,6 +225,7 @@ def _reference_factory(
     rebalance_every=None,
     rebalance_threshold=None,
     hosts=None,
+    telemetry=None,
 ):
     # The rebalance/hosts knobs are rejected for this backend by
     # validate(); they appear here only so spec.create() can pass one
@@ -240,6 +241,7 @@ def _reference_factory(
         concurrency=concurrency,
         churn=churn,
         seed=seed,
+        telemetry=telemetry,
     )
 
 
@@ -254,6 +256,7 @@ def _bulk_kwargs(
     concurrency,
     churn,
     seed,
+    telemetry=None,
     **protocol_options,
 ):
     """Engine kwargs shared by the bulk factories.  ``algorithm`` may
@@ -272,6 +275,7 @@ def _bulk_kwargs(
         concurrency=concurrency,
         churn=churn,
         seed=seed,
+        telemetry=telemetry,
         **protocol_options,
     )
 

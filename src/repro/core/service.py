@@ -98,6 +98,11 @@ class SlicingService:
         from :meth:`join`/:meth:`members` are not stable across one.
     attributes, view_size, seed, churn:
         Forwarded to the underlying simulation.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` receiving
+        per-cycle phase spans and counters from the engine (attach an
+        :class:`~repro.obs.sink.NdjsonSink` for on-disk profiles).
+        Profiling never changes simulation results.
     """
 
     def __init__(
@@ -116,6 +121,7 @@ class SlicingService:
         view_size: int = 10,
         seed: int = 0,
         churn=None,
+        telemetry=None,
     ) -> None:
         self.partition = self._build_partition(slices)
         self.algorithm = algorithm
@@ -142,6 +148,7 @@ class SlicingService:
             rebalance_every=rebalance_every,
             rebalance_threshold=rebalance_threshold,
             seed=seed,
+            telemetry=telemetry,
         )
         self._subscribers: List[Callable[[SliceChange], None]] = []
         self._last_assignment: Dict[int, Optional[int]] = {}

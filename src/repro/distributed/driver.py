@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import pickle
+from time import perf_counter_ns
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -97,6 +98,7 @@ class _MessageExecutor:
     def __init__(self, sim: "DistributedSimulation") -> None:
         workers = sim.workers
         self._state = sim.state
+        self._telemetry = sim.telemetry
         self._remaps: List[list] = [[] for _ in range(workers)]
         self._updates: List[list] = [[] for _ in range(workers)]
         self.scratch = MessageScratch(self._queue_remap)
@@ -195,10 +197,25 @@ class _MessageExecutor:
     # Command exchanges
     # ------------------------------------------------------------------
 
+    def _wire_totals(self):
+        """Cumulative (sent_bytes, recv_bytes, frames) over every
+        worker endpoint — the per-command telemetry reads deltas."""
+        sent = recv = frames = 0
+        for handle in self._workers:
+            endpoint = handle.endpoint
+            sent += endpoint.sent_bytes
+            recv += endpoint.recv_bytes
+            frames += endpoint.sent_frames + endpoint.recv_frames
+        return sent, recv, frames
+
     def _exchange(self, command: str, assignments) -> list:
         """One command round trip with the given ``(worker_index,
         payload)`` assignments; merges scratch outputs and routes state
         updates before returning the per-worker results."""
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            start = perf_counter_ns()
+            sent0, recv0, frames0 = self._wire_totals()
         # The scratch inputs are identical for every recipient:
         # serialize them once and embed the bytes, so the per-worker
         # send only memcpys a blob instead of re-pickling the arrays.
@@ -217,6 +234,7 @@ class _MessageExecutor:
             except (TransportError, OSError) as error:
                 raise handle.fail(command, error) from error
         results, failures, outputs, updates = [], [], [], []
+        kernels = []
         for index, _payload in assignments:
             handle = self._workers[index]
             try:
@@ -227,6 +245,7 @@ class _MessageExecutor:
                 results.append(reply[1])
                 outputs.extend(reply[2])
                 updates.extend(reply[3])
+                kernels.append(reply[4])
             else:
                 failures.append(f"worker {index}:\n{reply[1]}")
         if failures:
@@ -241,6 +260,24 @@ class _MessageExecutor:
             else:
                 array[where] = values
         self.push_updates(updates)
+        if telemetry.enabled:
+            # Same accounting as the sharded pool: the exchange span
+            # minus the workers' self-reported kernel time is wire +
+            # barrier waiting; the endpoint byte counters attribute
+            # traffic per command (incl. the pickled scratch inputs).
+            span_ns = perf_counter_ns() - start
+            sent1, recv1, frames1 = self._wire_totals()
+            telemetry.add_span("cmd:" + command, span_ns)
+            telemetry.count("commands", 1)
+            telemetry.count("worker_kernel_ns", sum(kernels))
+            telemetry.count(
+                "barrier_wait_ns", sum(span_ns - kernel for kernel in kernels)
+            )
+            telemetry.count("wire.sent_bytes", sent1 - sent0)
+            telemetry.count("wire.recv_bytes", recv1 - recv0)
+            telemetry.count("wire.frames", frames1 - frames0)
+            telemetry.count(f"wire.{command}.sent_bytes", sent1 - sent0)
+            telemetry.count(f"wire.{command}.recv_bytes", recv1 - recv0)
         return results
 
     def run(self, command: str, payloads) -> list:

@@ -33,11 +33,13 @@ import threading
 import time
 from typing import List, Optional, Sequence, Tuple
 
+import pickle
+
 from repro.distributed.framing import (
     DEFAULT_MAX_FRAME,
     TransportError,
-    recv_message,
-    send_message,
+    recv_frame,
+    send_frame,
 )
 
 __all__ = [
@@ -54,21 +56,37 @@ TRANSPORTS = ("tcp", "loopback")
 
 
 class Endpoint:
-    """One framed-message channel over a connected socket."""
+    """One framed-message channel over a connected socket.
+
+    Every message moves as one pickled frame, and the endpoint keeps
+    monotonic frame/byte counters in both directions — the ground
+    truth the distributed driver's telemetry reads to attribute wire
+    traffic per command.
+    """
 
     def __init__(self, sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME):
         self._sock = sock
         self.max_frame = max_frame
+        self.sent_frames = 0
+        self.sent_bytes = 0
+        self.recv_frames = 0
+        self.recv_bytes = 0
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
             pass  # not a TCP socket (loopback socketpair)
 
     def send(self, obj) -> None:
-        send_message(self._sock, obj, self.max_frame)
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.sent_frames += 1
+        self.sent_bytes += len(payload)
+        send_frame(self._sock, payload, self.max_frame)
 
     def recv(self):
-        return recv_message(self._sock, self.max_frame)
+        payload = recv_frame(self._sock, self.max_frame)
+        self.recv_frames += 1
+        self.recv_bytes += len(payload)
+        return pickle.loads(payload)
 
     def close(self) -> None:
         try:

@@ -28,8 +28,10 @@ Message envelope (driver -> worker)::
 ``meta`` carries scratch (re)allocation notices, full scratch-input
 arrays, pending state updates, and the driver's ``size`` /
 ``maybe_dead_entries`` metadata.  The reply is ``("ok", result,
-outputs, updates)`` or ``("err", traceback)``; ``None`` shuts the
-worker down.
+outputs, updates, kernel_ns)`` — ``kernel_ns`` is how long the command
+itself ran, which the driver's telemetry subtracts from its exchange
+span to expose wire + barrier time — or ``("err", traceback)``;
+``None`` shuts the worker down.
 
 Start a standalone (multi-host) worker with::
 
@@ -43,6 +45,7 @@ import os
 import pickle
 import socket
 import traceback
+from time import perf_counter_ns
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -226,7 +229,7 @@ def serve_endpoint(endpoint: Endpoint) -> None:
         state = _allocate_state(init)
         geometry = PartitionArrays(init["partition"])
         ctx = ShardContext(state, init["lo"], init["hi"], geometry, scratch)
-        endpoint.send(("ok", {"index": init["index"]}, [], []))
+        endpoint.send(("ok", {"index": init["index"]}, [], [], 0))
         while True:
             try:
                 message = endpoint.recv()
@@ -246,7 +249,10 @@ def serve_endpoint(endpoint: Endpoint) -> None:
                     state._live_dirty = True
                 _apply_updates(state, meta["updates"])
                 state.maybe_dead_entries = meta["maybe_dead"]
-                endpoint.send(("ok",) + _execute(ctx, command, payload))
+                kernel_start = perf_counter_ns()
+                reply = _execute(ctx, command, payload)
+                kernel_ns = perf_counter_ns() - kernel_start
+                endpoint.send(("ok",) + reply + (kernel_ns,))
             except BaseException:
                 endpoint.send(("err", traceback.format_exc()))
     except (ConnectionClosed, BrokenPipeError, OSError):

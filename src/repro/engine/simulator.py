@@ -30,6 +30,7 @@ from repro.engine.network import BusStats, Message, MessageBus
 from repro.engine.node import Node
 from repro.engine.random_source import RandomSource
 from repro.engine.trace import NULL_TRACE, TraceLog
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sampling.cyclon_variant import CyclonVariantSampler
 from repro.workloads.attributes import AttributeDistribution, UniformAttributes
 
@@ -81,11 +82,14 @@ class CycleSimulation:
         loss_probability: float = 0.0,
         seed: int = 0,
         trace: TraceLog = NULL_TRACE,
+        telemetry=None,
     ) -> None:
         if size <= 1:
             raise ValueError("a slicing system needs at least two nodes")
         self.partition = partition
         self.trace = trace
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._trace_counts: Dict[str, int] = {}
         self.churn = churn
         self._slicer_factory = slicer_factory
         if sampler_factory is None:
@@ -201,21 +205,43 @@ class CycleSimulation:
 
     def run_cycle(self) -> None:
         """Execute one full cycle (steps 1–4 of the module docstring)."""
+        telemetry = self.telemetry
+        telemetry.begin_cycle(self.now)
         self.bus.stats.begin_cycle()
-        if self.churn is not None:
-            self.churn.apply(self)
+        with telemetry.span("churn"):
+            if self.churn is not None:
+                self.churn.apply(self)
 
-        order = self._live_id_list()[:]
-        self.rng("schedule").shuffle(order)
-        for node_id in order:
-            node = self.nodes.get(node_id)
-            if node is None or not node.alive:
-                continue  # removed by this cycle's churn or a race
-            node.sampler.refresh(node, self)
-            node.slicer.on_active(node, self)
+        with telemetry.span("rounds"):
+            order = self._live_id_list()[:]
+            self.rng("schedule").shuffle(order)
+            for node_id in order:
+                node = self.nodes.get(node_id)
+                if node is None or not node.alive:
+                    continue  # removed by this cycle's churn or a race
+                node.sampler.refresh(node, self)
+                node.slicer.on_active(node, self)
 
-        self.bus.flush()
+        with telemetry.span("flush"):
+            self.bus.flush()
         self.clock.advance()
+        if telemetry.enabled:
+            self._bridge_trace_counts(telemetry)
+        telemetry.end_cycle()
+
+    def _bridge_trace_counts(self, telemetry) -> None:
+        """Bridge the TraceLog's per-category event counts into the
+        telemetry record as ``trace.<category>`` counter deltas, so a
+        traced reference run lands in the same NDJSON stream."""
+        if not self.trace.enabled:
+            return
+        counts = self.trace.counts()
+        previous = self._trace_counts
+        for category, total in counts.items():
+            delta = total - previous.get(category, 0)
+            if delta:
+                telemetry.count("trace." + category, delta)
+        self._trace_counts = counts
 
     def run(self, cycles: int, collectors: Iterable = ()) -> None:
         """Run ``cycles`` cycles, sampling ``collectors`` after each.
@@ -231,6 +257,7 @@ class CycleSimulation:
             self.run_cycle()
             for collector in collectors:
                 collector.collect(self)
+        self.telemetry.flush()
 
     # ------------------------------------------------------------------
     # Internals

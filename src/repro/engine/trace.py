@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 __all__ = ["TraceEvent", "TraceLog", "NULL_TRACE"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded simulation event.
 
@@ -29,12 +29,13 @@ class TraceEvent:
         Identifier of the node the event concerns, if any.
     details:
         Free-form payload (kept small; tuples of primitives preferred).
+        ``None`` means "no payload" and allocates nothing per event.
     """
 
     time: float
     category: str
     node: Optional[int] = None
-    details: Tuple = ()
+    details: Optional[Tuple] = None
 
 
 class TraceLog:
@@ -69,7 +70,7 @@ class TraceLog:
         time: float,
         category: str,
         node: Optional[int] = None,
-        details: Tuple = (),
+        details: Optional[Tuple] = None,
     ) -> None:
         """Record one event (no-op when disabled or filtered out)."""
         if not self.enabled:
@@ -90,6 +91,11 @@ class TraceLog:
     def count(self, category: str) -> int:
         """How many events of ``category`` were *recorded* (incl. dropped)."""
         return self._counts.get(category, 0)
+
+    def counts(self) -> Dict[str, int]:
+        """Snapshot of recorded-event counts per category (telemetry
+        bridges read deltas of this between cycles)."""
+        return dict(self._counts)
 
     def clear(self) -> None:
         """Drop all retained events and counters."""

@@ -91,6 +91,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "the churn figures (fig6c, fig6d)",
     )
     parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="OUT.ndjson",
+        help="write per-cycle phase telemetry (span timings, counters, "
+        "worker kernel/barrier-wait and wire-byte accounting) as "
+        "NDJSON to this path and print a cycle report after the run; "
+        "profiling never changes simulation results",
+    )
+    parser.add_argument(
         "--max-rows", type=int, default=20, help="table rows per series"
     )
     parser.add_argument(
@@ -123,6 +132,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         value = getattr(args, knob)
         if value is not None and knob in accepted:
             kwargs[knob] = value
+    if args.profile is not None and "profile" in accepted:
+        kwargs["profile"] = args.profile
     started = time.time()
     result = function(**kwargs)
     elapsed = time.time() - started
@@ -139,8 +150,18 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
 def main(argv: List[str] = None) -> int:
     args = _build_parser().parse_args(argv)
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    if args.profile is not None:
+        # Truncate once up front: figure runs (and the multiple
+        # simulations inside one figure) append per-cycle records.
+        open(args.profile, "w").close()
     for name in names:
         _run_one(name, args)
+    if args.profile is not None:
+        from repro.obs import CycleReport
+
+        report = CycleReport.from_ndjson(args.profile)
+        print(report.render())
+        print(f"[phase telemetry written to {args.profile}]")
     return 0
 
 

@@ -115,6 +115,12 @@ class RunSpec:
         Root seed — a run is a pure function of its spec.  A sharded
         run is additionally independent of its worker count (bitwise
         identical to the vectorized backend).
+    profile:
+        Optional NDJSON path: attach a
+        :class:`~repro.obs.telemetry.Telemetry` with an
+        :class:`~repro.obs.sink.NdjsonSink` appending per-cycle phase
+        records there (the CLI's ``--profile``).  Profiling never
+        changes simulation results.
     """
 
     n: int = 1000
@@ -139,6 +145,7 @@ class RunSpec:
     rebalance_every: Optional[int] = None
     rebalance_threshold: Optional[float] = None
     seed: int = 0
+    profile: Optional[str] = None
 
     def with_overrides(self, **kwargs) -> "RunSpec":
         """A copy of this spec with the given fields replaced."""
@@ -173,6 +180,8 @@ class RunSpec:
             bits.append(f"rebalance_threshold={self.rebalance_threshold}")
         if self.churn is not None:
             bits.append(f"churn={self.churn}")
+        if self.profile is not None:
+            bits.append(f"profile={self.profile}")
         bits.append(f"seed={self.seed}")
         return ", ".join(bits)
 
@@ -233,7 +242,7 @@ def _churn_model(spec: RunSpec) -> Optional[ChurnModel]:
     raise ValueError(f"unknown churn shorthand {spec.churn!r}")
 
 
-def build_simulation(spec: RunSpec):
+def build_simulation(spec: RunSpec, telemetry=None):
     """Instantiate the simulation a spec describes.
 
     Dispatches through the backend registry
@@ -242,7 +251,18 @@ def build_simulation(spec: RunSpec):
     touching this module.  The reference backend is built directly:
     its per-node factories carry spec options (protocol variants, all
     four samplers) the registry's service surface does not model.
+
+    ``telemetry`` attaches an explicit
+    :class:`~repro.obs.telemetry.Telemetry`; when omitted and
+    ``spec.profile`` is set, one is created that appends per-cycle
+    NDJSON records to that path.
     """
+    if telemetry is None and spec.profile is not None:
+        from repro.obs import NdjsonSink, Telemetry
+
+        telemetry = Telemetry(
+            engine=spec.backend, sink=NdjsonSink(spec.profile, append=True)
+        )
     backend_spec = get_backend(spec.backend)
     backend_spec.validate(
         concurrency=spec.concurrency,
@@ -263,6 +283,7 @@ def build_simulation(spec: RunSpec):
             concurrency=spec.concurrency,
             churn=_churn_model(spec),
             seed=spec.seed,
+            telemetry=telemetry,
         )
     if spec.protocol not in PROTOCOLS:
         raise ValueError(
@@ -288,4 +309,5 @@ def build_simulation(spec: RunSpec):
         rebalance_every=spec.rebalance_every,
         rebalance_threshold=spec.rebalance_threshold,
         seed=spec.seed,
+        telemetry=telemetry,
     )

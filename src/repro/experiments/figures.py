@@ -116,6 +116,7 @@ def run_fig4a(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    profile=None,
 ) -> FigureResult:
     """Figure 4(a): SDM vs GDM along one mod-JK run.
 
@@ -135,6 +136,7 @@ def run_fig4a(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        profile=profile,
     )
     partition = spec.partition()
     sim = build_simulation(spec)
@@ -170,6 +172,7 @@ def run_fig4b(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    profile=None,
 ) -> FigureResult:
     """Figure 4(b): SDM over time — JK vs mod-JK, 10 equal slices.
 
@@ -189,6 +192,7 @@ def run_fig4b(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        profile=profile,
     )
     partition = base.partition()
     jk_series, _sim, initial_values = _sdm_run(base.with_overrides(protocol="jk"))
@@ -229,6 +233,7 @@ def run_fig4c(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    profile=None,
 ) -> FigureResult:
     """Figure 4(c): percentage of unsuccessful swaps under half/full
     concurrency, for JK and mod-JK, sampled at cycles 10/50/90.
@@ -251,6 +256,7 @@ def run_fig4c(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        profile=profile,
     )
     result = FigureResult(
         "fig4c",
@@ -297,6 +303,7 @@ def run_fig4d(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    profile=None,
 ) -> FigureResult:
     """Figure 4(d): mod-JK convergence, no concurrency vs full
     concurrency.
@@ -317,6 +324,7 @@ def run_fig4d(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        profile=profile,
     )
     partition = base.partition()
     none_series, _sim, initial_values = _sdm_run(
@@ -366,6 +374,7 @@ def run_fig6a(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    profile=None,
 ) -> FigureResult:
     """Figure 6(a): SDM over time — ranking vs ordering, static system.
 
@@ -384,6 +393,7 @@ def run_fig6a(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        profile=profile,
     )
     partition = base.partition()
     ordering_series, _sim, initial_values = _sdm_run(
@@ -418,6 +428,7 @@ def run_fig6b(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    profile=None,
 ) -> FigureResult:
     """Figure 6(b): ranking on an idealized uniform sampler vs on the
     Cyclon-variant views, plus the percentage deviation between the
@@ -439,6 +450,7 @@ def run_fig6b(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        profile=profile,
     )
     uniform_series, _sim, _values = _sdm_run(base.with_overrides(sampler="uniform"))
     views_series, _sim, _values = _sdm_run(
@@ -483,6 +495,7 @@ def run_fig6c(
     hosts=None,
     rebalance_every=None,
     rebalance_threshold=None,
+    profile=None,
 ) -> FigureResult:
     """Figure 6(c): churn burst — ``churn_rate`` of the nodes leave and
     join per cycle (paper: 0.1%) for the first ``burst_end`` cycles,
@@ -509,6 +522,7 @@ def run_fig6c(
         hosts=hosts,
         rebalance_every=rebalance_every,
         rebalance_threshold=rebalance_threshold,
+        profile=profile,
     )
     jk_series, _sim, _values = _sdm_run(base.with_overrides(protocol="jk"))
     ranking_series, _sim, _values = _sdm_run(
@@ -562,6 +576,7 @@ def run_fig6d(
     hosts=None,
     rebalance_every=None,
     rebalance_threshold=None,
+    profile=None,
 ) -> FigureResult:
     """Figure 6(d): low regular churn (``churn_rate`` every 10 cycles,
     paper: 0.1%, correlated) — ordering vs ranking vs sliding-window
@@ -589,6 +604,7 @@ def run_fig6d(
         hosts=hosts,
         rebalance_every=rebalance_every,
         rebalance_threshold=rebalance_threshold,
+        profile=profile,
     )
     ordering_series, _sim, _values = _sdm_run(
         base.with_overrides(protocol="mod-jk")

@@ -1,0 +1,19 @@
+"""Observability: per-cycle span/counter telemetry for every engine.
+
+See :mod:`repro.obs.telemetry` for the collection model,
+:mod:`repro.obs.sink` for NDJSON emission, and
+:mod:`repro.obs.report` for aggregation into a cycle report.
+"""
+
+from repro.obs.report import CycleReport
+from repro.obs.sink import NdjsonSink, read_ndjson
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+
+__all__ = [
+    "CycleReport",
+    "NdjsonSink",
+    "read_ndjson",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+]

@@ -1,0 +1,182 @@
+"""Aggregate telemetry records into a readable cycle report.
+
+:class:`CycleReport` consumes the per-cycle records a
+:class:`~repro.obs.telemetry.Telemetry` produced (in memory or from an
+NDJSON profile file) and answers the question the ROADMAP's top item
+asks: *where does a cycle's time go?*  For every span path it reports
+total, per-cycle p50/p95/max, and **self time** — total minus the time
+attributed to its direct children — so a fat parent with thin children
+is visible as serial spine rather than hidden overhead.  Counters are
+reported as totals and per-cycle rates, and :attr:`coverage` states
+what fraction of measured wall time the top-level spans account for
+(the acceptance bar for the instrumentation itself).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.sink import read_ndjson
+
+__all__ = ["CycleReport", "SpanStat"]
+
+
+def _percentile(sorted_values: List[int], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return float(sorted_values[index])
+
+
+class SpanStat:
+    """Aggregated timing for one span path."""
+
+    __slots__ = ("path", "total_ns", "count", "cycles", "self_ns", "samples")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.total_ns = 0
+        self.count = 0
+        self.cycles = 0
+        self.self_ns = 0
+        self.samples: List[int] = []  # per-record totals, for percentiles
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+    def p50_ns(self) -> float:
+        return _percentile(sorted(self.samples), 0.50)
+
+    def p95_ns(self) -> float:
+        return _percentile(sorted(self.samples), 0.95)
+
+    def max_ns(self) -> float:
+        return float(max(self.samples)) if self.samples else 0.0
+
+
+class CycleReport:
+    """Span/counter aggregation over a set of telemetry records."""
+
+    def __init__(self, records: List[dict], engine: Optional[str] = None) -> None:
+        if engine is not None:
+            records = [r for r in records if r.get("engine") == engine]
+        self.records = records
+        self.cycle_records = [r for r in records if r.get("kind") == "cycle"]
+        self.ambient_records = [r for r in records if r.get("kind") == "ambient"]
+        self.engines = sorted({r.get("engine", "") for r in records})
+
+        self.wall_ns = sum(r.get("wall_ns", 0) for r in self.cycle_records)
+        self.spans: Dict[str, SpanStat] = {}
+        for record in self.cycle_records:
+            for path, (elapsed, count) in record.get("spans", {}).items():
+                stat = self.spans.get(path)
+                if stat is None:
+                    stat = self.spans[path] = SpanStat(path)
+                stat.total_ns += elapsed
+                stat.count += count
+                stat.cycles += 1
+                stat.samples.append(elapsed)
+        # Self time: total minus direct children.
+        for path, stat in self.spans.items():
+            child_total = sum(
+                other.total_ns
+                for other_path, other in self.spans.items()
+                if other_path.startswith(path + "/")
+                and other_path.count("/") == stat.depth + 1
+            )
+            stat.self_ns = stat.total_ns - child_total
+
+        self.counters: Dict[str, float] = {}
+        for record in records:
+            for name, value in record.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+
+    @classmethod
+    def from_ndjson(cls, path: str, engine: Optional[str] = None) -> "CycleReport":
+        return cls(read_ndjson(path), engine=engine)
+
+    # -- derived ------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return len(self.cycle_records)
+
+    @property
+    def top_level_ns(self) -> int:
+        """Nanoseconds accounted to depth-0 spans."""
+        return sum(s.total_ns for s in self.spans.values() if s.depth == 0)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of cycle wall time the top-level spans explain."""
+        if self.wall_ns == 0:
+            return 0.0
+        return self.top_level_ns / self.wall_ns
+
+    def counter_rates(self) -> Dict[str, float]:
+        """Counters normalized per cycle."""
+        cycles = max(self.cycles, 1)
+        return {name: value / cycles for name, value in self.counters.items()}
+
+    def serial_spine(self) -> Optional[str]:
+        """The span path with the largest *self* time — the first
+        target for any serial-bottleneck work."""
+        if not self.spans:
+            return None
+        return max(self.spans.values(), key=lambda s: s.self_ns).path
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Top-level span totals in seconds (benchmark log format)."""
+        return {
+            s.path: s.total_ns / 1e9
+            for s in self.spans.values()
+            if s.depth == 0
+        }
+
+    # -- rendering ----------------------------------------------------
+
+    def render(self) -> str:
+        """A fixed-width text table of the whole report."""
+        lines = []
+        engines = ", ".join(e for e in self.engines if e) or "?"
+        lines.append(
+            f"cycle report: engine={engines} cycles={self.cycles} "
+            f"wall={self.wall_ns / 1e9:.3f}s "
+            f"coverage={self.coverage * 100.0:.1f}%"
+        )
+        if self.spans:
+            lines.append(
+                f"  {'span':<34} {'total_s':>9} {'self_s':>9} "
+                f"{'p50_ms':>8} {'p95_ms':>8} {'max_ms':>8} {'calls':>7}"
+            )
+            for stat in sorted(
+                self.spans.values(), key=lambda s: (s.path.split("/"),)
+            ):
+                indent = "  " * stat.depth
+                name = indent + stat.path.rsplit("/", 1)[-1]
+                lines.append(
+                    f"  {name:<34} {stat.total_ns / 1e9:>9.3f} "
+                    f"{stat.self_ns / 1e9:>9.3f} "
+                    f"{stat.p50_ns() / 1e6:>8.2f} {stat.p95_ns() / 1e6:>8.2f} "
+                    f"{stat.max_ns() / 1e6:>8.2f} {stat.count:>7}"
+                )
+        spine = self.serial_spine()
+        if spine is not None:
+            lines.append(f"  serial spine (max self time): {spine}")
+        if self.counters:
+            lines.append("  counters (total / per-cycle):")
+            rates = self.counter_rates()
+            for name in sorted(self.counters):
+                total = self.counters[name]
+                lines.append(
+                    f"    {name:<40} {total:>16,.0f} {rates[name]:>14,.1f}"
+                )
+        if self.ambient_records:
+            ambient_ns = sum(r.get("wall_ns", 0) for r in self.ambient_records)
+            lines.append(
+                f"  ambient (inter-cycle metrics/collectors): "
+                f"{ambient_ns / 1e9:.3f}s over {len(self.ambient_records)} record(s)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""NDJSON emission for telemetry records.
+
+One JSON object per line, flushed per write so a crashed or killed run
+still leaves every finished cycle on disk.  Numpy scalars are coerced
+to native Python numbers before serialization — counters frequently
+pick up ``np.int64``/``np.float64`` values from array reductions.
+
+The sink appends by default: experiment figures build several
+simulations per figure (fig4b sweeps three system sizes, fig6a runs
+two samplers) and all of them should land in one profile file.  The
+CLI truncates the target file once, up front, so repeated runs do not
+grow it unboundedly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+__all__ = ["NdjsonSink", "read_ndjson"]
+
+
+def _to_native(value):
+    """Best-effort conversion of numpy scalars for ``json.dump``."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serializable: {value!r}")
+
+
+class NdjsonSink:
+    """Append telemetry records to ``path``, one JSON line each."""
+
+    def __init__(self, path: str, append: bool = True) -> None:
+        self.path = path
+        self._file = open(path, "a" if append else "w")
+
+    def write(self, record: dict) -> None:
+        json.dump(record, self._file, default=_to_native, separators=(",", ":"))
+        self._file.write("\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "NdjsonSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_ndjson(path: str) -> List[dict]:
+    """Load every record from an NDJSON file (blank lines skipped)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

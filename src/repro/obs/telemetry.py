@@ -1,0 +1,272 @@
+"""Near-zero-overhead per-cycle telemetry: spans and counters.
+
+A :class:`Telemetry` object attributes a simulation cycle's wall time
+to named phases.  Engines wrap each phase in ``with telemetry.span(
+"refresh"):`` blocks; nested spans build ``"/"``-separated paths
+(``"refresh/waves"``), so the report layer can reconstruct a self-time
+tree.  Precomputed durations — a sharded dispatch measured around a
+pipe round-trip, a worker kernel time carried back in the reply —
+enter through :meth:`Telemetry.add_span`, and monotonic counters
+(messages, wire bytes, barrier-wait nanoseconds) through
+:meth:`Telemetry.count`.
+
+Records are cut per cycle: :meth:`begin_cycle` opens a record,
+:meth:`end_cycle` stamps its wall time and emits it to the attached
+sink (see :mod:`repro.obs.sink`).  Spans and counters recorded
+*outside* a cycle — collectors computing metrics after ``run_cycle``
+returns — accumulate in an ambient bucket that is flushed as its own
+``"ambient"`` record just before the next cycle opens (or on
+:meth:`flush`), so nothing is silently dropped and cycle records stay
+directly comparable to cycle wall time.
+
+The default is :data:`NULL_TELEMETRY`: a no-op whose ``span`` returns
+one shared reusable context manager, so uninstrumented runs pay a
+single attribute lookup and an empty ``__enter__``/``__exit__`` pair
+per phase — nanoseconds against millisecond-scale array passes.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Dict, List, Optional
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+class _Span:
+    """Context manager timing one phase; pushes its name on the owner's
+    span stack so nested spans extend the path."""
+
+    __slots__ = ("_telemetry", "_name", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._telemetry._stack.append(self._name)
+        self._start = perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = perf_counter_ns() - self._start
+        telemetry = self._telemetry
+        path = "/".join(telemetry._stack)
+        telemetry._stack.pop()
+        bucket = telemetry._span_bucket()
+        entry = bucket.get(path)
+        if entry is None:
+            bucket[path] = [elapsed, 1]
+        else:
+            entry[0] += elapsed
+            entry[1] += 1
+        return False
+
+
+class _NullSpan:
+    """Shared reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Collects span timings and counters into per-cycle records.
+
+    Parameters
+    ----------
+    engine:
+        Label stamped on every record (``"vectorized"``, ``"sharded"``,
+        ...), so one NDJSON file can interleave several engines.
+    sink:
+        Optional object with a ``write(record: dict)`` method (usually
+        an :class:`~repro.obs.sink.NdjsonSink`); every finished record
+        is also kept in :attr:`records` for in-process reporting.
+    """
+
+    enabled = True
+
+    def __init__(self, engine: str = "", sink=None) -> None:
+        self.engine = engine
+        self.sink = sink
+        self.records: List[dict] = []
+        self._stack: List[str] = []
+        self._record: Optional[dict] = None
+        self._ambient_spans: Dict[str, list] = {}
+        self._ambient_counters: Dict[str, float] = {}
+        self._wall_start = 0
+
+    # -- recording ----------------------------------------------------
+
+    def span(self, name: str) -> _Span:
+        """Time a phase; nests under any currently open span."""
+        return _Span(self, name)
+
+    def add_span(self, name: str, elapsed_ns: int, count: int = 1) -> None:
+        """Account an externally measured duration under the current
+        span path (dispatch round-trips, worker kernel times)."""
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        self._stack.pop()
+        bucket = self._span_bucket()
+        entry = bucket.get(path)
+        if entry is None:
+            bucket[path] = [int(elapsed_ns), count]
+        else:
+            entry[0] += int(elapsed_ns)
+            entry[1] += count
+
+    def count(self, name: str, value=1) -> None:
+        """Add ``value`` to a monotonic per-cycle counter."""
+        bucket = self._counter_bucket()
+        bucket[name] = bucket.get(name, 0) + value
+
+    # -- cycle lifecycle ----------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Open the record for ``cycle``; flushes any ambient bucket
+        accumulated since the previous cycle ended."""
+        self._flush_ambient()
+        self._record = {
+            "kind": "cycle",
+            "engine": self.engine,
+            "cycle": int(cycle),
+            "wall_ns": 0,
+            "spans": {},
+            "counters": {},
+        }
+        self._wall_start = perf_counter_ns()
+
+    def end_cycle(self) -> None:
+        """Stamp wall time on the open cycle record and emit it."""
+        record = self._record
+        if record is None:
+            return
+        record["wall_ns"] = perf_counter_ns() - self._wall_start
+        self._record = None
+        self._emit(record)
+
+    def flush(self) -> None:
+        """Emit any pending ambient spans/counters as their own record
+        (call after a run's collectors have finished)."""
+        self._flush_ambient()
+
+    def close(self) -> None:
+        self.flush()
+        if self.sink is not None and hasattr(self.sink, "close"):
+            self.sink.close()
+
+    # -- internals ----------------------------------------------------
+
+    def _span_bucket(self) -> Dict[str, list]:
+        record = self._record
+        if record is not None:
+            return record["spans"]
+        return self._ambient_spans
+
+    def _counter_bucket(self) -> dict:
+        record = self._record
+        if record is not None:
+            return record["counters"]
+        return self._ambient_counters
+
+    def _flush_ambient(self) -> None:
+        if not self._ambient_spans and not self._ambient_counters:
+            return
+        record = {
+            "kind": "ambient",
+            "engine": self.engine,
+            "cycle": None,
+            "wall_ns": sum(v[0] for v in self._ambient_spans.values()),
+            "spans": self._ambient_spans,
+            "counters": self._ambient_counters,
+        }
+        self._ambient_spans = {}
+        self._ambient_counters = {}
+        self._emit(record)
+
+    def _emit(self, record: dict) -> None:
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink.write(record)
+
+    # -- convenience --------------------------------------------------
+
+    def cycle_records(self) -> List[dict]:
+        """The finished per-cycle records (ambient records excluded)."""
+        return [r for r in self.records if r["kind"] == "cycle"]
+
+    def phase_totals(self) -> Dict[str, int]:
+        """Total nanoseconds per *top-level* span path across all cycle
+        records — the benchmark-friendly phase breakdown."""
+        totals: Dict[str, int] = {}
+        for record in self.cycle_records():
+            for path, (elapsed, _count) in record["spans"].items():
+                if "/" in path:
+                    continue
+                totals[path] = totals.get(path, 0) + elapsed
+        return totals
+
+    def counter_totals(self) -> Dict[str, float]:
+        """Summed counters across every record (cycle and ambient)."""
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            for name, value in record["counters"].items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+
+class NullTelemetry:
+    """The do-nothing default; safe on every hot path."""
+
+    enabled = False
+    engine = ""
+    sink = None
+
+    __slots__ = ()
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(self, name: str, elapsed_ns: int, count: int = 1) -> None:
+        pass
+
+    def count(self, name: str, value=1) -> None:
+        pass
+
+    def begin_cycle(self, cycle: int) -> None:
+        pass
+
+    def end_cycle(self) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def cycle_records(self) -> List[dict]:
+        return []
+
+    def phase_totals(self) -> Dict[str, int]:
+        return {}
+
+    def counter_totals(self) -> Dict[str, float]:
+        return {}
+
+    @property
+    def records(self) -> List[dict]:
+        return []
+
+
+#: Shared no-op instance used as the default everywhere.
+NULL_TELEMETRY = NullTelemetry()

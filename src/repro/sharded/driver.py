@@ -49,6 +49,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import weakref
+from time import perf_counter_ns
 from typing import Optional
 
 import numpy as np
@@ -93,12 +94,20 @@ class _InlineExecutor:
     def __init__(self, sim: "ShardedSimulation") -> None:
         self.scratch = InlineScratch()
         self.bounds = [(0, sim.state.capacity)]
+        self._telemetry = sim.telemetry
         self._ctx = ShardContext(
             sim.state, 0, sim.state.capacity, sim.geometry, self.scratch
         )
 
     def run(self, command: str, payloads) -> list:
-        return [DISPATCH[command](self._ctx, **payloads[0])]
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return [DISPATCH[command](self._ctx, **payloads[0])]
+        start = perf_counter_ns()
+        result = [DISPATCH[command](self._ctx, **payloads[0])]
+        telemetry.add_span("cmd:" + command, perf_counter_ns() - start)
+        telemetry.count("commands", 1)
+        return result
 
     def close(self) -> None:
         self.scratch.close()
@@ -116,6 +125,10 @@ class _PoolExecutor:
 
     def __init__(self, sim: "ShardedSimulation") -> None:
         self.scratch = SharedScratch()
+        # The telemetry object is shared with the simulation but does
+        # not reference it, so holding it here keeps the finalizer
+        # contract intact.
+        self._telemetry = sim.telemetry
         # Initial boundaries split the populated span ``[0, size)``
         # evenly (the last shard absorbs the spare capacity, where
         # joiners append) — the same rule a rebalance re-applies over
@@ -159,6 +172,8 @@ class _PoolExecutor:
             self._processes.append(process)
 
     def run(self, command: str, payloads) -> list:
+        telemetry = self._telemetry
+        start = perf_counter_ns() if telemetry.enabled else 0
         remaps = self.scratch.take_remaps()
         state = self._state
         for connection, payload in zip(self._connections, payloads):
@@ -167,16 +182,32 @@ class _PoolExecutor:
             )
         results = []
         failures = []
+        kernels = []
         for index, connection in enumerate(self._connections):
-            status, value = connection.recv()
-            if status == "ok":
-                results.append(value)
+            reply = connection.recv()
+            if reply[0] == "ok":
+                results.append(reply[1])
+                kernels.append(reply[2])
             else:
-                failures.append(f"worker {index}:\n{value}")
+                failures.append(f"worker {index}:\n{reply[1]}")
         if failures:
             raise RuntimeError(
                 "sharded worker command "
                 f"{command!r} failed:\n" + "\n".join(failures)
+            )
+        if telemetry.enabled:
+            # One dispatch span covers the full barrier round trip;
+            # each worker's kernel time comes back in its reply, so the
+            # residual (span - kernel, summed) is exactly the waiting —
+            # driver-side planning plus slow-shard skew.  By
+            # construction sum(kernel) + sum(wait) ==
+            # workers * span, which the telemetry tests pin.
+            span_ns = perf_counter_ns() - start
+            telemetry.add_span("cmd:" + command, span_ns)
+            telemetry.count("commands", 1)
+            telemetry.count("worker_kernel_ns", sum(kernels))
+            telemetry.count(
+                "barrier_wait_ns", sum(span_ns - kernel for kernel in kernels)
             )
         return results
 
@@ -382,18 +413,29 @@ class ShardedSimulation(VectorSimulation):
     # ------------------------------------------------------------------
 
     def run_cycle(self) -> None:
+        telemetry = self.telemetry
+        telemetry.begin_cycle(self._cycle)
         self._stats.begin_cycle()
-        plan = self._new_plan()
-        self._apply_churn(plan)
-        self._maybe_rebalance(plan)
+        with telemetry.span("plan"):
+            plan = self._new_plan()
+        with telemetry.span("churn"):
+            self._apply_churn(plan)
+        with telemetry.span("rebalance"):
+            self._maybe_rebalance(plan)
         if self.state.live_count >= 2:
             executor = self._executor()
-            self._refresh_phases(executor, plan, uniform=self.sampler == "uniform")
+            with telemetry.span("refresh"):
+                self._refresh_phases(
+                    executor, plan, uniform=self.sampler == "uniform"
+                )
             if self._is_ranking():
-                self._ranking_phases(executor, plan)
+                with telemetry.span("ranking"):
+                    self._ranking_phases(executor, plan)
             else:
-                self._ordering_phases(executor, plan)
+                with telemetry.span("ordering"):
+                    self._ordering_phases(executor, plan)
         self._cycle += 1
+        telemetry.end_cycle()
 
     def _broadcast(self, executor, command: str, payloads=None) -> list:
         if payloads is None:

@@ -15,8 +15,10 @@ Message format (driver -> worker)::
 :class:`~repro.sharded.shm.SharedScratch`); ``size`` and
 ``maybe_dead_entries`` replicate the driver's state metadata, which
 only the driver mutates (churn and rebalancing are planned centrally).
-The worker replies ``("ok", result_dict)`` or ``("err",
-traceback_text)``; a ``None`` message shuts it down.
+The worker replies ``("ok", result_dict, kernel_ns)`` — the last
+element is the nanoseconds the kernel itself ran, which the driver's
+telemetry subtracts from its dispatch span to expose barrier-wait time
+— or ``("err", traceback_text)``; a ``None`` message shuts it down.
 
 The shard's row range is *not* fixed for the worker's lifetime: a
 rebalance (``rebalance_pack`` / ``rebalance_unpack`` rounds followed
@@ -28,6 +30,7 @@ rows between shards and installs recomputed boundaries in the
 from __future__ import annotations
 
 import traceback
+from time import perf_counter_ns
 
 from repro.sharded.kernels import DISPATCH, ShardContext
 from repro.sharded.shm import SharedBlock, WorkerScratch
@@ -68,7 +71,9 @@ def worker_main(conn, init: dict) -> None:
                     state.size = size
                     state._live_dirty = True
                 state.maybe_dead_entries = maybe_dead
-                conn.send(("ok", DISPATCH[command](ctx, **payload)))
+                kernel_start = perf_counter_ns()
+                result = DISPATCH[command](ctx, **payload)
+                conn.send(("ok", result, perf_counter_ns() - kernel_start))
             except BaseException:
                 conn.send(("err", traceback.format_exc()))
     finally:

@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.vectorized.metrics import PartitionArrays
 from repro.vectorized.ordering import _random_valid_column_from, _valid_slots
 from repro.vectorized.state import ArrayState
@@ -114,81 +115,92 @@ def ranking_round(
     window: Optional[int] = None,
     stats=None,
     window_exact: bool = False,
+    telemetry=NULL_TELEMETRY,
 ) -> None:
     """One batched active round of the ranking algorithm, consuming
     the :class:`~repro.bulk.CyclePlan`'s ranking-phase schedule."""
     live = state.live_ids()
     if len(live) < 2:
         return
-    view = state.view_ids[live]
-    valid = _valid_slots(state, view)
-    has_neighbors = valid.any(axis=1)
-    safe = np.where(valid, view, 0)
-    a_self = state.attribute[live]
-    a_peer = state.attribute[safe]
+    with telemetry.span("fold"):
+        view = state.view_ids[live]
+        valid = _valid_slots(state, view)
+        has_neighbors = valid.any(axis=1)
+        safe = np.where(valid, view, 0)
+        a_self = state.attribute[live]
+        a_peer = state.attribute[safe]
 
-    # Lines 5-7: fold the view into the counters (invalid slots excluded).
-    le_bits = valid & (a_peer <= a_self[:, None])
-    if window_exact:
-        window_fold(state, live, valid, le_bits)
-    else:
-        state.obs_le[live] += le_bits.sum(axis=1).astype(np.float64)
-        state.obs_total[live] += valid.sum(axis=1)
+        # Lines 5-7: fold the view into the counters (invalid slots
+        # excluded).
+        le_bits = valid & (a_peer <= a_self[:, None])
+        if window_exact:
+            window_fold(state, live, valid, le_bits)
+        else:
+            state.obs_le[live] += le_bits.sum(axis=1).astype(np.float64)
+            state.obs_total[live] += valid.sum(axis=1)
 
     # Lines 8-12: target selection over nodes that have neighbors.
     rows = np.flatnonzero(has_neighbors)
     if len(rows):
-        sub_view, sub_valid = view[rows], valid[rows]
-        u1, u2 = plan.ranking_uniforms(len(rows), boundary_bias)
-        if boundary_bias:
-            r_peer = np.where(
-                sub_valid, state.value[np.where(sub_valid, sub_view, 0)], 0.0
+        with telemetry.span("targets"):
+            sub_view, sub_valid = view[rows], valid[rows]
+            u1, u2 = plan.ranking_uniforms(len(rows), boundary_bias)
+            if boundary_bias:
+                r_peer = np.where(
+                    sub_valid, state.value[np.where(sub_valid, sub_view, 0)], 0.0
+                )
+                distance = np.where(
+                    sub_valid, geometry.boundary_distance(r_peer), np.inf
+                )
+                j1_cols = np.argmin(distance, axis=1)
+            else:
+                j1_cols = _random_valid_column_from(sub_valid, u1)
+            j2_cols = _random_valid_column_from(sub_valid, u2)
+            sub_rows = np.arange(len(rows))
+            targets = np.concatenate(
+                [sub_view[sub_rows, j1_cols], sub_view[sub_rows, j2_cols]]
             )
-            distance = np.where(
-                sub_valid, geometry.boundary_distance(r_peer), np.inf
+            senders_attr = np.tile(a_self[rows], 2)
+
+            # Section 4.5.2: overlapping UPD messages are flushed after
+            # the inline ones, in random order.  One-way messages
+            # compare only immutable attributes, so overlap reorders the
+            # event stream (which the exact window observes) without
+            # changing counters.
+            order, overlapping = plan.upd_schedule(len(targets))
+            if order is not None:
+                targets, senders_attr = targets[order], senders_attr[order]
+
+        with telemetry.span("upd_deliver"):
+            # Lines 13-14 + 17-21: one-way UPD delivery as scatter-adds
+            # (or, in exact-window mode, as window events).
+            upd_le = (senders_attr <= state.attribute[targets]).astype(
+                np.float64
             )
-            j1_cols = np.argmin(distance, axis=1)
-        else:
-            j1_cols = _random_valid_column_from(sub_valid, u1)
-        j2_cols = _random_valid_column_from(sub_valid, u2)
-        sub_rows = np.arange(len(rows))
-        targets = np.concatenate(
-            [sub_view[sub_rows, j1_cols], sub_view[sub_rows, j2_cols]]
-        )
-        senders_attr = np.tile(a_self[rows], 2)
-
-        # Section 4.5.2: overlapping UPD messages are flushed after the
-        # inline ones, in random order.  One-way messages compare only
-        # immutable attributes, so overlap reorders the event stream
-        # (which the exact window observes) without changing counters.
-        order, overlapping = plan.upd_schedule(len(targets))
-        if order is not None:
-            targets, senders_attr = targets[order], senders_attr[order]
-
-        # Lines 13-14 + 17-21: one-way UPD delivery as scatter-adds
-        # (or, in exact-window mode, as window events).
-        upd_le = (senders_attr <= state.attribute[targets]).astype(np.float64)
-        if window_exact:
-            window_push(state, targets, upd_le)
-        else:
-            np.add.at(state.obs_total, targets, 1.0)
-            np.add.at(state.obs_le, targets, upd_le)
+            if window_exact:
+                window_push(state, targets, upd_le)
+            else:
+                np.add.at(state.obs_total, targets, 1.0)
+                np.add.at(state.obs_le, targets, upd_le)
         if stats is not None:
             stats.note_round(messages=len(targets), intended=0)
             stats.note_overlapping(overlapping)
+        if telemetry.enabled:
+            telemetry.count("ranking.upd_messages", len(targets))
 
-    # Rescaling approximation: cap the effective sample count.
-    if window is not None and not window_exact:
+    with telemetry.span("estimates"):
+        # Rescaling approximation: cap the effective sample count.
+        if window is not None and not window_exact:
+            totals = state.obs_total[live]
+            over = totals > window
+            if over.any():
+                factor = window / totals[over]
+                rows_over = live[over]
+                state.obs_le[rows_over] *= factor
+                state.obs_total[rows_over] = float(window)
+
+        # Lines 15-16: recompute estimates where any observation exists.
         totals = state.obs_total[live]
-        over = totals > window
-        if over.any():
-            factor = window / totals[over]
-            rows_over = live[over]
-            state.obs_le[rows_over] *= factor
-            state.obs_total[rows_over] = float(window)
-
-    # Lines 15-16: recompute estimates where any observation exists.
-    totals = state.obs_total[live]
-    observed = totals > 0
-    rows_obs = live[observed]
-    state.value[rows_obs] = state.obs_le[rows_obs] / totals[observed]
+        observed = totals > 0
+        rows_obs = live[observed]
+        state.value[rows_obs] = state.obs_le[rows_obs] / totals[observed]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.vectorized.state import EMPTY, ArrayState
 
 __all__ = ["refresh_views", "refresh_views_uniform", "fill_from_plan"]
@@ -66,35 +67,45 @@ def fill_from_plan(state: ArrayState, plan) -> None:
         state.apply_fill(empty_rows, empty_cols, live[draws])
 
 
-def refresh_views(state: ArrayState, plan) -> None:
+def refresh_views(state: ArrayState, plan, telemetry=NULL_TELEMETRY) -> None:
     """One batched membership round over every live node, consuming
     the :class:`~repro.bulk.CyclePlan`'s sampler-phase schedule."""
     live = state.live_ids()
     if len(live) < 2:
         return
 
-    # Line 1: age all occupied entries of live nodes.
-    occupied = state.view_ids[live] != EMPTY
-    ages = state.view_ages[live]
-    ages[occupied] += 1
-    state.view_ages[live] = ages
+    with telemetry.span("age_purge"):
+        # Line 1: age all occupied entries of live nodes.
+        occupied = state.view_ids[live] != EMPTY
+        ages = state.view_ages[live]
+        ages[occupied] += 1
+        state.view_ages[live] = ages
 
-    # Failed-connection pruning + empty-view recovery.
-    state.purge_dead_entries(live)
-    fill_from_plan(state, plan)
+        # Failed-connection pruning + empty-view recovery.
+        state.purge_dead_entries(live)
+        fill_from_plan(state, plan)
 
-    # Line 2: propose to the oldest live neighbor.
-    jitter = plan.partner_jitter(len(live), state.view_size)
-    cols = _oldest_columns(state.view_ids[live], state.view_ages[live], jitter=jitter)
-    partners = state.view_ids[live, cols]
-    has_partner = partners != EMPTY
-    initiators, partners = live[has_partner], partners[has_partner]
+    with telemetry.span("partner_select"):
+        # Line 2: propose to the oldest live neighbor.
+        jitter = plan.partner_jitter(len(live), state.view_size)
+        cols = _oldest_columns(
+            state.view_ids[live], state.view_ages[live], jitter=jitter
+        )
+        partners = state.view_ids[live, cols]
+        has_partner = partners != EMPTY
+        initiators, partners = live[has_partner], partners[has_partner]
 
-    extra = np.zeros(len(initiators), dtype=bool)  # no payload needed
-    for side_a, side_b, _unused in plan.waves(
-        "sampler", initiators, partners, extra, state.size
-    ):
-        _swap_views(state, side_a, side_b)
+    with telemetry.span("waves"):
+        extra = np.zeros(len(initiators), dtype=bool)  # no payload needed
+        waves = 0
+        for side_a, side_b, _unused in plan.waves(
+            "sampler", initiators, partners, extra, state.size
+        ):
+            _swap_views(state, side_a, side_b)
+            waves += 1
+    if telemetry.enabled:
+        telemetry.count("sampler.exchanges", len(initiators))
+        telemetry.count("sampler.waves", waves)
 
 
 def _swap_views(state: ArrayState, side_a: np.ndarray, side_b: np.ndarray) -> None:

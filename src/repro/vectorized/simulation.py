@@ -51,6 +51,7 @@ from repro.engine.network import ConcurrencyModel
 from repro.engine.random_source import RandomSource, derive_seed
 from repro.engine.trace import NULL_TRACE, TraceLog
 from repro.metrics.statistics import z_value
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.vectorized import churn as bulk_churn
 from repro.vectorized import metrics as vmetrics
 from repro.vectorized.ordering import ordering_round
@@ -231,6 +232,12 @@ class VectorSimulation:
         Root seed; a run is a pure function of it (though its draws
         differ from the reference engine's, so cross-backend
         comparisons are statistical, not bitwise).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` receiving
+        per-phase spans and counters each cycle; defaults to the no-op
+        :data:`~repro.obs.telemetry.NULL_TELEMETRY`.  Instrumentation
+        never touches the plan's RNG streams, so profiled runs stay
+        bitwise identical to unprofiled ones.
     """
 
     def __init__(
@@ -250,6 +257,7 @@ class VectorSimulation:
         rebalance_threshold: Optional[float] = None,
         seed: int = 0,
         trace: TraceLog = NULL_TRACE,
+        telemetry=None,
     ) -> None:
         if size <= 1:
             raise ValueError("a slicing system needs at least two nodes")
@@ -280,6 +288,7 @@ class VectorSimulation:
         self.boundary_bias = boundary_bias
         self.sampler = sampler
         self.trace = trace
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.view_size = view_size
         self._stats = VectorStats()
         self._cycle = 0
@@ -390,32 +399,42 @@ class VectorSimulation:
     def run_cycle(self) -> None:
         """One full cycle: churn, rebalance, refresh, protocol round,
         advance."""
+        telemetry = self.telemetry
+        telemetry.begin_cycle(self._cycle)
         self._stats.begin_cycle()
-        plan = self._new_plan()
-        self._apply_churn(plan)
-        self._maybe_rebalance(plan)
-        if self.sampler == "uniform":
-            refresh_views_uniform(self.state, plan)
-        else:
-            refresh_views(self.state, plan)
+        with telemetry.span("plan"):
+            plan = self._new_plan()
+        with telemetry.span("churn"):
+            self._apply_churn(plan)
+        with telemetry.span("rebalance"):
+            self._maybe_rebalance(plan)
+        with telemetry.span("refresh"):
+            if self.sampler == "uniform":
+                refresh_views_uniform(self.state, plan)
+            else:
+                refresh_views(self.state, plan, telemetry=telemetry)
         if self._is_ranking():
-            ranking_round(
-                self.state,
-                self.geometry,
-                plan,
-                boundary_bias=self.boundary_bias,
-                window=self.window,
-                stats=self._stats,
-                window_exact=self.window_exact,
-            )
+            with telemetry.span("ranking"):
+                ranking_round(
+                    self.state,
+                    self.geometry,
+                    plan,
+                    boundary_bias=self.boundary_bias,
+                    window=self.window,
+                    stats=self._stats,
+                    window_exact=self.window_exact,
+                    telemetry=telemetry,
+                )
         else:
-            ordering_round(
-                self.state,
-                plan,
-                selection=_ORDERING_SELECTION[self.protocol],
-                stats=self._stats,
-            )
+            with telemetry.span("ordering"):
+                ordering_round(
+                    self.state,
+                    plan,
+                    selection=_ORDERING_SELECTION[self.protocol],
+                    stats=self._stats,
+                )
         self._cycle += 1
+        telemetry.end_cycle()
 
     def run(self, cycles: int, collectors: Iterable = ()) -> None:
         """Run ``cycles`` cycles, sampling ``collectors`` after each
@@ -428,6 +447,7 @@ class VectorSimulation:
             self.run_cycle()
             for collector in collectors:
                 collector.collect(self)
+        self.telemetry.flush()
 
     def _apply_churn(self, plan: CyclePlan) -> None:
         if self.churn is None:
@@ -492,19 +512,24 @@ class VectorSimulation:
 
     def slice_disorder(self) -> float:
         """Current SDM, computed fully vectorized."""
-        live, attrs, values = self._live_arrays()
-        return vmetrics.slice_disorder_arrays(attrs, values, live, self.geometry)
+        with self.telemetry.span("metric_sdm"):
+            live, attrs, values = self._live_arrays()
+            return vmetrics.slice_disorder_arrays(
+                attrs, values, live, self.geometry
+            )
 
     def global_disorder(self) -> float:
         """Current GDM, computed fully vectorized."""
-        live, attrs, values = self._live_arrays()
-        return vmetrics.global_disorder_arrays(attrs, values, live)
+        with self.telemetry.span("metric_gdm"):
+            live, attrs, values = self._live_arrays()
+            return vmetrics.global_disorder_arrays(attrs, values, live)
 
     def accuracy(self) -> float:
         """Fraction of nodes currently assigning themselves their true
         slice."""
-        live, attrs, values = self._live_arrays()
-        return vmetrics.accuracy_arrays(attrs, values, live, self.geometry)
+        with self.telemetry.span("metric_accuracy"):
+            live, attrs, values = self._live_arrays()
+            return vmetrics.accuracy_arrays(attrs, values, live, self.geometry)
 
     def slice_index_array(self) -> np.ndarray:
         """Each live node's believed slice index (live-id order)."""
@@ -520,18 +545,19 @@ class VectorSimulation:
         """Fraction of nodes whose Wald interval (Theorem 5.1) already
         fits inside one slice.  0 for the ordering protocols, which
         carry no sample counters — matching the reference service."""
-        live = self.state.live_ids()
-        if len(live) == 0:
-            return 1.0
-        if not self._is_ranking():
-            return 0.0
-        mask = vmetrics.confident_mask(
-            self.state.value[live],
-            self.state.obs_total[live],
-            self.geometry,
-            z_value(confidence),
-        )
-        return float(np.mean(mask))
+        with self.telemetry.span("metric_confident"):
+            live = self.state.live_ids()
+            if len(live) == 0:
+                return 1.0
+            if not self._is_ranking():
+                return 0.0
+            mask = vmetrics.confident_mask(
+                self.state.value[live],
+                self.state.obs_total[live],
+                self.geometry,
+                z_value(confidence),
+            )
+            return float(np.mean(mask))
 
     # ------------------------------------------------------------------
     # Internals

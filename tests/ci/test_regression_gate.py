@@ -62,6 +62,94 @@ class TestFlatten:
         assert gate.flatten_metrics([{"benchmark": "b", "fast_cps": True}]) == {}
 
 
+class TestPhaseTracking:
+    """Nested phase metrics are flattened and *tracked* (drift shown)
+    but never gated — only cycles/sec keys can fail the CI job."""
+
+    def test_phase_breakdowns_are_flattened(self, gate):
+        data = [
+            {
+                "benchmark": "scaling",
+                "n": 1000,
+                "vectorized_cps": 2.0,
+                "phases": {
+                    "vectorized": {"refresh": 1.25, "ranking": 0.75},
+                    "sharded_w2": {
+                        "refresh": 0.9,
+                        "worker_kernel_ns": 5_000,
+                        "barrier_wait_ns": 1_000,
+                    },
+                },
+            }
+        ]
+        metrics = gate.flatten_metrics(data)
+        prefix = "[benchmark=scaling,n=1000].phases"
+        assert metrics[f"{prefix}.vectorized.refresh"] == 1.25
+        assert metrics[f"{prefix}.sharded_w2.worker_kernel_ns"] == 5000.0
+        assert metrics["[benchmark=scaling,n=1000].vectorized_cps"] == 2.0
+
+    def test_phase_drift_is_tracked_not_regression(self, gate):
+        rows = gate.compare(
+            {"x.phases.a.refresh": 4.0}, {"x.phases.a.refresh": 0.5}, 0.25
+        )
+        assert rows[0]["status"] == "tracked"
+        assert rows[0]["ratio"] == 0.125
+
+    def test_gate_passes_despite_phase_collapse(self, gate, tmp_path):
+        results = os.path.join(str(tmp_path), "results")
+        baselines = os.path.join(results, "baselines")
+        os.makedirs(baselines)
+        with open(os.path.join(results, "x.json"), "w") as handle:
+            json.dump(
+                [
+                    {
+                        "benchmark": "x",
+                        "vectorized_cps": 2.0,
+                        "phases": {"v": {"refresh": 99.0}},
+                    }
+                ],
+                handle,
+            )
+        with open(os.path.join(baselines, "x.json"), "w") as handle:
+            json.dump(
+                {
+                    "metrics": {
+                        "[benchmark=x].vectorized_cps": 2.0,
+                        "[benchmark=x].phases.v.refresh": 1.0,
+                    }
+                },
+                handle,
+            )
+        assert gate.run_gate(results, baselines, 0.25) == 0
+
+    def test_gate_still_fails_on_cps_regression(self, gate, tmp_path):
+        results = os.path.join(str(tmp_path), "results")
+        baselines = os.path.join(results, "baselines")
+        os.makedirs(baselines)
+        with open(os.path.join(results, "x.json"), "w") as handle:
+            json.dump(
+                [
+                    {
+                        "benchmark": "x",
+                        "vectorized_cps": 1.0,
+                        "phases": {"v": {"refresh": 1.0}},
+                    }
+                ],
+                handle,
+            )
+        with open(os.path.join(baselines, "x.json"), "w") as handle:
+            json.dump(
+                {
+                    "metrics": {
+                        "[benchmark=x].vectorized_cps": 2.0,
+                        "[benchmark=x].phases.v.refresh": 1.0,
+                    }
+                },
+                handle,
+            )
+        assert gate.run_gate(results, baselines, 0.25) == 1
+
+
 class TestCompare:
     def test_within_threshold_passes(self, gate):
         rows = gate.compare({"k": 4.0}, {"k": 3.2}, threshold=0.25)

@@ -1,0 +1,278 @@
+"""Engine-level telemetry integration: parity pins (instrumentation
+changes no simulation output bit), sharded barrier-wait accounting,
+distributed wire accounting, the reference engine's trace bridge, and
+the overhead guard for the no-op default."""
+
+import time
+
+import numpy as np
+
+from repro.core.slices import SlicePartition
+from repro.engine.trace import TraceLog
+from repro.experiments.config import RunSpec, build_simulation
+from repro.obs import CycleReport, Telemetry
+from repro.vectorized.simulation import VectorSimulation
+
+STATE_COLUMNS = ("attribute", "value", "alive", "obs_le", "obs_total")
+
+
+def assert_states_identical(sim_a, sim_b):
+    state_a, state_b = sim_a.state, sim_b.state
+    assert state_a.size == state_b.size
+    n = state_a.size
+    for column in STATE_COLUMNS:
+        a = getattr(state_a, column)[:n]
+        b = getattr(state_b, column)[:n]
+        assert np.array_equal(a, b), f"{column} diverged"
+    assert np.array_equal(state_a.view_ids[:n], state_b.view_ids[:n])
+    assert np.array_equal(state_a.view_ages[:n], state_b.view_ages[:n])
+
+
+def assert_tree_well_formed(report):
+    """Every nested span path's parent exists as its own span."""
+    for path in report.spans:
+        while "/" in path:
+            path = path.rsplit("/", 1)[0]
+            assert path in report.spans, f"orphan span under {path!r}"
+
+
+class TestParityPins:
+    """Profiling must never change simulation output: telemetry only
+    times, it never touches an RNG stream."""
+
+    def test_vectorized_bitwise_with_and_without_telemetry(self):
+        spec = dict(
+            size=400,
+            partition=SlicePartition.equal(10),
+            protocol="ranking",
+            view_size=8,
+            seed=13,
+        )
+        plain = VectorSimulation(**spec)
+        plain.run(6)
+        profiled = VectorSimulation(telemetry=Telemetry(engine="v"), **spec)
+        profiled.run(6)
+        assert_states_identical(plain, profiled)
+        assert plain.slice_disorder() == profiled.slice_disorder()
+
+    def test_sharded_profiled_matches_vectorized_plain(self):
+        spec = RunSpec(n=400, slice_count=10, view_size=8, protocol="ranking", seed=13)
+        plain = build_simulation(spec.with_overrides(backend="vectorized"))
+        plain.run(6)
+        telemetry = Telemetry(engine="sharded")
+        profiled = build_simulation(
+            spec.with_overrides(backend="sharded", workers=2), telemetry=telemetry
+        )
+        try:
+            profiled.run(6)
+            assert_states_identical(plain, profiled)
+        finally:
+            profiled.close()
+        assert len(telemetry.cycle_records()) == 6
+
+    def test_reference_bitwise_with_and_without_telemetry(self):
+        base = RunSpec(n=120, slice_count=4, view_size=8, protocol="mod-jk", seed=7)
+        plain = build_simulation(base)
+        plain.run(5)
+        profiled = build_simulation(base, telemetry=Telemetry(engine="r"))
+        profiled.run(5)
+        plain_state = sorted(
+            (node.node_id, node.value, node.attribute)
+            for node in plain.live_nodes()
+        )
+        profiled_state = sorted(
+            (node.node_id, node.value, node.attribute)
+            for node in profiled.live_nodes()
+        )
+        assert plain_state == profiled_state
+
+
+class TestVectorizedSpans:
+    def test_phase_tree_and_coverage(self):
+        telemetry = Telemetry(engine="vectorized")
+        spec = RunSpec(n=2000, slice_count=10, protocol="ranking", backend="vectorized")
+        sim = build_simulation(spec, telemetry=telemetry)
+        sim.run(8)
+        report = CycleReport(telemetry.records)
+        assert report.cycles == 8
+        assert_tree_well_formed(report)
+        top = {s.path for s in report.spans.values() if s.depth == 0}
+        assert {"plan", "churn", "refresh", "ranking"} <= top
+        assert {"refresh/age_purge", "refresh/partner_select", "refresh/waves"} <= set(
+            report.spans
+        )
+        assert report.coverage > 0.9
+        assert report.counters["sampler.exchanges"] > 0
+        assert report.counters["ranking.upd_messages"] > 0
+
+
+class TestShardedBarrierAccounting:
+    def test_kernel_plus_wait_equals_workers_times_span(self):
+        """The integer identity the driver's accounting is built on:
+        per cycle, ``worker_kernel_ns + barrier_wait_ns`` must equal
+        ``workers * sum(cmd:* span ns)`` exactly — wait is defined as
+        each worker's idle remainder of the dispatch span."""
+        workers = 2
+        telemetry = Telemetry(engine="sharded")
+        spec = RunSpec(
+            n=1000, slice_count=10, protocol="ranking",
+            backend="sharded", workers=workers,
+        )
+        sim = build_simulation(spec, telemetry=telemetry)
+        try:
+            sim.run(5)
+        finally:
+            sim.close()
+        records = telemetry.cycle_records()
+        assert len(records) == 5
+        for record in records:
+            dispatch_ns = sum(
+                value[0]
+                for path, value in record["spans"].items()
+                if path.rsplit("/", 1)[-1].startswith("cmd:")
+            )
+            assert dispatch_ns > 0
+            counters = record["counters"]
+            assert (
+                counters["worker_kernel_ns"] + counters["barrier_wait_ns"]
+                == workers * dispatch_ns
+            )
+            assert counters["commands"] > 0
+
+    def test_dispatch_spans_nest_under_phases(self):
+        telemetry = Telemetry(engine="sharded")
+        spec = RunSpec(
+            n=1000, slice_count=10, protocol="ranking",
+            backend="sharded", workers=2,
+        )
+        sim = build_simulation(spec, telemetry=telemetry)
+        try:
+            sim.run(3)
+        finally:
+            sim.close()
+        report = CycleReport(telemetry.records)
+        assert_tree_well_formed(report)
+        nested = [p for p in report.spans if "/cmd:" in p]
+        assert nested, "dispatch spans should nest under phase spans"
+        assert all(p.split("/")[0] in {"plan", "churn", "rebalance", "refresh",
+                                       "ranking", "ordering"} for p in nested)
+
+
+class TestDistributedWireAccounting:
+    def test_loopback_wire_counters_and_parity(self):
+        spec = RunSpec(n=300, slice_count=10, view_size=8, protocol="ranking", seed=13)
+        plain = build_simulation(spec.with_overrides(backend="vectorized"))
+        plain.run(4)
+        telemetry = Telemetry(engine="distributed")
+        profiled = build_simulation(
+            spec.with_overrides(backend="distributed", workers=2),
+            telemetry=telemetry,
+        )
+        try:
+            profiled.run(4)
+            profiled.sync_state()  # pull worker-resident columns down
+            assert_states_identical(plain, profiled)
+        finally:
+            profiled.close()
+        report = CycleReport(telemetry.records)
+        assert report.counters["wire.sent_bytes"] > 0
+        assert report.counters["wire.recv_bytes"] > 0
+        assert report.counters["wire.frames"] > 0
+        per_command = [
+            key for key in report.counters
+            if key.startswith("wire.") and key.count(".") == 2
+        ]
+        assert per_command, "per-command wire counters missing"
+        # Per-command bytes sum to the run's wire totals.
+        assert sum(
+            v for k, v in report.counters.items()
+            if k.startswith("wire.") and k.endswith(".sent_bytes") and k.count(".") == 2
+        ) == report.counters["wire.sent_bytes"]
+        # Per exchange, kernel + wait == (workers addressed) * span; a
+        # distributed exchange may address a subset of the workers
+        # (fetch_rows hits only the partner shards), so per record the
+        # sum is bounded by the 1- and all-worker cases.
+        for record in telemetry.cycle_records():
+            counters = record["counters"]
+            accounted = counters["worker_kernel_ns"] + counters["barrier_wait_ns"]
+            dispatch_ns = sum(
+                value[0]
+                for path, value in record["spans"].items()
+                if path.rsplit("/", 1)[-1].startswith("cmd:")
+            )
+            assert dispatch_ns <= accounted <= 2 * dispatch_ns
+
+
+class TestReferenceTraceBridge:
+    def test_trace_counts_bridge_into_cycle_records(self):
+        from repro.core.ordering import OrderingProtocol
+        from repro.engine.simulator import CycleSimulation
+
+        partition = SlicePartition.equal(4)
+        telemetry = Telemetry(engine="reference")
+        sim = CycleSimulation(
+            size=100,
+            partition=partition,
+            slicer_factory=lambda: OrderingProtocol(partition),
+            view_size=8,
+            seed=7,
+            trace=TraceLog(),
+            telemetry=telemetry,
+        )
+        sim.run(4)
+        report = CycleReport(telemetry.records)
+        assert report.cycles == 4
+        assert {"churn", "rounds", "flush"} <= set(report.spans)
+        trace_counters = {k for k in report.counters if k.startswith("trace.")}
+        assert "trace.send" in trace_counters
+        # Counter deltas must sum to the trace log's own totals.
+        assert report.counters["trace.send"] == sim.trace.counts()["send"]
+
+    def test_without_trace_no_trace_counters(self):
+        base = RunSpec(n=100, slice_count=4, view_size=8, protocol="mod-jk", seed=7)
+        telemetry = Telemetry(engine="reference")
+        sim = build_simulation(base, telemetry=telemetry)
+        sim.run(3)
+        assert not any(
+            k.startswith("trace.")
+            for r in telemetry.records
+            for k in r["counters"]
+        )
+
+
+class TestOverheadGuard:
+    def test_null_telemetry_overhead_under_five_percent(self):
+        """The no-op default may cost at most 5% at n = 10^4 on the
+        vectorized engine (min-of-repeats to shed scheduler noise).
+        NULL_TELEMETRY *is* the production default, so this pins the
+        instrumentation's cost on every unprofiled run."""
+
+        def run_once():
+            spec = RunSpec(
+                n=10_000, slice_count=10, protocol="ranking",
+                backend="vectorized", seed=3,
+            )
+            sim = build_simulation(spec)
+            started = time.perf_counter()
+            sim.run(5)
+            return time.perf_counter() - started
+
+        # The engines were instrumented in-place, so the honest guard
+        # compares against the same build: assert the span/counter
+        # guards keep a *profiled* run within 5% of the default run.
+        def run_profiled():
+            spec = RunSpec(
+                n=10_000, slice_count=10, protocol="ranking",
+                backend="vectorized", seed=3,
+            )
+            sim = build_simulation(spec, telemetry=Telemetry(engine="v"))
+            started = time.perf_counter()
+            sim.run(5)
+            return time.perf_counter() - started
+
+        plain = min(run_once() for _ in range(3))
+        profiled = min(run_profiled() for _ in range(3))
+        assert profiled <= plain * 1.05 + 0.010, (
+            f"profiled {profiled:.4f}s vs plain {plain:.4f}s "
+            f"({profiled / plain:.3f}x) exceeds the 5% overhead budget"
+        )

@@ -1,0 +1,146 @@
+"""Cycle-report aggregation tests (`repro.obs.report`): span stats,
+self-time tree, coverage, counters and rendering."""
+
+from repro.obs import CycleReport, NdjsonSink, Telemetry
+
+
+def cycle(engine, number, spans, counters=None, wall_ns=None):
+    if wall_ns is None:
+        wall_ns = sum(v[0] for path, v in spans.items() if "/" not in path)
+    return {
+        "kind": "cycle",
+        "engine": engine,
+        "cycle": number,
+        "wall_ns": wall_ns,
+        "spans": spans,
+        "counters": counters or {},
+    }
+
+
+class TestAggregation:
+    def test_totals_counts_and_percentiles(self):
+        records = [
+            cycle("e", 0, {"refresh": [100, 1]}),
+            cycle("e", 1, {"refresh": [300, 1]}),
+            cycle("e", 2, {"refresh": [200, 1]}),
+        ]
+        report = CycleReport(records)
+        stat = report.spans["refresh"]
+        assert stat.total_ns == 600
+        assert stat.count == 3
+        assert stat.cycles == 3
+        assert stat.p50_ns() == 200.0
+        assert stat.max_ns() == 300.0
+
+    def test_self_time_subtracts_direct_children_only(self):
+        records = [
+            cycle(
+                "e",
+                0,
+                {
+                    "refresh": [1000, 1],
+                    "refresh/waves": [600, 3],
+                    "refresh/waves/swap": [500, 3],
+                },
+            )
+        ]
+        report = CycleReport(records)
+        assert report.spans["refresh"].self_ns == 400  # 1000 - 600
+        assert report.spans["refresh/waves"].self_ns == 100  # 600 - 500
+        assert report.spans["refresh/waves/swap"].self_ns == 500
+
+    def test_coverage_is_top_level_over_wall(self):
+        records = [
+            cycle("e", 0, {"a": [800, 1], "a/b": [700, 1]}, wall_ns=1000)
+        ]
+        report = CycleReport(records)
+        assert report.top_level_ns == 800
+        assert report.coverage == 0.8
+
+    def test_serial_spine_is_max_self_time(self):
+        records = [
+            cycle(
+                "e",
+                0,
+                {"a": [1000, 1], "a/b": [900, 1], "c": [500, 1]},
+            )
+        ]
+        report = CycleReport(records)
+        assert report.serial_spine() == "a/b"
+
+    def test_counters_sum_including_ambient_and_rates(self):
+        records = [
+            cycle("e", 0, {}, counters={"sent": 4}),
+            cycle("e", 1, {}, counters={"sent": 6}),
+            {
+                "kind": "ambient",
+                "engine": "e",
+                "cycle": None,
+                "wall_ns": 50,
+                "spans": {"metric": [50, 1]},
+                "counters": {"sent": 10},
+            },
+        ]
+        report = CycleReport(records)
+        assert report.counters == {"sent": 20}
+        assert report.counter_rates() == {"sent": 10.0}  # over 2 cycles
+        assert report.cycles == 2
+        assert len(report.ambient_records) == 1
+
+    def test_engine_filter(self):
+        records = [
+            cycle("vectorized", 0, {"a": [10, 1]}),
+            cycle("sharded", 0, {"b": [20, 1]}),
+        ]
+        report = CycleReport(records, engine="sharded")
+        assert set(report.spans) == {"b"}
+        assert report.engines == ["sharded"]
+
+    def test_phase_seconds(self):
+        records = [cycle("e", 0, {"a": [2_000_000_000, 1], "a/b": [1, 1]})]
+        assert CycleReport(records).phase_seconds() == {"a": 2.0}
+
+    def test_empty_report_is_safe(self):
+        report = CycleReport([])
+        assert report.cycles == 0
+        assert report.coverage == 0.0
+        assert report.serial_spine() is None
+        assert "cycles=0" in report.render()
+
+
+class TestNdjsonIntegration:
+    def test_from_ndjson_matches_in_memory(self, tmp_path):
+        path = str(tmp_path / "profile.ndjson")
+        telemetry = Telemetry(engine="t", sink=NdjsonSink(path, append=False))
+        for number in range(4):
+            telemetry.begin_cycle(number)
+            with telemetry.span("phase"):
+                pass
+            telemetry.count("sent", number)
+            telemetry.end_cycle()
+        telemetry.close()
+        from_file = CycleReport.from_ndjson(path)
+        in_memory = CycleReport(telemetry.records)
+        assert from_file.cycles == in_memory.cycles == 4
+        assert from_file.counters == in_memory.counters
+        assert (
+            from_file.spans["phase"].total_ns
+            == in_memory.spans["phase"].total_ns
+        )
+
+
+class TestRender:
+    def test_render_names_key_facts(self):
+        records = [
+            cycle(
+                "sharded",
+                0,
+                {"refresh": [1000, 1], "refresh/cmd:refresh_age": [400, 2]},
+                counters={"barrier_wait_ns": 123},
+            )
+        ]
+        text = CycleReport(records).render()
+        assert "engine=sharded" in text
+        assert "cmd:refresh_age" in text
+        assert "barrier_wait_ns" in text
+        assert "serial spine" in text

@@ -1,0 +1,74 @@
+"""NDJSON sink round-trip tests (`repro.obs.sink`)."""
+
+import numpy as np
+import pytest
+
+from repro.obs import NdjsonSink, Telemetry, read_ndjson
+
+
+class TestNdjsonRoundTrip:
+    def test_records_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.ndjson")
+        records = [
+            {"kind": "cycle", "cycle": 0, "spans": {"a": [10, 1]}, "counters": {}},
+            {"kind": "cycle", "cycle": 1, "spans": {}, "counters": {"c": 2}},
+        ]
+        with NdjsonSink(path, append=False) as sink:
+            for record in records:
+                sink.write(record)
+        assert read_ndjson(path) == records
+
+    def test_numpy_scalars_become_native(self, tmp_path):
+        path = str(tmp_path / "out.ndjson")
+        with NdjsonSink(path, append=False) as sink:
+            sink.write(
+                {
+                    "int": np.int64(7),
+                    "float": np.float32(0.5),
+                    "nested": {"count": np.int32(3)},
+                }
+            )
+        (record,) = read_ndjson(path)
+        assert record == {"int": 7, "float": 0.5, "nested": {"count": 3}}
+
+    def test_unserializable_value_raises(self, tmp_path):
+        path = str(tmp_path / "out.ndjson")
+        with NdjsonSink(path, append=False) as sink:
+            with pytest.raises(TypeError):
+                sink.write({"bad": object()})
+
+    def test_append_mode_accumulates_truncate_restarts(self, tmp_path):
+        path = str(tmp_path / "out.ndjson")
+        with NdjsonSink(path, append=True) as sink:
+            sink.write({"run": 1})
+        with NdjsonSink(path, append=True) as sink:
+            sink.write({"run": 2})
+        assert [r["run"] for r in read_ndjson(path)] == [1, 2]
+        with NdjsonSink(path, append=False) as sink:
+            sink.write({"run": 3})
+        assert [r["run"] for r in read_ndjson(path)] == [3]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "out.ndjson")
+        with open(path, "w") as handle:
+            handle.write('{"a":1}\n\n   \n{"a":2}\n')
+        assert read_ndjson(path) == [{"a": 1}, {"a": 2}]
+
+    def test_every_write_is_flushed(self, tmp_path):
+        # A killed run must not lose finished cycles: records are
+        # readable before the sink is closed.
+        path = str(tmp_path / "out.ndjson")
+        sink = NdjsonSink(path, append=False)
+        sink.write({"cycle": 0})
+        assert read_ndjson(path) == [{"cycle": 0}]
+        sink.close()
+
+    def test_telemetry_close_closes_sink(self, tmp_path):
+        path = str(tmp_path / "out.ndjson")
+        sink = NdjsonSink(path, append=False)
+        telemetry = Telemetry(engine="t", sink=sink)
+        telemetry.begin_cycle(0)
+        telemetry.end_cycle()
+        telemetry.close()
+        assert sink._file.closed
+        assert len(read_ndjson(path)) == 1

@@ -1,0 +1,173 @@
+"""Unit tests for the telemetry core (`repro.obs.telemetry`):
+span-tree well-formedness, the cycle-record lifecycle, the ambient
+bucket, and the no-op default."""
+
+import pytest
+
+from repro.obs import NULL_TELEMETRY, NullTelemetry, Telemetry
+
+
+class TestSpans:
+    def test_nested_spans_build_slash_paths(self):
+        telemetry = Telemetry(engine="t")
+        telemetry.begin_cycle(0)
+        with telemetry.span("refresh"):
+            with telemetry.span("waves"):
+                pass
+            with telemetry.span("waves"):
+                pass
+        telemetry.end_cycle()
+        (record,) = telemetry.records
+        assert set(record["spans"]) == {"refresh", "refresh/waves"}
+        total, count = record["spans"]["refresh/waves"]
+        assert count == 2
+        assert total >= 0
+        # A parent's total covers its children.
+        assert record["spans"]["refresh"][0] >= total
+
+    def test_span_stack_unwinds_on_exception(self):
+        telemetry = Telemetry()
+        telemetry.begin_cycle(0)
+        with pytest.raises(RuntimeError):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    raise RuntimeError("boom")
+        telemetry.end_cycle()
+        assert telemetry._stack == []
+        (record,) = telemetry.records
+        assert set(record["spans"]) == {"outer", "outer/inner"}
+
+    def test_add_span_joins_the_open_stack(self):
+        telemetry = Telemetry()
+        telemetry.begin_cycle(0)
+        with telemetry.span("refresh"):
+            telemetry.add_span("cmd:refresh_age", 1_000, count=2)
+        telemetry.add_span("plan", 500)
+        telemetry.end_cycle()
+        (record,) = telemetry.records
+        assert record["spans"]["refresh/cmd:refresh_age"] == [1_000, 2]
+        assert record["spans"]["plan"] == [500, 1]
+
+    def test_repeated_add_span_accumulates(self):
+        telemetry = Telemetry()
+        telemetry.begin_cycle(0)
+        telemetry.add_span("cmd:x", 10)
+        telemetry.add_span("cmd:x", 30)
+        telemetry.end_cycle()
+        assert telemetry.records[0]["spans"]["cmd:x"] == [40, 2]
+
+
+class TestCycleLifecycle:
+    def test_cycle_record_shape_and_order(self):
+        telemetry = Telemetry(engine="vectorized")
+        for cycle in range(3):
+            telemetry.begin_cycle(cycle)
+            with telemetry.span("work"):
+                pass
+            telemetry.count("messages", 5)
+            telemetry.end_cycle()
+        assert [r["cycle"] for r in telemetry.records] == [0, 1, 2]
+        record = telemetry.records[0]
+        assert record["kind"] == "cycle"
+        assert record["engine"] == "vectorized"
+        assert record["wall_ns"] >= record["spans"]["work"][0]
+        assert record["counters"] == {"messages": 5}
+
+    def test_end_cycle_without_begin_is_noop(self):
+        telemetry = Telemetry()
+        telemetry.end_cycle()
+        assert telemetry.records == []
+
+    def test_records_reach_the_sink_in_order(self):
+        written = []
+
+        class ListSink:
+            def write(self, record):
+                written.append(record)
+
+        telemetry = Telemetry(sink=ListSink())
+        telemetry.begin_cycle(0)
+        telemetry.end_cycle()
+        telemetry.begin_cycle(1)
+        telemetry.end_cycle()
+        assert written == telemetry.records
+
+    def test_phase_totals_are_top_level_only(self):
+        telemetry = Telemetry()
+        for _ in range(2):
+            telemetry.begin_cycle(0)
+            telemetry.add_span("refresh", 100)
+            with telemetry.span("refresh"):
+                telemetry.add_span("waves", 50)
+            telemetry.end_cycle()
+        totals = telemetry.phase_totals()
+        assert set(totals) == {"refresh"}
+        assert totals["refresh"] >= 200
+
+    def test_counter_totals_sum_across_records(self):
+        telemetry = Telemetry()
+        telemetry.begin_cycle(0)
+        telemetry.count("sent", 3)
+        telemetry.end_cycle()
+        telemetry.begin_cycle(1)
+        telemetry.count("sent", 4)
+        telemetry.end_cycle()
+        assert telemetry.counter_totals() == {"sent": 7}
+
+
+class TestAmbientBucket:
+    def test_outside_cycle_work_lands_in_ambient_record(self):
+        telemetry = Telemetry(engine="e")
+        telemetry.begin_cycle(0)
+        telemetry.end_cycle()
+        # A collector computing a metric between cycles:
+        with telemetry.span("metric_sdm"):
+            pass
+        telemetry.count("samples", 1)
+        telemetry.begin_cycle(1)
+        telemetry.end_cycle()
+        kinds = [r["kind"] for r in telemetry.records]
+        assert kinds == ["cycle", "ambient", "cycle"]
+        ambient = telemetry.records[1]
+        assert ambient["cycle"] is None
+        assert set(ambient["spans"]) == {"metric_sdm"}
+        assert ambient["counters"] == {"samples": 1}
+        assert ambient["wall_ns"] == ambient["spans"]["metric_sdm"][0]
+
+    def test_flush_emits_trailing_ambient(self):
+        telemetry = Telemetry()
+        with telemetry.span("metric"):
+            pass
+        telemetry.flush()
+        assert [r["kind"] for r in telemetry.records] == ["ambient"]
+        # Nothing pending -> flush is a no-op.
+        telemetry.flush()
+        assert len(telemetry.records) == 1
+
+    def test_cycle_records_excludes_ambient(self):
+        telemetry = Telemetry()
+        with telemetry.span("metric"):
+            pass
+        telemetry.begin_cycle(0)
+        telemetry.end_cycle()
+        assert [r["kind"] for r in telemetry.cycle_records()] == ["cycle"]
+
+
+class TestNullTelemetry:
+    def test_is_disabled_and_recordless(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+        NULL_TELEMETRY.begin_cycle(0)
+        with NULL_TELEMETRY.span("x"):
+            NULL_TELEMETRY.count("c")
+            NULL_TELEMETRY.add_span("y", 10)
+        NULL_TELEMETRY.end_cycle()
+        NULL_TELEMETRY.flush()
+        NULL_TELEMETRY.close()
+        assert NULL_TELEMETRY.records == []
+        assert NULL_TELEMETRY.cycle_records() == []
+        assert NULL_TELEMETRY.phase_totals() == {}
+        assert NULL_TELEMETRY.counter_totals() == {}
+
+    def test_span_returns_one_shared_object(self):
+        assert NULL_TELEMETRY.span("a") is NULL_TELEMETRY.span("b")
