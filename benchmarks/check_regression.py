@@ -48,9 +48,9 @@ METRIC_MARKERS = ("cps", "cycles_per_sec")
 
 #: A numeric leaf under a key containing one of these markers is a
 #: *tracked* metric (matches the ``phases`` / ``phase_counters``
-#: breakdowns the profiled benchmarks record): compared and printed,
-#: never gated.
-TRACKED_MARKERS = ("phase",)
+#: breakdowns and the ``metrics_*`` convergence values the profiled
+#: benchmarks record): compared and printed, never gated.
+TRACKED_MARKERS = ("phase", "metrics")
 
 #: Fields used to label list entries instead of positional indices, so
 #: keys stay stable when runs are appended or reordered.

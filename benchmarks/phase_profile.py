@@ -11,13 +11,21 @@ JSON-ready phase breakdown stored next to the throughput numbers.
 the comparison table so drift is visible) but only *gates* on the
 cycles/sec keys: phase splits shift legitimately with machine load,
 worker count and numpy version, so they inform rather than fail CI.
+The same tracked-not-gating treatment applies to the convergence
+``metrics_*`` keys a ``metrics_every`` stream adds.
+
+Nightly profiled runs are hardened by default: the telemetry carries a
+:class:`~repro.obs.watchdog.Watchdog` (accounting invariants re-checked
+every cycle — a violation fails the benchmark loudly) and timeline
+events, so the uploaded NDJSON converts into a Perfetto trace artifact.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Optional
 
-from repro.obs import CycleReport, NdjsonSink, Telemetry
+from repro.obs import CycleReport, NdjsonSink, Telemetry, Watchdog
 
 PHASE_TIMINGS_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "results", "phase-timings.ndjson"
@@ -34,18 +42,30 @@ ACCOUNTING_COUNTERS = (
 )
 
 
-def phase_telemetry(engine: str) -> Telemetry:
+def phase_telemetry(
+    engine: str, metrics_every: Optional[int] = None
+) -> Telemetry:
     """A telemetry whose per-cycle records append to the nightly
-    phase-timings NDJSON artifact, tagged with ``engine``."""
+    phase-timings NDJSON artifact, tagged with ``engine``.  Nightly
+    runs carry the full observability stack: a watchdog (invariant
+    drift fails the benchmark) and timeline events (the artifact
+    converts to a Perfetto trace); ``metrics_every`` additionally
+    streams convergence records."""
     os.makedirs(os.path.dirname(PHASE_TIMINGS_PATH), exist_ok=True)
     return Telemetry(
-        engine=engine, sink=NdjsonSink(PHASE_TIMINGS_PATH, append=True)
+        engine=engine,
+        sink=NdjsonSink(PHASE_TIMINGS_PATH, append=True),
+        timeline=True,
+        metrics_every=metrics_every,
+        watchdog=Watchdog(),
     )
 
 
 def phase_breakdown(telemetry: Telemetry) -> dict:
     """Flat JSON-ready summary of one profiled run: top-level span
-    seconds plus the worker/wire accounting counters."""
+    seconds plus the worker/wire accounting counters (and, when a
+    convergence stream was recorded, its final ``metrics_*`` values —
+    tracked by ``check_regression.py``, never gated)."""
     report = CycleReport(telemetry.records)
     entry = {
         name: round(seconds, 6) for name, seconds in report.phase_seconds().items()
@@ -53,4 +73,11 @@ def phase_breakdown(telemetry: Telemetry) -> dict:
     for key in ACCOUNTING_COUNTERS:
         if key in report.counters:
             entry[key.replace(".", "_")] = int(report.counters[key])
+    if report.metrics_records:
+        last = max(report.metrics_records, key=lambda r: r["cycle"])
+        for name in ("sdm", "gdm", "accuracy"):
+            if name in last:
+                entry[f"metrics_final_{name}"] = round(float(last[name]), 6)
+        if "live" in last:
+            entry["metrics_final_live"] = int(last["live"])
     return entry

@@ -83,7 +83,7 @@ class TestScalingLadder:
             backend="sharded",
         )
         phases = {}
-        telemetry = phase_telemetry("vectorized")
+        telemetry = phase_telemetry("vectorized", metrics_every=1)
         baseline = cycles_per_second(
             spec.with_overrides(backend="vectorized"), cycles=5,
             telemetry=telemetry,
@@ -91,7 +91,7 @@ class TestScalingLadder:
         phases["vectorized"] = phase_breakdown(telemetry)
         rates = {}
         for workers in worker_ladder():
-            telemetry = phase_telemetry(f"sharded-w{workers}")
+            telemetry = phase_telemetry(f"sharded-w{workers}", metrics_every=1)
             rates[workers] = cycles_per_second(
                 spec.with_overrides(workers=workers), cycles=5,
                 telemetry=telemetry,

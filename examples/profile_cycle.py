@@ -9,16 +9,27 @@ differ purely in execution strategy:
 
 * ``vectorized``  — single-process numpy;
 * ``sharded``     — 2 worker processes over shared memory, with the
-  driver/worker split visible as ``cmd:*`` dispatch spans plus kernel
-  vs barrier-wait accounting;
+  driver/worker split visible as ``cmd:*`` dispatch spans plus
+  per-worker attach/kernel/reply sub-spans and kernel vs barrier-wait
+  accounting;
 * ``distributed`` — 2 workers over the in-process loopback message
   transport, adding per-command wire-byte accounting.
 
 The "serial spine" line names the span with the most *self* time —
-the first target for any further optimization work.
+the first target for any further optimization work — and the
+per-worker straggler table shows how much of each worker's dispatched
+time was busy vs idle.
 
 Run:  python examples/profile_cycle.py
+      python examples/profile_cycle.py --trace trace.json
+      # then open trace.json in https://ui.perfetto.dev
+
+``--trace`` records per-span timeline events for the sharded run and
+writes them as Chrome/Perfetto trace-event JSON (one track per worker
+plus the driver).
 """
+
+import argparse
 
 from repro.experiments.config import RunSpec, build_simulation
 from repro.obs import CycleReport, Telemetry
@@ -32,7 +43,7 @@ BACKENDS = (
 )
 
 
-def profile(backend: str, **overrides) -> CycleReport:
+def profile(backend: str, timeline: bool = False, **overrides):
     spec = RunSpec(
         n=N,
         slice_count=10,
@@ -42,22 +53,35 @@ def profile(backend: str, **overrides) -> CycleReport:
         seed=0,
         **overrides,
     )
-    telemetry = Telemetry(engine=backend)
+    telemetry = Telemetry(engine=backend, timeline=timeline)
     sim = build_simulation(spec, telemetry=telemetry)
     try:
         sim.run(CYCLES)
     finally:
         if hasattr(sim, "close"):
             sim.close()
-    return CycleReport(telemetry.records)
+    return CycleReport(telemetry.records), telemetry
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="write the sharded run's timeline as Perfetto trace JSON",
+    )
+    args = parser.parse_args()
+
     print(f"ranking, n={N:,}, {CYCLES} cycles — per-phase seconds\n")
     reports = {}
+    telemetries = {}
     for backend, overrides in BACKENDS:
         print(f"profiling {backend} ...", flush=True)
-        reports[backend] = profile(backend, **overrides)
+        timeline = args.trace is not None and backend == "sharded"
+        reports[backend], telemetries[backend] = profile(
+            backend, timeline=timeline, **overrides
+        )
     print()
 
     # Side-by-side top-level phase table.
@@ -105,8 +129,45 @@ def main():
             line += f", wire {mb:.1f} MB in {counters['wire.frames']:.0f} frames"
         print(line)
 
+    # Per-worker straggler table for the sharded run.  Each worker's
+    # busy + wait sums over its share of every dispatch span, so
+    # sum(busy) == worker_kernel_ns and sum(wait) == barrier_wait_ns
+    # exactly (the PR-6 barrier identity, per worker).
+    sharded = reports["sharded"]
+    rows = sharded.worker_table()
+    if rows:
+        print("\nper-worker utilization (sharded):")
+        print(f"  {'worker':<8} {'busy_s':>9} {'wait_s':>9} {'util%':>7}")
+        for row in rows:
+            print(
+                f"  {'w' + row['worker']:<8} {row['busy_ns'] / 1e9:>9.3f} "
+                f"{row['wait_ns'] / 1e9:>9.3f} "
+                f"{row['utilization'] * 100.0:>7.1f}"
+            )
+        busy_sum = sum(row["busy_ns"] for row in rows)
+        wait_sum = sum(row["wait_ns"] for row in rows)
+        exact = (
+            busy_sum == sharded.counters["worker_kernel_ns"]
+            and wait_sum == sharded.counters["barrier_wait_ns"]
+        )
+        print(
+            f"  identity: sum(busy) == worker_kernel_ns and "
+            f"sum(wait) == barrier_wait_ns: {'exact' if exact else 'VIOLATED'}"
+        )
+
     print("\nfull per-span report for the sharded run:\n")
-    print(reports["sharded"].render())
+    print(sharded.render())
+
+    if args.trace is not None:
+        from repro.obs import traceview
+
+        count = traceview.write_trace(
+            telemetries["sharded"].records, args.trace
+        )
+        print(
+            f"\n[{count} trace events written to {args.trace}; "
+            "open in https://ui.perfetto.dev]"
+        )
 
 
 if __name__ == "__main__":

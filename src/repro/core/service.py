@@ -103,6 +103,16 @@ class SlicingService:
         per-cycle phase spans and counters from the engine (attach an
         :class:`~repro.obs.sink.NdjsonSink` for on-disk profiles).
         Profiling never changes simulation results.
+    watchdog:
+        Check the telemetry layer's accounting invariants every cycle
+        (:class:`~repro.obs.watchdog.Watchdog`); a violation raises
+        :class:`~repro.obs.watchdog.WatchdogViolation` naming the
+        cycle.  Creates a telemetry object if none was passed.
+    metrics_every:
+        Stream a ``{"kind": "metrics"}`` convergence record
+        (SDM/GDM/accuracy/live count) every this many cycles into the
+        telemetry stream.  Creates a telemetry object if none was
+        passed.
     """
 
     def __init__(
@@ -122,10 +132,22 @@ class SlicingService:
         seed: int = 0,
         churn=None,
         telemetry=None,
+        watchdog: bool = False,
+        metrics_every: Optional[int] = None,
     ) -> None:
         self.partition = self._build_partition(slices)
         self.algorithm = algorithm
         self.backend = backend
+        if watchdog or metrics_every is not None:
+            from repro.obs import Telemetry, Watchdog
+
+            if telemetry is None:
+                telemetry = Telemetry(engine=backend)
+            if telemetry.enabled:
+                if watchdog and telemetry.watchdog is None:
+                    telemetry.watchdog = Watchdog()
+                if metrics_every is not None and telemetry.metrics_every is None:
+                    telemetry.metrics_every = int(metrics_every)
         spec = get_backend(backend)
         spec.validate(
             concurrency=concurrency,

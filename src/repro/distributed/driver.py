@@ -182,7 +182,7 @@ class _MessageExecutor:
                             (column, rows[mask], values[mask])
                         )
 
-    def _meta(self, index: int, inputs: bytes) -> dict:
+    def _meta(self, index: int, inputs: bytes, detail: bool = False) -> dict:
         remaps, self._remaps[index] = self._remaps[index], []
         updates, self._updates[index] = self._updates[index], []
         return {
@@ -191,6 +191,7 @@ class _MessageExecutor:
             "updates": updates,
             "size": self._state.size,
             "maybe_dead": self._state.maybe_dead_entries,
+            "detail": detail,
         }
 
     # ------------------------------------------------------------------
@@ -213,7 +214,8 @@ class _MessageExecutor:
         payload)`` assignments; merges scratch outputs and routes state
         updates before returning the per-worker results."""
         telemetry = self._telemetry
-        if telemetry.enabled:
+        detail = telemetry.enabled
+        if detail:
             start = perf_counter_ns()
             sent0, recv0, frames0 = self._wire_totals()
         # The scratch inputs are identical for every recipient:
@@ -230,11 +232,14 @@ class _MessageExecutor:
         for index, payload in assignments:
             handle = self._workers[index]
             try:
-                handle.endpoint.send((command, payload, self._meta(index, inputs)))
+                handle.endpoint.send(
+                    (command, payload, self._meta(index, inputs, detail))
+                )
             except (TransportError, OSError) as error:
                 raise handle.fail(command, error) from error
         results, failures, outputs, updates = [], [], [], []
         kernels = []
+        worker_spans = []
         for index, _payload in assignments:
             handle = self._workers[index]
             try:
@@ -242,10 +247,23 @@ class _MessageExecutor:
             except (TransportError, OSError) as error:
                 raise handle.fail(command, error) from error
             if reply[0] == "ok":
-                results.append(reply[1])
-                outputs.extend(reply[2])
-                updates.extend(reply[3])
-                kernels.append(reply[4])
+                if detail:
+                    # Detailed reply: pickled (result, outputs,
+                    # updates) triple + the worker's sub-span dict
+                    # (deserialize/compute/serialize); busy time is
+                    # the sum of its sub-spans.
+                    result, outs, upds = pickle.loads(reply[1])
+                    spans = reply[2]
+                    results.append(result)
+                    outputs.extend(outs)
+                    updates.extend(upds)
+                    worker_spans.append((index, spans))
+                    kernels.append(sum(v[0] for v in spans.values()))
+                else:
+                    results.append(reply[1])
+                    outputs.extend(reply[2])
+                    updates.extend(reply[3])
+                    kernels.append(reply[4])
             else:
                 failures.append(f"worker {index}:\n{reply[1]}")
         if failures:
@@ -260,14 +278,19 @@ class _MessageExecutor:
             else:
                 array[where] = values
         self.push_updates(updates)
-        if telemetry.enabled:
+        if detail:
             # Same accounting as the sharded pool: the exchange span
-            # minus the workers' self-reported kernel time is wire +
+            # minus the workers' self-reported busy time is wire +
             # barrier waiting; the endpoint byte counters attribute
             # traffic per command (incl. the pickled scratch inputs).
             span_ns = perf_counter_ns() - start
             sent1, recv1, frames1 = self._wire_totals()
-            telemetry.add_span("cmd:" + command, span_ns)
+            telemetry.add_span("cmd:" + command, span_ns, start_ns=start)
+            for index, spans in worker_spans:
+                telemetry.add_worker_spans(
+                    index, "cmd:" + command, spans,
+                    dispatch_ns=span_ns, start_ns=start,
+                )
             telemetry.count("commands", 1)
             telemetry.count("worker_kernel_ns", sum(kernels))
             telemetry.count(

@@ -27,11 +27,17 @@ Message envelope (driver -> worker)::
 
 ``meta`` carries scratch (re)allocation notices, full scratch-input
 arrays, pending state updates, and the driver's ``size`` /
-``maybe_dead_entries`` metadata.  The reply is ``("ok", result,
+``maybe_dead_entries`` metadata.  The plain reply is ``("ok", result,
 outputs, updates, kernel_ns)`` — ``kernel_ns`` is how long the command
 itself ran, which the driver's telemetry subtracts from its exchange
-span to expose wire + barrier time — or ``("err", traceback)``;
-``None`` shuts the worker down.
+span to expose wire + barrier time.  When ``meta["detail"]`` is set
+(the driver is profiling) the worker runs its own
+:class:`~repro.obs.telemetry.Telemetry` and replies ``("ok",
+reply_pickle_bytes, spans)``: the pickled ``(result, outputs,
+updates)`` triple plus a sub-span dict (``deserialize`` — meta/input
+application, ``compute`` — the command itself, ``serialize`` — reply
+pickling).  Errors reply ``("err", traceback)``; ``None`` shuts the
+worker down.
 
 Start a standalone (multi-host) worker with::
 
@@ -53,6 +59,7 @@ import numpy as np
 from repro.distributed import protocol
 from repro.distributed.framing import DEFAULT_MAX_FRAME, ConnectionClosed
 from repro.distributed.transport import Endpoint, parse_host_port
+from repro.obs.telemetry import Telemetry
 from repro.sharded.kernels import DISPATCH, ShardContext
 from repro.vectorized.metrics import PartitionArrays
 from repro.vectorized.state import EMPTY, ArrayState, column_spec
@@ -130,6 +137,21 @@ def _apply_updates(state: ArrayState, updates) -> None:
         getattr(state, column)[rows] = values
         if column == "alive":
             state._live_dirty = True
+
+
+def _apply_meta(state: ArrayState, scratch: MessageScratchMirror, meta) -> None:
+    """Apply one envelope's metadata: scratch remaps/inputs, size
+    sync, pending updates, liveness hint."""
+    scratch.apply_remaps(meta["remaps"])
+    scratch.apply_inputs(meta["inputs"])
+    size = meta["size"]
+    if size != state.size:
+        if size > state.size:
+            _blank_heavy_rows(state, state.size, size)
+        state.size = size
+        state._live_dirty = True
+    _apply_updates(state, meta["updates"])
+    state.maybe_dead_entries = meta["maybe_dead"]
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +245,7 @@ def serve_endpoint(endpoint: Endpoint) -> None:
     driver says stop (or the connection drops)."""
     state = None
     scratch = MessageScratchMirror()
+    telemetry = Telemetry(engine="dist-worker")
     try:
         endpoint.send({"type": "hello", "pid": os.getpid()})
         init = endpoint.recv()
@@ -239,21 +262,22 @@ def serve_endpoint(endpoint: Endpoint) -> None:
                 break
             command, payload, meta = message
             try:
-                scratch.apply_remaps(meta["remaps"])
-                scratch.apply_inputs(meta["inputs"])
-                size = meta["size"]
-                if size != state.size:
-                    if size > state.size:
-                        _blank_heavy_rows(state, state.size, size)
-                    state.size = size
-                    state._live_dirty = True
-                _apply_updates(state, meta["updates"])
-                state.maybe_dead_entries = meta["maybe_dead"]
-                kernel_start = perf_counter_ns()
-                reply = _execute(ctx, command, payload)
-                kernel_ns = perf_counter_ns() - kernel_start
-                endpoint.send(("ok",) + reply + (kernel_ns,))
+                if meta.get("detail"):
+                    with telemetry.span("deserialize"):
+                        _apply_meta(state, scratch, meta)
+                    with telemetry.span("compute"):
+                        reply = _execute(ctx, command, payload)
+                    with telemetry.span("serialize"):
+                        blob = pickle.dumps(reply, protocol=5)
+                    endpoint.send(("ok", blob, telemetry.take_spans()))
+                else:
+                    _apply_meta(state, scratch, meta)
+                    kernel_start = perf_counter_ns()
+                    reply = _execute(ctx, command, payload)
+                    kernel_ns = perf_counter_ns() - kernel_start
+                    endpoint.send(("ok",) + reply + (kernel_ns,))
             except BaseException:
+                telemetry.take_spans()  # drop partial sub-spans
                 endpoint.send(("err", traceback.format_exc()))
     except (ConnectionClosed, BrokenPipeError, OSError):
         pass  # driver went away; nothing left to serve

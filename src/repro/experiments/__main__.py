@@ -100,6 +100,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "profiling never changes simulation results",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="also convert the profile into Chrome/Perfetto trace-event "
+        "JSON (one track per worker + driver; open in ui.perfetto.dev); "
+        "requires --profile and implies timeline recording",
+    )
+    parser.add_argument(
+        "--metrics-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="stream a {\"kind\": \"metrics\"} convergence record "
+        "(SDM/GDM/accuracy/live count) every K cycles into the profile "
+        "and print a run-health summary",
+    )
+    parser.add_argument(
+        "--watchdog",
+        action="store_true",
+        help="check the telemetry accounting invariants (barrier "
+        "identity, wire-byte sums, occupancy partition, counter "
+        "consistency) every cycle; raises naming the offending cycle",
+    )
+    parser.add_argument(
         "--max-rows", type=int, default=20, help="table rows per series"
     )
     parser.add_argument(
@@ -134,6 +158,14 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             kwargs[knob] = value
     if args.profile is not None and "profile" in accepted:
         kwargs["profile"] = args.profile
+    if (args.trace is not None or getattr(args, "timeline", False)) and (
+        "timeline" in accepted
+    ):
+        kwargs["timeline"] = True
+    if args.metrics_every is not None and "metrics_every" in accepted:
+        kwargs["metrics_every"] = args.metrics_every
+    if args.watchdog and "watchdog" in accepted:
+        kwargs["watchdog"] = True
     started = time.time()
     result = function(**kwargs)
     elapsed = time.time() - started
@@ -148,7 +180,10 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
 
 
 def main(argv: List[str] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.trace is not None and args.profile is None:
+        parser.error("--trace requires --profile (the NDJSON source)")
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
     if args.profile is not None:
         # Truncate once up front: figure runs (and the multiple
@@ -162,6 +197,14 @@ def main(argv: List[str] = None) -> int:
         report = CycleReport.from_ndjson(args.profile)
         print(report.render())
         print(f"[phase telemetry written to {args.profile}]")
+        if args.trace is not None:
+            from repro.obs import traceview
+
+            count = traceview.convert(args.profile, args.trace)
+            print(
+                f"[{count} trace events written to {args.trace}; "
+                "open in https://ui.perfetto.dev]"
+            )
     return 0
 
 

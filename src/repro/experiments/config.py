@@ -121,6 +121,20 @@ class RunSpec:
         :class:`~repro.obs.sink.NdjsonSink` appending per-cycle phase
         records there (the CLI's ``--profile``).  Profiling never
         changes simulation results.
+    timeline:
+        Record per-span timeline events in the cycle records (enables
+        the :mod:`repro.obs.traceview` Perfetto export; the CLI's
+        ``--trace`` implies it).
+    metrics_every:
+        Stream a ``{"kind": "metrics"}`` convergence record
+        (SDM/GDM/accuracy/live count) every this many cycles (the
+        CLI's ``--metrics-every``).
+    watchdog:
+        Check the telemetry accounting invariants every cycle
+        (:class:`~repro.obs.watchdog.Watchdog`); a violation raises
+        with the offending cycle number (the CLI's ``--watchdog``).
+        None of the three observability knobs ever changes simulation
+        results.
     """
 
     n: int = 1000
@@ -146,6 +160,9 @@ class RunSpec:
     rebalance_threshold: Optional[float] = None
     seed: int = 0
     profile: Optional[str] = None
+    timeline: bool = False
+    metrics_every: Optional[int] = None
+    watchdog: bool = False
 
     def with_overrides(self, **kwargs) -> "RunSpec":
         """A copy of this spec with the given fields replaced."""
@@ -182,6 +199,12 @@ class RunSpec:
             bits.append(f"churn={self.churn}")
         if self.profile is not None:
             bits.append(f"profile={self.profile}")
+        if self.timeline:
+            bits.append("timeline")
+        if self.metrics_every is not None:
+            bits.append(f"metrics_every={self.metrics_every}")
+        if self.watchdog:
+            bits.append("watchdog")
         bits.append(f"seed={self.seed}")
         return ", ".join(bits)
 
@@ -253,16 +276,42 @@ def build_simulation(spec: RunSpec, telemetry=None):
     four samplers) the registry's service surface does not model.
 
     ``telemetry`` attaches an explicit
-    :class:`~repro.obs.telemetry.Telemetry`; when omitted and
-    ``spec.profile`` is set, one is created that appends per-cycle
-    NDJSON records to that path.
+    :class:`~repro.obs.telemetry.Telemetry`; when omitted and any of
+    ``spec.profile`` / ``spec.timeline`` / ``spec.metrics_every`` /
+    ``spec.watchdog`` is set, one is created (with an NDJSON sink only
+    when ``spec.profile`` names a path).  An explicitly passed
+    telemetry object gains the spec's observability knobs for any it
+    does not already set.
     """
-    if telemetry is None and spec.profile is not None:
-        from repro.obs import NdjsonSink, Telemetry
+    wants_obs = (
+        spec.profile is not None
+        or spec.timeline
+        or spec.metrics_every is not None
+        or spec.watchdog
+    )
+    if telemetry is None and wants_obs:
+        from repro.obs import NdjsonSink, Telemetry, Watchdog
 
         telemetry = Telemetry(
-            engine=spec.backend, sink=NdjsonSink(spec.profile, append=True)
+            engine=spec.backend,
+            sink=(
+                NdjsonSink(spec.profile, append=True)
+                if spec.profile is not None
+                else None
+            ),
+            timeline=spec.timeline,
+            metrics_every=spec.metrics_every,
+            watchdog=Watchdog() if spec.watchdog else None,
         )
+    elif telemetry is not None and telemetry.enabled and wants_obs:
+        from repro.obs import Watchdog
+
+        if spec.timeline:
+            telemetry.timeline = True
+        if spec.metrics_every is not None and telemetry.metrics_every is None:
+            telemetry.metrics_every = int(spec.metrics_every)
+        if spec.watchdog and telemetry.watchdog is None:
+            telemetry.watchdog = Watchdog()
     backend_spec = get_backend(spec.backend)
     backend_spec.validate(
         concurrency=spec.concurrency,

@@ -117,6 +117,9 @@ def run_fig4a(
     workers=None,
     hosts=None,
     profile=None,
+    timeline: bool = False,
+    metrics_every=None,
+    watchdog: bool = False,
 ) -> FigureResult:
     """Figure 4(a): SDM vs GDM along one mod-JK run.
 
@@ -137,6 +140,9 @@ def run_fig4a(
         workers=workers,
         hosts=hosts,
         profile=profile,
+        timeline=timeline,
+        metrics_every=metrics_every,
+        watchdog=watchdog,
     )
     partition = spec.partition()
     sim = build_simulation(spec)
@@ -173,6 +179,9 @@ def run_fig4b(
     workers=None,
     hosts=None,
     profile=None,
+    timeline: bool = False,
+    metrics_every=None,
+    watchdog: bool = False,
 ) -> FigureResult:
     """Figure 4(b): SDM over time — JK vs mod-JK, 10 equal slices.
 
@@ -193,6 +202,9 @@ def run_fig4b(
         workers=workers,
         hosts=hosts,
         profile=profile,
+        timeline=timeline,
+        metrics_every=metrics_every,
+        watchdog=watchdog,
     )
     partition = base.partition()
     jk_series, _sim, initial_values = _sdm_run(base.with_overrides(protocol="jk"))
@@ -234,6 +246,9 @@ def run_fig4c(
     workers=None,
     hosts=None,
     profile=None,
+    timeline: bool = False,
+    metrics_every=None,
+    watchdog: bool = False,
 ) -> FigureResult:
     """Figure 4(c): percentage of unsuccessful swaps under half/full
     concurrency, for JK and mod-JK, sampled at cycles 10/50/90.
@@ -257,6 +272,9 @@ def run_fig4c(
         workers=workers,
         hosts=hosts,
         profile=profile,
+        timeline=timeline,
+        metrics_every=metrics_every,
+        watchdog=watchdog,
     )
     result = FigureResult(
         "fig4c",
@@ -304,6 +322,9 @@ def run_fig4d(
     workers=None,
     hosts=None,
     profile=None,
+    timeline: bool = False,
+    metrics_every=None,
+    watchdog: bool = False,
 ) -> FigureResult:
     """Figure 4(d): mod-JK convergence, no concurrency vs full
     concurrency.
@@ -325,6 +346,9 @@ def run_fig4d(
         workers=workers,
         hosts=hosts,
         profile=profile,
+        timeline=timeline,
+        metrics_every=metrics_every,
+        watchdog=watchdog,
     )
     partition = base.partition()
     none_series, _sim, initial_values = _sdm_run(
@@ -375,6 +399,9 @@ def run_fig6a(
     workers=None,
     hosts=None,
     profile=None,
+    timeline: bool = False,
+    metrics_every=None,
+    watchdog: bool = False,
 ) -> FigureResult:
     """Figure 6(a): SDM over time — ranking vs ordering, static system.
 
@@ -394,6 +421,9 @@ def run_fig6a(
         workers=workers,
         hosts=hosts,
         profile=profile,
+        timeline=timeline,
+        metrics_every=metrics_every,
+        watchdog=watchdog,
     )
     partition = base.partition()
     ordering_series, _sim, initial_values = _sdm_run(
@@ -429,6 +459,9 @@ def run_fig6b(
     workers=None,
     hosts=None,
     profile=None,
+    timeline: bool = False,
+    metrics_every=None,
+    watchdog: bool = False,
 ) -> FigureResult:
     """Figure 6(b): ranking on an idealized uniform sampler vs on the
     Cyclon-variant views, plus the percentage deviation between the
@@ -451,6 +484,9 @@ def run_fig6b(
         workers=workers,
         hosts=hosts,
         profile=profile,
+        timeline=timeline,
+        metrics_every=metrics_every,
+        watchdog=watchdog,
     )
     uniform_series, _sim, _values = _sdm_run(base.with_overrides(sampler="uniform"))
     views_series, _sim, _values = _sdm_run(
@@ -496,6 +532,9 @@ def run_fig6c(
     rebalance_every=None,
     rebalance_threshold=None,
     profile=None,
+    timeline: bool = False,
+    metrics_every=None,
+    watchdog: bool = False,
 ) -> FigureResult:
     """Figure 6(c): churn burst — ``churn_rate`` of the nodes leave and
     join per cycle (paper: 0.1%) for the first ``burst_end`` cycles,
@@ -523,6 +562,9 @@ def run_fig6c(
         rebalance_every=rebalance_every,
         rebalance_threshold=rebalance_threshold,
         profile=profile,
+        timeline=timeline,
+        metrics_every=metrics_every,
+        watchdog=watchdog,
     )
     jk_series, _sim, _values = _sdm_run(base.with_overrides(protocol="jk"))
     ranking_series, _sim, _values = _sdm_run(
@@ -577,6 +619,9 @@ def run_fig6d(
     rebalance_every=None,
     rebalance_threshold=None,
     profile=None,
+    timeline: bool = False,
+    metrics_every=None,
+    watchdog: bool = False,
 ) -> FigureResult:
     """Figure 6(d): low regular churn (``churn_rate`` every 10 cycles,
     paper: 0.1%, correlated) — ordering vs ranking vs sliding-window
@@ -605,6 +650,9 @@ def run_fig6d(
         rebalance_every=rebalance_every,
         rebalance_threshold=rebalance_threshold,
         profile=profile,
+        timeline=timeline,
+        metrics_every=metrics_every,
+        watchdog=watchdog,
     )
     ordering_series, _sim, _values = _sdm_run(
         base.with_overrides(protocol="mod-jk")

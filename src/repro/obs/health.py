@@ -1,0 +1,131 @@
+"""Run-health summary over the convergence stream.
+
+The engines emit ``{"kind": "metrics"}`` records (SDM / GDM / accuracy
+/ live count) every ``metrics_every`` cycles; this module condenses
+that stream into the questions an operator actually asks: *did it
+converge, when, and if not — is it still moving?*
+
+* **cycles-to-threshold** — first streamed cycle whose slice disorder
+  measure dropped to the threshold (default 0.1, the paper's usual
+  convergence bar);
+* **stall detection** — still above threshold and the relative SDM
+  improvement across the last window is under ``stall_epsilon``;
+* **ETA** — when still converging, an exponential-decay extrapolation
+  from the last window's decay rate estimates cycles remaining to
+  threshold.
+
+:func:`render_health` formats the summary as the one/two lines that
+:meth:`repro.obs.report.CycleReport.render` appends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["health_summary", "render_health"]
+
+
+def health_summary(
+    metrics_records: List[dict],
+    threshold: float = 0.1,
+    stall_window: int = 5,
+    stall_epsilon: float = 0.01,
+) -> Optional[dict]:
+    """Condense a ``{"kind": "metrics"}`` stream into a health dict.
+
+    Returns ``None`` when the stream has no SDM samples.  Keys:
+    ``cycles`` (count of samples), ``first_cycle``/``last_cycle``,
+    ``final_sdm``/``final_accuracy``/``final_live`` (last sample),
+    ``threshold``, ``converged`` (bool), ``cycles_to_threshold``
+    (first streamed cycle at/below threshold, else ``None``),
+    ``stalled`` (bool) and ``eta_cycles`` (estimated cycles from the
+    last sample to threshold, ``None`` when converged or not
+    estimable).
+    """
+    samples = [
+        record
+        for record in metrics_records
+        if record.get("kind") == "metrics" and "sdm" in record
+    ]
+    if not samples:
+        return None
+    samples.sort(key=lambda record: record["cycle"])
+    last = samples[-1]
+    final_sdm = float(last["sdm"])
+    summary = {
+        "cycles": len(samples),
+        "first_cycle": samples[0]["cycle"],
+        "last_cycle": last["cycle"],
+        "final_sdm": final_sdm,
+        "final_accuracy": last.get("accuracy"),
+        "final_live": last.get("live"),
+        "threshold": threshold,
+        "converged": final_sdm <= threshold,
+        "cycles_to_threshold": None,
+        "stalled": False,
+        "eta_cycles": None,
+    }
+    for record in samples:
+        if float(record["sdm"]) <= threshold:
+            summary["cycles_to_threshold"] = record["cycle"]
+            break
+    if summary["converged"]:
+        return summary
+
+    window = samples[-(stall_window + 1):]
+    if len(window) < 2:
+        return summary
+    start_sdm = float(window[0]["sdm"])
+    span_cycles = window[-1]["cycle"] - window[0]["cycle"]
+    if start_sdm <= 0 or span_cycles <= 0:
+        return summary
+    improvement = (start_sdm - final_sdm) / start_sdm
+    if improvement < stall_epsilon:
+        summary["stalled"] = True
+        return summary
+    # SDM decays roughly exponentially toward its floor; extrapolate
+    # the last window's per-cycle decay rate out to the threshold.
+    if final_sdm > 0 and threshold > 0:
+        rate = math.log(start_sdm / final_sdm) / span_cycles
+        if rate > 0:
+            summary["eta_cycles"] = math.ceil(
+                math.log(final_sdm / threshold) / rate
+            )
+    return summary
+
+
+def render_health(summary: Optional[dict]) -> str:
+    """One/two-line human rendering of a :func:`health_summary`."""
+    if summary is None:
+        return "health: no metrics stream recorded"
+    parts = [
+        f"health: sdm {summary['final_sdm']:.4f} "
+        f"@ cycle {summary['last_cycle']}"
+    ]
+    if summary["final_accuracy"] is not None:
+        parts.append(f"accuracy {summary['final_accuracy']:.4f}")
+    if summary["final_live"] is not None:
+        parts.append(f"live {summary['final_live']}")
+    lines = ["  ".join(parts)]
+    if summary["converged"]:
+        reached = summary["cycles_to_threshold"]
+        lines.append(
+            f"  converged (sdm <= {summary['threshold']:g}) "
+            f"at cycle {reached}"
+        )
+    elif summary["stalled"]:
+        lines.append(
+            f"  STALLED above sdm {summary['threshold']:g} "
+            f"(no meaningful improvement over the last window)"
+        )
+    elif summary["eta_cycles"] is not None:
+        lines.append(
+            f"  converging: ~{summary['eta_cycles']} cycles to "
+            f"sdm {summary['threshold']:g} at the current rate"
+        )
+    else:
+        lines.append(
+            f"  above sdm {summary['threshold']:g}; rate not yet estimable"
+        )
+    return "\n".join(lines)

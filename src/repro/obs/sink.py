@@ -15,6 +15,7 @@ grow it unboundedly.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import List
 
 __all__ = ["NdjsonSink", "read_ndjson"]
@@ -52,11 +53,29 @@ class NdjsonSink:
 
 
 def read_ndjson(path: str) -> List[dict]:
-    """Load every record from an NDJSON file (blank lines skipped)."""
-    records = []
+    """Load every record from an NDJSON file (blank lines skipped).
+
+    A torn *final* line — the partial record a killed run leaves when
+    it dies mid-write — is skipped with a warning rather than raising,
+    so a crash-truncated profile stays readable.  A malformed line
+    anywhere else still raises: that is corruption, not truncation.
+    """
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = [
+            (number, stripped)
+            for number, raw in enumerate(handle, start=1)
+            if (stripped := raw.strip())
+        ]
+    records = []
+    for position, (number, line) in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position != len(lines) - 1:
+                raise
+            warnings.warn(
+                f"{path}:{number}: skipping torn final line "
+                "(truncated by a killed run?)",
+                stacklevel=2,
+            )
     return records

@@ -1,4 +1,5 @@
-"""Near-zero-overhead per-cycle telemetry: spans and counters.
+"""Near-zero-overhead per-cycle telemetry: spans, counters, worker
+sub-spans, timeline events and metrics streaming.
 
 A :class:`Telemetry` object attributes a simulation cycle's wall time
 to named phases.  Engines wrap each phase in ``with telemetry.span(
@@ -18,6 +19,30 @@ returns — accumulate in an ambient bucket that is flushed as its own
 ``"ambient"`` record just before the next cycle opens (or on
 :meth:`flush`), so nothing is silently dropped and cycle records stay
 directly comparable to cycle wall time.
+
+On top of the PR-6 span tree this module adds three opt-in layers:
+
+* **worker sub-spans** (:meth:`add_worker_spans`) — the sharded and
+  distributed drivers merge the per-command sub-span dicts their
+  workers ship back (attach/kernel/reply, deserialize/compute/
+  serialize) into the open record's ``"workers"`` bucket, keyed by
+  worker index, so the report can render a per-worker
+  utilization/straggler table;
+* **timeline mode** (``timeline=True``) — spans additionally record
+  ``[track, path, start_offset_ns, dur_ns]`` events (offsets relative
+  to the cycle's wall start) in the record's ``"events"`` list; the
+  :mod:`repro.obs.traceview` converter turns them into a Chrome/
+  Perfetto trace with one track per worker plus the driver;
+* **metrics streaming** (``metrics_every=K``) — the engines emit a
+  ``{"kind": "metrics"}`` record (SDM/GDM/accuracy/live count) every
+  K cycles through :meth:`emit_metrics`, so convergence is a
+  first-class stream instead of a post-hoc recomputation.
+
+An attached :attr:`watchdog` (see :mod:`repro.obs.watchdog`) is
+consulted by the engines at the end of every cycle; it reads the
+finished record and raises on an invariant violation.  None of these
+layers ever touches an RNG stream: profiled, streamed and watchdogged
+runs stay bitwise identical to plain ones.
 
 The default is :data:`NULL_TELEMETRY`: a no-op whose ``span`` returns
 one shared reusable context manager, so uninstrumented runs pay a
@@ -60,6 +85,10 @@ class _Span:
         else:
             entry[0] += elapsed
             entry[1] += 1
+        if telemetry.timeline and telemetry._record is not None:
+            telemetry._record["events"].append(
+                ["driver", path, self._start - telemetry._wall_start, elapsed]
+            )
         return False
 
 
@@ -90,18 +119,46 @@ class Telemetry:
         Optional object with a ``write(record: dict)`` method (usually
         an :class:`~repro.obs.sink.NdjsonSink`); every finished record
         is also kept in :attr:`records` for in-process reporting.
+    timeline:
+        Record start-offset events for every span (and worker
+        sub-span), enabling the :mod:`repro.obs.traceview` Perfetto
+        export.  Off by default — events grow records by one entry per
+        span per cycle.
+    metrics_every:
+        Ask the engines to emit a ``{"kind": "metrics"}`` convergence
+        record every this many cycles (``None`` = no stream).
+    watchdog:
+        Optional :class:`~repro.obs.watchdog.Watchdog`; the engines
+        hand it every finished cycle record for invariant checking.
     """
 
     enabled = True
 
-    def __init__(self, engine: str = "", sink=None) -> None:
+    def __init__(
+        self,
+        engine: str = "",
+        sink=None,
+        timeline: bool = False,
+        metrics_every: Optional[int] = None,
+        watchdog=None,
+    ) -> None:
+        if metrics_every is not None:
+            metrics_every = int(metrics_every)
+            if metrics_every < 1:
+                raise ValueError(
+                    f"metrics_every must be >= 1, got {metrics_every}"
+                )
         self.engine = engine
         self.sink = sink
+        self.timeline = bool(timeline)
+        self.metrics_every = metrics_every
+        self.watchdog = watchdog
         self.records: List[dict] = []
         self._stack: List[str] = []
         self._record: Optional[dict] = None
         self._ambient_spans: Dict[str, list] = {}
         self._ambient_counters: Dict[str, float] = {}
+        self._ambient_workers: Dict[str, dict] = {}
         self._wall_start = 0
 
     # -- recording ----------------------------------------------------
@@ -110,9 +167,17 @@ class Telemetry:
         """Time a phase; nests under any currently open span."""
         return _Span(self, name)
 
-    def add_span(self, name: str, elapsed_ns: int, count: int = 1) -> None:
+    def add_span(
+        self,
+        name: str,
+        elapsed_ns: int,
+        count: int = 1,
+        start_ns: Optional[int] = None,
+    ) -> None:
         """Account an externally measured duration under the current
-        span path (dispatch round-trips, worker kernel times)."""
+        span path (dispatch round-trips, worker kernel times).  With
+        timeline mode on, ``start_ns`` (a ``perf_counter_ns`` stamp)
+        additionally places the span on the driver track."""
         self._stack.append(name)
         path = "/".join(self._stack)
         self._stack.pop()
@@ -123,11 +188,90 @@ class Telemetry:
         else:
             entry[0] += int(elapsed_ns)
             entry[1] += count
+        if (
+            self.timeline
+            and start_ns is not None
+            and self._record is not None
+        ):
+            self._record["events"].append(
+                ["driver", path, int(start_ns) - self._wall_start, int(elapsed_ns)]
+            )
+
+    def add_worker_spans(
+        self,
+        worker: int,
+        name: str,
+        spans: Dict[str, list],
+        dispatch_ns: Optional[int] = None,
+        start_ns: Optional[int] = None,
+    ) -> None:
+        """Merge one worker's per-command sub-span dict (``{sub_name:
+        [ns, count]}``, e.g. attach/kernel/reply) into the current
+        record's ``"workers"`` bucket under ``<current path>/<name>``.
+
+        ``dispatch_ns`` — the driver's barrier round-trip span —
+        additionally books the worker's idle remainder (``dispatch -
+        sum(sub-spans)``) as a ``wait`` sub-span, so per-worker sums
+        reproduce the kernel/barrier identity exactly.  With timeline
+        mode on, ``start_ns`` places the sub-spans consecutively on
+        the worker's track starting at the dispatch."""
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        self._stack.pop()
+        bucket = self._worker_bucket().setdefault(str(worker), {})
+        busy = 0
+        record = self._record
+        events = (
+            record["events"]
+            if self.timeline and start_ns is not None and record is not None
+            else None
+        )
+        offset = int(start_ns) - self._wall_start if events is not None else 0
+        track = f"w{worker}"
+        for sub, (elapsed, count) in spans.items():
+            elapsed = int(elapsed)
+            busy += elapsed
+            sub_path = f"{path}/{sub}"
+            entry = bucket.get(sub_path)
+            if entry is None:
+                bucket[sub_path] = [elapsed, int(count)]
+            else:
+                entry[0] += elapsed
+                entry[1] += int(count)
+            if events is not None:
+                events.append([track, sub_path, offset, elapsed])
+                offset += elapsed
+        if dispatch_ns is not None:
+            wait_path = f"{path}/wait"
+            wait = int(dispatch_ns) - busy
+            entry = bucket.get(wait_path)
+            if entry is None:
+                bucket[wait_path] = [wait, 1]
+            else:
+                entry[0] += wait
+                entry[1] += 1
 
     def count(self, name: str, value=1) -> None:
         """Add ``value`` to a monotonic per-cycle counter."""
         bucket = self._counter_bucket()
         bucket[name] = bucket.get(name, 0) + value
+
+    def emit_metrics(self, cycle: int, **values) -> None:
+        """Emit one ``{"kind": "metrics"}`` convergence record (the
+        engines call this every :attr:`metrics_every` cycles with
+        SDM/GDM/accuracy/live keyword values)."""
+        record = {"kind": "metrics", "engine": self.engine, "cycle": int(cycle)}
+        for name, value in values.items():
+            record[name] = (
+                int(value) if isinstance(value, int) else float(value)
+            )
+        self._emit(record)
+
+    def take_spans(self) -> Dict[str, list]:
+        """Drain and return the ambient span bucket — how a worker-side
+        telemetry hands its per-command sub-spans to the reply."""
+        spans, self._ambient_spans = self._ambient_spans, {}
+        return spans
 
     # -- cycle lifecycle ----------------------------------------------
 
@@ -143,6 +287,8 @@ class Telemetry:
             "spans": {},
             "counters": {},
         }
+        if self.timeline:
+            self._record["events"] = []
         self._wall_start = perf_counter_ns()
 
     def end_cycle(self) -> None:
@@ -178,8 +324,18 @@ class Telemetry:
             return record["counters"]
         return self._ambient_counters
 
+    def _worker_bucket(self) -> Dict[str, dict]:
+        record = self._record
+        if record is not None:
+            return record.setdefault("workers", {})
+        return self._ambient_workers
+
     def _flush_ambient(self) -> None:
-        if not self._ambient_spans and not self._ambient_counters:
+        if (
+            not self._ambient_spans
+            and not self._ambient_counters
+            and not self._ambient_workers
+        ):
             return
         record = {
             "kind": "ambient",
@@ -189,8 +345,11 @@ class Telemetry:
             "spans": self._ambient_spans,
             "counters": self._ambient_counters,
         }
+        if self._ambient_workers:
+            record["workers"] = self._ambient_workers
         self._ambient_spans = {}
         self._ambient_counters = {}
+        self._ambient_workers = {}
         self._emit(record)
 
     def _emit(self, record: dict) -> None:
@@ -203,6 +362,10 @@ class Telemetry:
     def cycle_records(self) -> List[dict]:
         """The finished per-cycle records (ambient records excluded)."""
         return [r for r in self.records if r["kind"] == "cycle"]
+
+    def metrics_records(self) -> List[dict]:
+        """The ``{"kind": "metrics"}`` convergence-stream records."""
+        return [r for r in self.records if r["kind"] == "metrics"]
 
     def phase_totals(self) -> Dict[str, int]:
         """Total nanoseconds per *top-level* span path across all cycle
@@ -219,7 +382,7 @@ class Telemetry:
         """Summed counters across every record (cycle and ambient)."""
         totals: Dict[str, float] = {}
         for record in self.records:
-            for name, value in record["counters"].items():
+            for name, value in record.get("counters", {}).items():
                 totals[name] = totals.get(name, 0) + value
         return totals
 
@@ -230,17 +393,42 @@ class NullTelemetry:
     enabled = False
     engine = ""
     sink = None
+    timeline = False
+    metrics_every = None
+    watchdog = None
 
     __slots__ = ()
 
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
 
-    def add_span(self, name: str, elapsed_ns: int, count: int = 1) -> None:
+    def add_span(
+        self,
+        name: str,
+        elapsed_ns: int,
+        count: int = 1,
+        start_ns: Optional[int] = None,
+    ) -> None:
+        pass
+
+    def add_worker_spans(
+        self,
+        worker: int,
+        name: str,
+        spans: Dict[str, list],
+        dispatch_ns: Optional[int] = None,
+        start_ns: Optional[int] = None,
+    ) -> None:
         pass
 
     def count(self, name: str, value=1) -> None:
         pass
+
+    def emit_metrics(self, cycle: int, **values) -> None:
+        pass
+
+    def take_spans(self) -> Dict[str, list]:
+        return {}
 
     def begin_cycle(self, cycle: int) -> None:
         pass
@@ -255,6 +443,9 @@ class NullTelemetry:
         pass
 
     def cycle_records(self) -> List[dict]:
+        return []
+
+    def metrics_records(self) -> List[dict]:
         return []
 
     def phase_totals(self) -> Dict[str, int]:

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import weakref
 from time import perf_counter_ns
 from typing import Optional
@@ -105,8 +106,15 @@ class _InlineExecutor:
             return [DISPATCH[command](self._ctx, **payloads[0])]
         start = perf_counter_ns()
         result = [DISPATCH[command](self._ctx, **payloads[0])]
-        telemetry.add_span("cmd:" + command, perf_counter_ns() - start)
+        span_ns = perf_counter_ns() - start
+        telemetry.add_span("cmd:" + command, span_ns, start_ns=start)
+        telemetry.add_worker_spans(
+            0, "cmd:" + command, {"kernel": [span_ns, 1]},
+            dispatch_ns=span_ns, start_ns=start,
+        )
         telemetry.count("commands", 1)
+        telemetry.count("worker_kernel_ns", span_ns)
+        telemetry.count("barrier_wait_ns", 0)
         return result
 
     def close(self) -> None:
@@ -173,21 +181,35 @@ class _PoolExecutor:
 
     def run(self, command: str, payloads) -> list:
         telemetry = self._telemetry
-        start = perf_counter_ns() if telemetry.enabled else 0
+        detail = telemetry.enabled
+        start = perf_counter_ns() if detail else 0
         remaps = self.scratch.take_remaps()
         state = self._state
         for connection, payload in zip(self._connections, payloads):
             connection.send(
-                (command, payload, remaps, state.size, state.maybe_dead_entries)
+                (
+                    command, payload, remaps,
+                    state.size, state.maybe_dead_entries, detail,
+                )
             )
         results = []
         failures = []
         kernels = []
+        worker_spans = []
         for index, connection in enumerate(self._connections):
             reply = connection.recv()
             if reply[0] == "ok":
-                results.append(reply[1])
-                kernels.append(reply[2])
+                if detail:
+                    # Detailed reply: pickled result + the worker's
+                    # sub-span dict (attach/kernel/reply); busy time is
+                    # the sum of its sub-spans.
+                    results.append(pickle.loads(reply[1]))
+                    spans = reply[2]
+                    worker_spans.append(spans)
+                    kernels.append(sum(v[0] for v in spans.values()))
+                else:
+                    results.append(reply[1])
+                    kernels.append(reply[2])
             else:
                 failures.append(f"worker {index}:\n{reply[1]}")
         if failures:
@@ -195,15 +217,20 @@ class _PoolExecutor:
                 "sharded worker command "
                 f"{command!r} failed:\n" + "\n".join(failures)
             )
-        if telemetry.enabled:
+        if detail:
             # One dispatch span covers the full barrier round trip;
-            # each worker's kernel time comes back in its reply, so the
-            # residual (span - kernel, summed) is exactly the waiting —
+            # each worker's busy time comes back in its reply, so the
+            # residual (span - busy, summed) is exactly the waiting —
             # driver-side planning plus slow-shard skew.  By
-            # construction sum(kernel) + sum(wait) ==
+            # construction sum(busy) + sum(wait) ==
             # workers * span, which the telemetry tests pin.
             span_ns = perf_counter_ns() - start
-            telemetry.add_span("cmd:" + command, span_ns)
+            telemetry.add_span("cmd:" + command, span_ns, start_ns=start)
+            for index, spans in enumerate(worker_spans):
+                telemetry.add_worker_spans(
+                    index, "cmd:" + command, spans,
+                    dispatch_ns=span_ns, start_ns=start,
+                )
             telemetry.count("commands", 1)
             telemetry.count("worker_kernel_ns", sum(kernels))
             telemetry.count(
@@ -436,6 +463,8 @@ class ShardedSimulation(VectorSimulation):
                     self._ordering_phases(executor, plan)
         self._cycle += 1
         telemetry.end_cycle()
+        if telemetry.enabled:
+            self._post_cycle_observability(telemetry)
 
     def _broadcast(self, executor, command: str, payloads=None) -> list:
         if payloads is None:
@@ -813,6 +842,21 @@ class ShardedSimulation(VectorSimulation):
             stats = (sdm, accurate / total)
         self._slice_stats_cache = (state_tag, stats)
         return stats
+
+    def _stream_metrics(self) -> dict:
+        """Metrics stream via the pool's tree reductions; the alpha
+        rank pass and the (truth, believed) histogram are shared and
+        cached across the three values, so streaming every cycle adds
+        one rank merge, not four."""
+        if self._pool is None:
+            return super()._stream_metrics()
+        with self.telemetry.span("metrics_stream"):
+            return {
+                "sdm": self.slice_disorder(),
+                "gdm": self.global_disorder(),
+                "accuracy": self.accuracy(),
+                "live": self.live_count,
+            }
 
     def slice_disorder(self) -> float:
         if self._pool is None:

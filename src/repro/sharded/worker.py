@@ -9,16 +9,23 @@ cycle's IPC cost is a handful of sub-millisecond round trips.
 
 Message format (driver -> worker)::
 
-    (command, payload_dict, remaps, size, maybe_dead_entries)
+    (command, payload_dict, remaps, size, maybe_dead_entries, detail)
 
 ``remaps`` are scratch re-attachment notices (see
 :class:`~repro.sharded.shm.SharedScratch`); ``size`` and
 ``maybe_dead_entries`` replicate the driver's state metadata, which
 only the driver mutates (churn and rebalancing are planned centrally).
-The worker replies ``("ok", result_dict, kernel_ns)`` — the last
-element is the nanoseconds the kernel itself ran, which the driver's
-telemetry subtracts from its dispatch span to expose barrier-wait time
-— or ``("err", traceback_text)``; a ``None`` message shuts it down.
+With ``detail`` false (the unprofiled path) the worker replies
+``("ok", result_dict, kernel_ns)`` — the last element is the
+nanoseconds the kernel itself ran, which the driver's telemetry
+subtracts from its dispatch span to expose barrier-wait time.  With
+``detail`` true the worker runs its own :class:`~repro.obs.telemetry.
+Telemetry` and replies ``("ok", result_pickle_bytes, spans)`` where
+``spans`` is the per-command sub-span dict (``attach`` — remap/size
+sync, ``kernel`` — the dispatch itself, ``reply`` — result pickling);
+the driver merges it into the cycle record's ``workers`` bucket.
+Either way an error replies ``("err", traceback_text)``; a ``None``
+message shuts the worker down.
 
 The shard's row range is *not* fixed for the worker's lifetime: a
 rebalance (``rebalance_pack`` / ``rebalance_unpack`` rounds followed
@@ -29,9 +36,11 @@ rows between shards and installs recomputed boundaries in the
 
 from __future__ import annotations
 
+import pickle
 import traceback
 from time import perf_counter_ns
 
+from repro.obs.telemetry import Telemetry
 from repro.sharded.kernels import DISPATCH, ShardContext
 from repro.sharded.shm import SharedBlock, WorkerScratch
 from repro.vectorized.metrics import PartitionArrays
@@ -56,6 +65,7 @@ def worker_main(conn, init: dict) -> None:
     geometry = PartitionArrays(init["partition"])
     scratch = WorkerScratch()
     ctx = ShardContext(state, init["lo"], init["hi"], geometry, scratch)
+    telemetry = Telemetry(engine="shard-worker")
     try:
         while True:
             try:
@@ -64,17 +74,31 @@ def worker_main(conn, init: dict) -> None:
                 break
             if message is None:
                 break
-            command, payload, remaps, size, maybe_dead = message
+            command, payload, remaps, size, maybe_dead, detail = message
             try:
-                scratch.apply_remaps(remaps)
-                if state.size != size:
-                    state.size = size
-                    state._live_dirty = True
-                state.maybe_dead_entries = maybe_dead
-                kernel_start = perf_counter_ns()
-                result = DISPATCH[command](ctx, **payload)
-                conn.send(("ok", result, perf_counter_ns() - kernel_start))
+                if detail:
+                    with telemetry.span("attach"):
+                        scratch.apply_remaps(remaps)
+                        if state.size != size:
+                            state.size = size
+                            state._live_dirty = True
+                        state.maybe_dead_entries = maybe_dead
+                    with telemetry.span("kernel"):
+                        result = DISPATCH[command](ctx, **payload)
+                    with telemetry.span("reply"):
+                        blob = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+                    conn.send(("ok", blob, telemetry.take_spans()))
+                else:
+                    scratch.apply_remaps(remaps)
+                    if state.size != size:
+                        state.size = size
+                        state._live_dirty = True
+                    state.maybe_dead_entries = maybe_dead
+                    kernel_start = perf_counter_ns()
+                    result = DISPATCH[command](ctx, **payload)
+                    conn.send(("ok", result, perf_counter_ns() - kernel_start))
             except BaseException:
+                telemetry.take_spans()  # drop partial sub-spans
                 conn.send(("err", traceback.format_exc()))
     finally:
         # Release views before unmapping, then unmap (driver unlinks).

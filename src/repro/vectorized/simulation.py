@@ -435,6 +435,64 @@ class VectorSimulation:
                 )
         self._cycle += 1
         telemetry.end_cycle()
+        if telemetry.enabled:
+            self._post_cycle_observability(telemetry)
+
+    def _post_cycle_observability(self, telemetry) -> None:
+        """End-of-cycle telemetry hooks shared by the bulk engines:
+        stream a convergence metrics record every ``metrics_every``
+        cycles, then hand the finished cycle record to the watchdog.
+        The metric reads are pure (RNG streams untouched), so enabling
+        either knob cannot change simulation output."""
+        record = telemetry.records[-1] if telemetry.records else None
+        every = telemetry.metrics_every
+        if every and (self._cycle - 1) % every == 0:
+            telemetry.emit_metrics(self._cycle - 1, **self._stream_metrics())
+        if telemetry.watchdog is not None and record is not None:
+            telemetry.watchdog.check(self, record)
+
+    def _stream_metrics(self) -> dict:
+        """The convergence-stream values, in one fused pass: SDM,
+        accuracy and GDM all consume the alpha rank pass, so computing
+        them together costs two rank sorts instead of four.  Each value
+        is the same canonical-order computation the individual metric
+        methods run, so the stream is bitwise identical to calling
+        them separately (the sharded driver overrides this with its
+        cached tree reductions)."""
+        with self.telemetry.span("metrics_stream"):
+            live, attrs, values = self._live_arrays()
+            n = len(live)
+            if n == 0:
+                return {"sdm": 0.0, "gdm": 0.0, "accuracy": 1.0, "live": 0}
+            # The alpha ranks depend only on membership: attribute rows
+            # are immutable, dead rows are only ever reused through a
+            # compaction (which bumps the rebalance count), so under no
+            # churn the pass is reusable cycle after cycle.
+            cached = getattr(self, "_alpha_rank_cache", None)
+            if (
+                cached is not None
+                and cached[0] == (self.state.size, self._rebalance_count)
+                and np.array_equal(cached[1], live)
+            ):
+                alpha, truth = cached[2], cached[3]
+            else:
+                alpha = vmetrics.ranks_1based(attrs, live)
+                truth = self.geometry.index_of(alpha / n)
+                self._alpha_rank_cache = (
+                    (self.state.size, self._rebalance_count),
+                    live.copy(), alpha, truth,
+                )
+            believed = self.geometry.index_of(values)
+            counts = vmetrics.assignment_counts(
+                truth, believed, len(self.partition)
+            )
+            rho = vmetrics.ranks_1based(values, live)
+            return {
+                "sdm": vmetrics.sdm_from_counts(counts, self.geometry),
+                "gdm": float(np.mean((alpha - rho) ** 2)),
+                "accuracy": int(np.trace(counts)) / n,
+                "live": n,
+            }
 
     def run(self, cycles: int, collectors: Iterable = ()) -> None:
         """Run ``cycles`` cycles, sampling ``collectors`` after each

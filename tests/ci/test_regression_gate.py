@@ -150,6 +150,69 @@ class TestPhaseTracking:
         assert gate.run_gate(results, baselines, 0.25) == 1
 
 
+class TestMetricsTracking:
+    """Convergence ``metrics_*`` values from a streamed run are
+    flattened and *tracked* like phase timings — visible drift, never
+    a gate."""
+
+    def test_metrics_finals_are_flattened(self, gate):
+        data = [
+            {
+                "benchmark": "scaling",
+                "n": 1000,
+                "vectorized_cps": 2.0,
+                "phases": {
+                    "vectorized": {
+                        "refresh": 1.25,
+                        "metrics_final_sdm": 0.42,
+                        "metrics_final_accuracy": 0.93,
+                        "metrics_final_live": 1000,
+                    },
+                },
+            }
+        ]
+        metrics = gate.flatten_metrics(data)
+        prefix = "[benchmark=scaling,n=1000].phases.vectorized"
+        assert metrics[f"{prefix}.metrics_final_sdm"] == 0.42
+        assert metrics[f"{prefix}.metrics_final_live"] == 1000.0
+
+    def test_metrics_drift_is_tracked_not_regression(self, gate):
+        rows = gate.compare(
+            {"x.phases.v.metrics_final_sdm": 0.4},
+            {"x.phases.v.metrics_final_sdm": 4.0},
+            0.25,
+        )
+        assert rows[0]["status"] == "tracked"
+        assert rows[0]["ratio"] == 10.0
+
+    def test_gate_passes_despite_metrics_collapse(self, gate, tmp_path):
+        results = os.path.join(str(tmp_path), "results")
+        baselines = os.path.join(results, "baselines")
+        os.makedirs(baselines)
+        with open(os.path.join(results, "x.json"), "w") as handle:
+            json.dump(
+                [
+                    {
+                        "benchmark": "x",
+                        "vectorized_cps": 2.0,
+                        "phases": {"v": {"metrics_final_sdm": 99.0}},
+                    }
+                ],
+                handle,
+            )
+        with open(os.path.join(baselines, "x.json"), "w") as handle:
+            json.dump(
+                {
+                    "metrics": {
+                        "[benchmark=x].vectorized_cps": 2.0,
+                        "[benchmark=x].phases.v.metrics_final_sdm": 0.1,
+                    }
+                },
+                handle,
+            )
+        assert gate.run_gate(results, baselines, 0.25) == 0
+
+
 class TestCompare:
     def test_within_threshold_passes(self, gate):
         rows = gate.compare({"k": 4.0}, {"k": 3.2}, threshold=0.25)

@@ -6,11 +6,12 @@ the overhead guard for the no-op default."""
 import time
 
 import numpy as np
+import pytest
 
 from repro.core.slices import SlicePartition
 from repro.engine.trace import TraceLog
 from repro.experiments.config import RunSpec, build_simulation
-from repro.obs import CycleReport, Telemetry
+from repro.obs import CycleReport, Telemetry, Watchdog
 from repro.vectorized.simulation import VectorSimulation
 
 STATE_COLUMNS = ("attribute", "value", "alive", "obs_le", "obs_total")
@@ -85,6 +86,180 @@ class TestParityPins:
             for node in profiled.live_nodes()
         )
         assert plain_state == profiled_state
+
+
+def full_stack_telemetry(engine):
+    """The everything-on configuration the parity pins exercise."""
+    return Telemetry(
+        engine=engine, timeline=True, metrics_every=1, watchdog=Watchdog()
+    )
+
+
+class TestFullStackParityPins:
+    """Timeline recording, metrics streaming and the watchdog must be
+    as invisible to results as plain profiling: all observability
+    layers only read state, they never touch an RNG stream."""
+
+    @pytest.mark.parametrize("backend,overrides", [
+        ("vectorized", {}),
+        ("sharded", {"workers": 2}),
+        ("distributed", {"workers": 2}),
+    ])
+    def test_bulk_backends_bitwise_with_full_stack(self, backend, overrides):
+        spec = RunSpec(n=400, slice_count=10, view_size=8,
+                       protocol="ranking", seed=13)
+        plain = build_simulation(spec.with_overrides(backend="vectorized"))
+        plain.run(6)
+        telemetry = full_stack_telemetry(backend)
+        observed = build_simulation(
+            spec.with_overrides(backend=backend, **overrides),
+            telemetry=telemetry,
+        )
+        try:
+            observed.run(6)
+            if hasattr(observed, "sync_state"):
+                observed.sync_state()
+            assert_states_identical(plain, observed)
+        finally:
+            if hasattr(observed, "close"):
+                observed.close()
+        assert telemetry.watchdog.cycles_checked == 6
+        assert len(telemetry.metrics_records()) == 6
+        assert all("events" in r for r in telemetry.cycle_records())
+
+    def test_reference_bitwise_with_full_stack(self):
+        base = RunSpec(n=120, slice_count=4, view_size=8,
+                       protocol="mod-jk", seed=7)
+        plain = build_simulation(base)
+        plain.run(5)
+        telemetry = full_stack_telemetry("reference")
+        observed = build_simulation(base, telemetry=telemetry)
+        observed.run(5)
+        assert sorted(
+            (n.node_id, n.value, n.attribute) for n in plain.live_nodes()
+        ) == sorted(
+            (n.node_id, n.value, n.attribute) for n in observed.live_nodes()
+        )
+        assert telemetry.watchdog.cycles_checked == 5
+        assert len(telemetry.metrics_records()) == 5
+
+
+class TestMetricsStream:
+    def test_emitted_every_k_cycles(self):
+        telemetry = Telemetry(engine="vectorized", metrics_every=3)
+        spec = RunSpec(n=500, slice_count=5, protocol="ranking",
+                       backend="vectorized", seed=2)
+        sim = build_simulation(spec, telemetry=telemetry)
+        sim.run(8)
+        assert [r["cycle"] for r in telemetry.metrics_records()] == [0, 3, 6]
+
+    def test_final_record_matches_direct_metric_calls(self):
+        telemetry = Telemetry(engine="vectorized", metrics_every=1)
+        spec = RunSpec(n=500, slice_count=5, protocol="ranking",
+                       backend="vectorized", seed=2)
+        sim = build_simulation(spec, telemetry=telemetry)
+        sim.run(5)
+        last = telemetry.metrics_records()[-1]
+        assert last["cycle"] == 4
+        assert last["sdm"] == sim.slice_disorder()
+        assert last["gdm"] == sim.global_disorder()
+        assert last["accuracy"] == sim.accuracy()
+        assert last["live"] == sim.live_count
+
+    def test_sharded_stream_matches_vectorized_stream(self):
+        """The metric reductions are bitwise worker-count independent,
+        so the streams must be identical record for record."""
+        spec = RunSpec(n=400, slice_count=5, protocol="ranking", seed=9)
+        streams = {}
+        for backend, overrides in (
+            ("vectorized", {}), ("sharded", {"workers": 2}),
+        ):
+            telemetry = Telemetry(engine=backend, metrics_every=2)
+            sim = build_simulation(
+                spec.with_overrides(backend=backend, **overrides),
+                telemetry=telemetry,
+            )
+            try:
+                sim.run(6)
+            finally:
+                if hasattr(sim, "close"):
+                    sim.close()
+            streams[backend] = [
+                {k: v for k, v in record.items() if k != "engine"}
+                for record in telemetry.metrics_records()
+            ]
+        assert streams["vectorized"] == streams["sharded"]
+
+
+class TestWorkerSubSpans:
+    def _run(self, backend, workers):
+        telemetry = Telemetry(engine=backend)
+        spec = RunSpec(n=600, slice_count=5, protocol="ranking",
+                       backend=backend, workers=workers, seed=4)
+        sim = build_simulation(spec, telemetry=telemetry)
+        try:
+            sim.run(4)
+        finally:
+            sim.close()
+        return telemetry
+
+    def test_sharded_worker_sums_reproduce_the_identity_per_record(self):
+        """Per cycle and per worker, busy + wait == the worker's share
+        of every dispatch span — so the straggler table's totals equal
+        the counters *exactly*, not approximately."""
+        telemetry = self._run("sharded", workers=2)
+        for record in telemetry.cycle_records():
+            workers = record["workers"]
+            assert set(workers) == {"0", "1"}
+            busy = wait = 0
+            for spans in workers.values():
+                for path, (elapsed, _count) in spans.items():
+                    if path.rsplit("/", 1)[-1] == "wait":
+                        wait += elapsed
+                    else:
+                        busy += elapsed
+            assert busy == record["counters"]["worker_kernel_ns"]
+            assert wait == record["counters"]["barrier_wait_ns"]
+
+    def test_sharded_sub_phases_present(self):
+        telemetry = self._run("sharded", workers=2)
+        subs = {
+            path.rsplit("/", 1)[-1]
+            for record in telemetry.cycle_records()
+            for spans in record["workers"].values()
+            for path in spans
+        }
+        assert {"attach", "kernel", "reply", "wait"} <= subs
+
+    def test_distributed_sub_phases_present(self):
+        telemetry = self._run("distributed", workers=2)
+        subs = {
+            path.rsplit("/", 1)[-1]
+            for record in telemetry.cycle_records()
+            for spans in record["workers"].values()
+            for path in spans
+        }
+        assert {"deserialize", "compute", "serialize", "wait"} <= subs
+
+    def test_inline_executor_reports_worker_zero(self):
+        """workers=1 (the inline executor) still grows the straggler
+        table: one worker, all busy, zero wait."""
+        telemetry = self._run("sharded", workers=1)
+        report = CycleReport(telemetry.records)
+        (row,) = report.worker_table()
+        assert row["worker"] == "0"
+        assert row["wait_ns"] == 0
+        assert row["busy_ns"] == report.counters["worker_kernel_ns"]
+
+    def test_report_tree_stays_parent_closed_with_worker_paths(self):
+        telemetry = self._run("sharded", workers=2)
+        report = CycleReport(telemetry.records)
+        assert_tree_well_formed(report)
+        worker_paths = [p for p in report.spans if report.spans[p].is_worker]
+        assert worker_paths, "worker sub-spans missing from the tree"
+        # Parallel worker time must not eat the dispatch span's serial
+        # self time or become the spine.
+        assert not report.spans[report.serial_spine()].is_worker
 
 
 class TestVectorizedSpans:

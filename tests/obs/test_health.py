@@ -1,0 +1,88 @@
+"""Run-health summary tests (`repro.obs.health`): convergence
+detection, cycles-to-threshold, stall detection, the decay-rate ETA
+and the rendered lines."""
+
+from repro.obs import health_summary, render_health
+
+
+def stream(sdms, every=1, **extra):
+    return [
+        {"kind": "metrics", "engine": "t", "cycle": index * every,
+         "sdm": sdm, **extra}
+        for index, sdm in enumerate(sdms)
+    ]
+
+
+class TestSummary:
+    def test_empty_or_sdm_free_stream_is_none(self):
+        assert health_summary([]) is None
+        assert health_summary([{"kind": "metrics", "cycle": 0}]) is None
+        assert health_summary([{"kind": "cycle", "cycle": 0}]) is None
+
+    def test_converged_run_reports_first_crossing(self):
+        summary = health_summary(
+            stream([0.9, 0.4, 0.08, 0.05], accuracy=0.97, live=500),
+            threshold=0.1,
+        )
+        assert summary["converged"] is True
+        assert summary["cycles_to_threshold"] == 2
+        assert summary["final_sdm"] == 0.05
+        assert summary["final_accuracy"] == 0.97
+        assert summary["final_live"] == 500
+        assert summary["last_cycle"] == 3
+        assert summary["eta_cycles"] is None
+
+    def test_unsorted_stream_is_sorted_by_cycle(self):
+        records = stream([0.9, 0.4, 0.05])
+        records.reverse()
+        summary = health_summary(records)
+        assert summary["final_sdm"] == 0.05
+        assert summary["cycles_to_threshold"] == 2
+
+    def test_stall_detected_when_improvement_vanishes(self):
+        summary = health_summary(
+            stream([0.9, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5]),
+            threshold=0.1, stall_window=5,
+        )
+        assert summary["converged"] is False
+        assert summary["stalled"] is True
+        assert summary["eta_cycles"] is None
+
+    def test_eta_extrapolates_the_decay_rate(self):
+        # Halving every cycle: from 0.4, threshold 0.1 is 2 cycles out.
+        summary = health_summary(
+            stream([3.2, 1.6, 0.8, 0.4]), threshold=0.1
+        )
+        assert summary["converged"] is False
+        assert summary["stalled"] is False
+        assert summary["eta_cycles"] == 2
+
+    def test_single_sample_has_no_rate(self):
+        summary = health_summary(stream([0.9]))
+        assert summary["converged"] is False
+        assert summary["stalled"] is False
+        assert summary["eta_cycles"] is None
+
+
+class TestRender:
+    def test_none_renders_placeholder(self):
+        assert "no metrics stream" in render_health(None)
+
+    def test_converged_line(self):
+        text = render_health(
+            health_summary(stream([0.9, 0.05], accuracy=0.9, live=100))
+        )
+        assert "health: sdm 0.0500 @ cycle 1" in text
+        assert "accuracy 0.9000" in text
+        assert "live 100" in text
+        assert "converged (sdm <= 0.1) at cycle 1" in text
+
+    def test_stalled_line(self):
+        text = render_health(
+            health_summary(stream([0.5, 0.5, 0.5, 0.5, 0.5, 0.5]))
+        )
+        assert "STALLED" in text
+
+    def test_converging_line_names_eta(self):
+        text = render_health(health_summary(stream([3.2, 1.6, 0.8, 0.4])))
+        assert "converging: ~2 cycles" in text

@@ -108,6 +108,111 @@ class TestAggregation:
         assert "cycles=0" in report.render()
 
 
+class TestWorkerMerge:
+    def worker_record(self):
+        return {
+            "kind": "cycle",
+            "engine": "sharded",
+            "cycle": 0,
+            "wall_ns": 1000,
+            "spans": {"refresh": [1000, 1], "refresh/cmd:swap": [800, 2]},
+            "counters": {
+                "worker_kernel_ns": 700,
+                "barrier_wait_ns": 900,
+            },
+            "workers": {
+                "0": {
+                    "refresh/cmd:swap/kernel": [500, 2],
+                    "refresh/cmd:swap/wait": [300, 2],
+                },
+                "1": {
+                    "refresh/cmd:swap/kernel": [200, 2],
+                    "refresh/cmd:swap/wait": [600, 2],
+                },
+            },
+        }
+
+    def test_worker_spans_graft_with_synthesized_parent(self):
+        report = CycleReport([self.worker_record()])
+        assert report.spans["refresh/cmd:swap/w0/kernel"].total_ns == 500
+        assert report.spans["refresh/cmd:swap/w1/wait"].total_ns == 600
+        # The intermediate w<i> span is synthesized (busy + wait, one
+        # call per dispatch) so the tree stays parent-closed.
+        assert report.spans["refresh/cmd:swap/w0"].total_ns == 800
+        assert report.spans["refresh/cmd:swap/w0"].count == 2
+        assert report.spans["refresh/cmd:swap/w0"].is_worker
+
+    def test_worker_time_is_parallel_not_serial(self):
+        report = CycleReport([self.worker_record()])
+        # Worker sub-trees must not eat the dispatch span's self time…
+        assert report.spans["refresh/cmd:swap"].self_ns == 800
+        # …or win the serial spine.
+        assert report.serial_spine() == "refresh/cmd:swap"
+
+    def test_worker_table_totals_and_utilization(self):
+        report = CycleReport([self.worker_record()])
+        rows = report.worker_table()
+        assert [row["worker"] for row in rows] == ["0", "1"]
+        assert rows[0]["busy_ns"] == 500
+        assert rows[0]["wait_ns"] == 300
+        assert rows[0]["commands"] == 2
+        assert rows[0]["utilization"] == 500 / 800
+        assert sum(r["busy_ns"] for r in rows) == 700
+        assert sum(r["wait_ns"] for r in rows) == 900
+
+    def test_worker_table_sorts_numerically_past_ten(self):
+        record = self.worker_record()
+        record["workers"]["10"] = {"refresh/cmd:swap/kernel": [1, 1]}
+        rows = CycleReport([record]).worker_table()
+        assert [row["worker"] for row in rows] == ["0", "1", "10"]
+
+    def test_render_includes_worker_sections(self):
+        text = CycleReport([self.worker_record()]).render()
+        assert "w0" in text and "w1" in text
+        assert "util%" in text
+        assert "kernel" in text and "wait" in text
+
+    def test_render_widens_name_column_for_deep_worker_paths(self):
+        record = self.worker_record()
+        record["spans"]["refresh/cmd:a_very_long_command_name_indeed"] = [10, 1]
+        record["workers"]["0"]["refresh/cmd:a_very_long_command_name_indeed/kernel"] = [5, 1]
+        text = CycleReport([record]).render()
+        for line in text.splitlines():
+            if "a_very_long_command_name_indeed" in line and "cmd:" in line:
+                # The indented name never bleeds into the numbers: the
+                # columns after it still parse as floats.
+                tail = line.split("a_very_long_command_name_indeed")[-1].split()
+                assert len(tail) >= 6
+                float(tail[0])
+
+
+class TestHealthInRender:
+    def test_metrics_stream_appends_health_line(self):
+        records = [
+            cycle("e", 0, {"a": [100, 1]}),
+            {"kind": "metrics", "engine": "e", "cycle": 0, "sdm": 0.05,
+             "accuracy": 0.99, "live": 10},
+        ]
+        report = CycleReport(records)
+        assert report.metrics_records
+        summary = report.health()
+        assert summary["converged"] is True
+        text = report.render()
+        assert "health: sdm 0.0500 @ cycle 0" in text
+        assert "converged" in text
+
+    def test_no_stream_no_health_line(self):
+        text = CycleReport([cycle("e", 0, {"a": [100, 1]})]).render()
+        assert "health:" not in text
+
+    def test_engines_label_ignores_metrics_only_interleaving(self):
+        records = [
+            cycle("sharded", 0, {"a": [100, 1]}),
+            {"kind": "metrics", "engine": "sharded", "cycle": 0, "sdm": 1.0},
+        ]
+        assert CycleReport(records).engines == ["sharded"]
+
+
 class TestNdjsonIntegration:
     def test_from_ndjson_matches_in_memory(self, tmp_path):
         path = str(tmp_path / "profile.ndjson")

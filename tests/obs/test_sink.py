@@ -1,5 +1,7 @@
 """NDJSON sink round-trip tests (`repro.obs.sink`)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -62,6 +64,32 @@ class TestNdjsonRoundTrip:
         sink.write({"cycle": 0})
         assert read_ndjson(path) == [{"cycle": 0}]
         sink.close()
+
+    def test_torn_final_line_warns_and_skips(self, tmp_path):
+        # A run killed mid-write leaves a truncated last line; the
+        # finished records before it must stay readable.
+        path = str(tmp_path / "out.ndjson")
+        with open(path, "w") as handle:
+            handle.write('{"cycle": 0}\n{"cycle": 1}\n{"cycle": 2, "spa')
+        with pytest.warns(UserWarning, match="torn final line"):
+            records = read_ndjson(path)
+        assert records == [{"cycle": 0}, {"cycle": 1}]
+
+    def test_torn_final_line_after_blank_lines_warns_and_skips(self, tmp_path):
+        path = str(tmp_path / "out.ndjson")
+        with open(path, "w") as handle:
+            handle.write('{"cycle": 0}\n{"cycle": 1, "spa\n\n   \n')
+        with pytest.warns(UserWarning, match="torn final line"):
+            assert read_ndjson(path) == [{"cycle": 0}]
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        # Only the *final* line gets the torn-tail forgiveness: garbage
+        # in the middle of the file is corruption, not a killed run.
+        path = str(tmp_path / "out.ndjson")
+        with open(path, "w") as handle:
+            handle.write('{"cycle": 0}\nnot json at all\n{"cycle": 2}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_ndjson(path)
 
     def test_telemetry_close_closes_sink(self, tmp_path):
         path = str(tmp_path / "out.ndjson")
