@@ -21,7 +21,15 @@ against the committed baseline under ``benchmarks/results/baselines/``:
   the table with their drift ratio so a shifting phase split is
   visible, but never gate — phase splits move legitimately with
   machine load, worker count and numpy version, while end-to-end
-  cycles/sec should not.
+  cycles/sec should not;
+* ``speedup`` ratios are gated like throughput, and some additionally
+  carry an **absolute floor** (``ABSOLUTE_FLOORS``): the n = 10^6
+  sharded-vs-vectorized speedup must stay >= 2x regardless of what the
+  baseline drifted to, even on its first (baseline-less) appearance;
+* ``barriers`` counts are **lower-is-better** and gated strictly: a
+  fresh value above the baseline means an extra synchronization
+  round-trip slipped into the dispatch spine, which no threshold
+  excuses.
 
 Refresh the baselines from a trusted run (e.g. the nightly artifact of
 a known-good commit, on the same runner class) with::
@@ -43,8 +51,20 @@ DEFAULT_THRESHOLD = 0.25
 
 #: A numeric leaf is a throughput metric iff its key contains one of
 #: these markers (matches ``vectorized_cps``, ``sharded_cps``,
-#: ``cycles_per_sec``, ...).
-METRIC_MARKERS = ("cps", "cycles_per_sec")
+#: ``cycles_per_sec``, ``speedup_sharded_w4_vs_vectorized``,
+#: ``barriers_per_cycle``, ...).
+METRIC_MARKERS = ("cps", "cycles_per_sec", "speedup", "barriers")
+
+#: Lower-is-better metrics (synchronization counts): gated strictly —
+#: any fresh value *above* the baseline is a regression, no threshold.
+LOWER_IS_BETTER_MARKERS = ("barriers",)
+
+#: Absolute floors, keyed by metric-name fragment: a fresh metric
+#: whose flattened key contains the fragment must be >= the floor, or
+#: the gate fails — even when no baseline exists yet.  This pins the
+#: ISSUE acceptance bar (sharded w=4 at n=1e6 must stay >= 2x the
+#: vectorized backend) against slow baseline erosion.
+ABSOLUTE_FLOORS = {"speedup_sharded_w4_vs_vectorized": 2.0}
 
 #: A numeric leaf under a key containing one of these markers is a
 #: *tracked* metric (matches the ``phases`` / ``phase_counters``
@@ -63,6 +83,17 @@ def _is_metric(key: str) -> bool:
 
 def _is_tracked(key: str) -> bool:
     return any(marker in key for marker in TRACKED_MARKERS)
+
+
+def _is_lower_better(key: str) -> bool:
+    return any(marker in key for marker in LOWER_IS_BETTER_MARKERS)
+
+
+def _floor_for(key: str) -> Optional[float]:
+    for fragment, floor in ABSOLUTE_FLOORS.items():
+        if fragment in key:
+            return floor
+    return None
 
 
 def _entry_label(entry: dict) -> str:
@@ -119,8 +150,15 @@ def compare(
         ratio = fresh_value / base_value if base_value else float("inf")
         if _is_tracked(key):
             status = "tracked"
+        elif _is_lower_better(key):
+            # Strict: one extra barrier per cycle is a real structural
+            # regression even if it is "within 25%".
+            status = "ok" if fresh_value <= base_value else "regression"
         else:
             status = "ok" if ratio >= 1.0 - threshold else "regression"
+        floor = _floor_for(key)
+        if floor is not None and fresh_value < floor:
+            status = "regression"
         rows.append(
             {
                 "metric": key,
@@ -132,7 +170,11 @@ def compare(
         )
     for key, fresh_value in sorted(fresh.items()):
         if key not in baseline:
-            rows.append({"metric": key, "status": "new", "fresh": fresh_value})
+            floor = _floor_for(key)
+            status = "new"
+            if floor is not None and fresh_value < floor:
+                status = "regression"
+            rows.append({"metric": key, "status": status, "fresh": fresh_value})
     return rows
 
 

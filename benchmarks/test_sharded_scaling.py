@@ -114,8 +114,15 @@ class TestScalingLadder:
         assert all(rate > 0 for rate in rates.values())
 
     def test_million_node_speedup(self, capsys):
-        """The ISSUE acceptance bar: >= 3x over the single-process
-        vectorized backend at n = 10^6 on a 4+ core machine."""
+        """The ISSUE acceptance bars at n = 10^6 on a 4+ core machine:
+        w=4 >= 2x the single-process vectorized backend (the pinned
+        ``speedup_sharded_w4_vs_vectorized`` metric, floor-gated by
+        check_regression.py) and the best worker count >= 3x.  Also
+        records the per-cycle ``barriers`` count — the structural
+        cost of the dispatch spine — which the gate holds to
+        never-increases."""
+        from repro.obs.telemetry import Telemetry
+
         spec = RunSpec(
             n=1_000_000,
             slice_count=10,
@@ -133,16 +140,31 @@ class TestScalingLadder:
                 spec.with_overrides(workers=workers), cycles
             )
         best = max(rates.values())
-        record(
-            {
-                "benchmark": "sharded-scaling",
-                "n": 1_000_000,
-                "cores": CORES,
-                "vectorized_cps": baseline,
-                "sharded_cps": {str(w): r for w, r in rates.items()},
-                "speedup_best": best / baseline,
-            }
+        # Barriers per cycle are structural (command layout, not load):
+        # one short telemetry-enabled run suffices, and mixing the
+        # counter run with the timed runs would skew the rates.
+        telemetry = Telemetry(engine="sharded")
+        sim = build_simulation(
+            spec.with_overrides(workers=max(rates)), telemetry=telemetry
         )
+        try:
+            sim.run(2)
+        finally:
+            sim.close()
+        counters = [r["counters"] for r in telemetry.cycle_records()]
+        barriers_per_cycle = sum(c["barriers"] for c in counters) / len(counters)
+        entry = {
+            "benchmark": "sharded-scaling",
+            "n": 1_000_000,
+            "cores": CORES,
+            "vectorized_cps": baseline,
+            "sharded_cps": {str(w): r for w, r in rates.items()},
+            "speedup_best": best / baseline,
+            "barriers_per_cycle": barriers_per_cycle,
+        }
+        if 4 in rates:
+            entry["speedup_sharded_w4_vs_vectorized"] = rates[4] / baseline
+        record(entry)
         with capsys.disabled():
             print(f"\nn=1e6 vectorized: {baseline:6.3f} cycles/sec")
             for workers, rate in rates.items():
@@ -150,7 +172,13 @@ class TestScalingLadder:
                     f"n=1e6 sharded w={workers}: {rate:6.3f} cycles/sec "
                     f"({rate / baseline:.2f}x)"
                 )
+            print(f"n=1e6 barriers/cycle: {barriers_per_cycle:.1f}")
         if CORES >= 4:
+            assert rates[4] >= 2.0 * baseline, (
+                f"sharded w=4 rate {rates[4]:.3f} cycles/sec is only "
+                f"{rates[4] / baseline:.2f}x the vectorized {baseline:.3f} "
+                f"— below the 2x acceptance bar"
+            )
             assert best >= 3.0 * baseline, (
                 f"best sharded rate {best:.3f} cycles/sec is only "
                 f"{best / baseline:.2f}x the vectorized {baseline:.3f} "

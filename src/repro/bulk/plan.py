@@ -13,8 +13,8 @@ to a vectorized run of the same spec at every worker count.
 Canonical per-cycle draw order (streams in parentheses):
 
 1. ``churn``            (churn)        — departure/arrival draws;
-2. ``fill_draws``       (sampler)      — bootstrap view refills;
-3. ``partner_jitter``   (sampler)      — oldest-neighbor tie-breaks;
+2. ``partner_jitter``   (sampler)      — oldest-neighbor tie-breaks;
+3. ``fill_draws``       (sampler)      — bootstrap view refills;
 4. ``waves('sampler')`` (sampler)      — view-exchange wave priorities;
 5. protocol uniforms    (ranking/ordering) — j1/j2 or partner picks;
 6. overlap masks        (concurrency)  — per-message overlap flags;
@@ -144,7 +144,10 @@ class CyclePlan:
 
     def fill_draws(self, live_total: int, empty_total: int) -> np.ndarray:
         """Bootstrap refills: one uniform index into the live set per
-        empty view slot (row-major slot order)."""
+        empty view slot (row-major slot order).  Drawn *after* the
+        partner jitter: the jitter's size depends only on the live
+        count, so the sharded driver can draw it while the age/purge
+        barrier (which reports ``empty_total``) is still in flight."""
         self._note("fill", empty_total)
         if empty_total == 0:
             return np.empty(0, dtype=np.int64)

@@ -182,7 +182,7 @@ class _MessageExecutor:
                             (column, rows[mask], values[mask])
                         )
 
-    def _meta(self, index: int, inputs: bytes, detail: bool = False) -> dict:
+    def _meta(self, index: int, inputs: dict, detail: bool = False) -> dict:
         remaps, self._remaps[index] = self._remaps[index], []
         updates, self._updates[index] = self._updates[index], []
         return {
@@ -218,18 +218,33 @@ class _MessageExecutor:
         if detail:
             start = perf_counter_ns()
             sent0, recv0, frames0 = self._wire_totals()
-        # The scratch inputs are identical for every recipient:
-        # serialize them once and embed the bytes, so the per-worker
-        # send only memcpys a blob instead of re-pickling the arrays.
-        inputs = pickle.dumps(
-            {
-                name: self.scratch[name]
-                for name in protocol.COMMAND_INPUTS.get(command, ())
-                if name in self.scratch
-            },
-            protocol=5,
-        )
+        # Each worker receives only the input runs its payload names
+        # (see protocol.INPUT_SLICERS) as ``{name: (offset, run)}``;
+        # commands without a slicer ship their inputs in full.  The
+        # endpoint's protocol-5 out-of-band pickling puts the array
+        # bytes on the wire without an intermediate copy.
+        input_names = protocol.COMMAND_INPUTS.get(command, ())
+        slicer = protocol.INPUT_SLICERS.get(command)
         for index, payload in assignments:
+            if slicer is None:
+                inputs = {
+                    name: (0, self.scratch[name])
+                    for name in input_names
+                    if name in self.scratch
+                }
+            else:
+                inputs = {}
+                for name, span in slicer(payload, self._state).items():
+                    if name not in self.scratch:
+                        continue
+                    if span is None:
+                        inputs[name] = (0, self.scratch[name])
+                    else:
+                        offset, count = int(span[0]), int(span[1])
+                        inputs[name] = (
+                            offset,
+                            self.scratch[name][offset : offset + count],
+                        )
             handle = self._workers[index]
             try:
                 handle.endpoint.send(
@@ -292,6 +307,7 @@ class _MessageExecutor:
                     dispatch_ns=span_ns, start_ns=start,
                 )
             telemetry.count("commands", 1)
+            telemetry.count("barriers", 1)
             telemetry.count("worker_kernel_ns", sum(kernels))
             telemetry.count(
                 "barrier_wait_ns", sum(span_ns - kernel for kernel in kernels)
@@ -308,12 +324,25 @@ class _MessageExecutor:
             return self._run_refresh_swap(payloads)
         return self._exchange(command, list(enumerate(payloads)))
 
+    def run_async(self, command: str, payloads) -> list:
+        """The transport executor has no cross-command pipelining —
+        every exchange is synchronous — so ``run_async``/``collect``
+        just keep the sharded driver's pipelined call shape working
+        (the driver-side draws still happen before dispatch, so plan
+        order is identical)."""
+        return self.run(command, payloads)
+
+    def collect(self, pending: list) -> list:
+        return pending
+
     def _run_refresh_swap(self, payloads) -> list:
         """One view-exchange wave: fetch the cross-shard partners' view
         rows from their owners, ship them to the initiators' shards as
         guests, swap, and let the reply's guest updates route the
         rewritten rows back — the wave-boundary sync, as messages."""
-        wave_b = self.scratch["wave_b"]
+        from repro.sharded.kernels import WAVE_BUFFERS
+
+        wave_b = self.scratch[WAVE_BUFFERS[payloads[0].get("buffer", 0)][1]]
         needed = []
         for (lo, hi), payload in zip(self.bounds, payloads):
             offset, count = payload["offset"], payload["count"]

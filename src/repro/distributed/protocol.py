@@ -44,6 +44,7 @@ __all__ = [
     "HEAVY_COLUMNS",
     "WINDOW_HEAVY_COLUMNS",
     "COMMAND_INPUTS",
+    "INPUT_SLICERS",
     "collect_outputs",
     "collect_updates",
     "heavy_columns",
@@ -70,14 +71,13 @@ def heavy_columns(state) -> Tuple[str, ...]:
     return HEAVY_COLUMNS
 
 
-#: Scratch arrays shipped (full content) with each command.  Arrays the
-#: driver has not allocated yet are skipped — kernels only read an
-#: input when the configuration that allocates it is active (e.g.
-#: ``u1`` exists only when the boundary bias is ablated).
+#: Scratch arrays each command consumes.  Arrays the driver has not
+#: allocated yet are skipped — kernels only read an input when the
+#: configuration that allocates it is active (e.g. ``u1`` exists only
+#: when the boundary bias is ablated).
 COMMAND_INPUTS: Dict[str, Tuple[str, ...]] = {
-    "refresh_fill": ("live_index", "fill_ints"),
-    "refresh_partners": ("jitter",),
-    "refresh_swap": ("wave_a", "wave_b"),
+    "refresh_fill_partners": ("fill_ids", "jitter"),
+    "refresh_swap": ("wave_a", "wave_b", "wave_a2", "wave_b2"),
     "rank_targets": ("u1", "u2"),
     "rank_apply": ("targets", "senders"),
     "ord_select": ("u1",),
@@ -87,6 +87,98 @@ COMMAND_INPUTS: Dict[str, Tuple[str, ...]] = {
     "metric_ranks": ("mkeys", "mids"),
     "rebalance_pack": ("mig_live",),
     "rebalance_unpack": ("mig_bytes", "mig_map"),
+}
+
+
+# ----------------------------------------------------------------------
+# Per-worker input slicing
+# ----------------------------------------------------------------------
+#
+# Most commands read only a contiguous, payload-determined run of each
+# input — this shard's live rows' jitter, this shard's wave pairs, this
+# shard's uniforms.  A *slicer* maps ``(payload, state)`` to
+# ``{name: (offset, count) | None}``: the driver ships each worker only
+# ``scratch[name][offset : offset + count]`` (tagged with the offset so
+# the mirror lands it at the right place), and ``None`` means the
+# worker genuinely reads the whole array (e.g. scattered slot lookups).
+# When a slicer exists its keys are authoritative over
+# :data:`COMMAND_INPUTS` — e.g. ``refresh_swap`` ships only the active
+# double-buffer pair.  Commands without a slicer ship their inputs in
+# full.
+
+
+def _slice_refresh_fill_partners(payload, state):
+    c = state.view_size
+    return {
+        "fill_ids": (payload["fill_offset"], payload["fill_count"]),
+        "jitter": (payload["jitter_offset"] * c, payload["live_count"] * c),
+    }
+
+
+def _slice_refresh_swap(payload, state):
+    from repro.sharded.kernels import WAVE_BUFFERS
+
+    name_a, name_b = WAVE_BUFFERS[payload.get("buffer", 0)]
+    span = (payload["offset"], payload["count"])
+    return {name_a: span, name_b: span}
+
+
+def _slice_rank_targets(payload, state):
+    span = (payload["offset"], payload["count"])
+    return {"u1": span, "u2": span}
+
+
+def _slice_rank_apply(payload, state):
+    # Every worker scans the full UPD event list for its own rows.
+    span = (0, 2 * payload["total"])
+    return {"targets": span, "senders": span}
+
+
+def _slice_ord_select(payload, state):
+    return {"u1": (payload["offset"], payload["count"])}
+
+
+def _slice_span(*names):
+    def slicer(payload, state):
+        span = (payload["offset"], payload["count"])
+        return {name: span for name in names}
+
+    return slicer
+
+
+def _slice_conc_ack(payload, state):
+    span = (payload["offset"], payload["count"])
+    # del_t holds *global* exchange-slot indices: the ACK values the
+    # kernel gathers from x_ackv are scattered, so that one ships full.
+    return {"del_r": span, "del_s": span, "del_t": span, "x_ackv": None}
+
+
+def _slice_metric_ranks(payload, state):
+    total = sum(count for _offset, count in payload["segments"])
+    return {"mkeys": (0, total), "mids": (0, total)}
+
+
+def _slice_rebalance_unpack(payload, state):
+    column = getattr(state, payload["column"])
+    width = column.shape[1] if column.ndim == 2 else 1
+    row_bytes = column.dtype.itemsize * width
+    lo = payload["lo"]
+    rows = max(0, min(payload["hi"], payload["new_size"]) - lo)
+    return {"mig_bytes": (lo * row_bytes, rows * row_bytes), "mig_map": None}
+
+
+INPUT_SLICERS = {
+    "refresh_fill_partners": _slice_refresh_fill_partners,
+    "refresh_swap": _slice_refresh_swap,
+    "rank_targets": _slice_rank_targets,
+    "rank_apply": _slice_rank_apply,
+    "ord_select": _slice_ord_select,
+    "conc_wave": _slice_span("wave_a", "wave_b", "wave_d", "wave_s"),
+    "conc_req": _slice_span("del_r", "del_s", "del_p", "del_t"),
+    "conc_ack": _slice_conc_ack,
+    "metric_ranks": _slice_metric_ranks,
+    "rebalance_pack": _slice_span("mig_live"),
+    "rebalance_unpack": _slice_rebalance_unpack,
 }
 
 # ----------------------------------------------------------------------
@@ -108,13 +200,10 @@ def _out_refresh_age(ctx, payload, result):
     return [("occupancy", shard, np.array(ctx.scratch["occupancy"][shard : shard + 1]))]
 
 
-def _out_write_live(ctx, payload, result):
-    live = ctx.cache["live"]
-    return [("live_index", int(payload["offset"]), np.array(live))]
-
-
-def _out_refresh_partners(ctx, payload, result):
+def _out_refresh_fill_partners(ctx, payload, result):
     count = int(result["props"])
+    if count == 0:  # uniform-oracle fill, or no live rows on the shard
+        return []
     return [
         _segment(ctx.scratch, "prop_a", ctx.lo, count),
         _segment(ctx.scratch, "prop_b", ctx.lo, count),
@@ -204,8 +293,7 @@ def _out_rebalance_pack(ctx, payload, result):
 
 _OUTPUTS = {
     "refresh_age": _out_refresh_age,
-    "write_live": _out_write_live,
-    "refresh_partners": _out_refresh_partners,
+    "refresh_fill_partners": _out_refresh_fill_partners,
     "rank_targets": _out_rank_targets,
     "ord_select": _out_ord_select,
     "conc_wave": _out_conc_wave,

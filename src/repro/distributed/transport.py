@@ -33,13 +33,11 @@ import threading
 import time
 from typing import List, Optional, Sequence, Tuple
 
-import pickle
-
 from repro.distributed.framing import (
     DEFAULT_MAX_FRAME,
     TransportError,
-    recv_frame,
-    send_frame,
+    recv_message,
+    send_message,
 )
 
 __all__ = [
@@ -77,16 +75,14 @@ class Endpoint:
             pass  # not a TCP socket (loopback socketpair)
 
     def send(self, obj) -> None:
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.sent_bytes += send_message(self._sock, obj, self.max_frame)
         self.sent_frames += 1
-        self.sent_bytes += len(payload)
-        send_frame(self._sock, payload, self.max_frame)
 
     def recv(self):
-        payload = recv_frame(self._sock, self.max_frame)
+        obj, total = recv_message(self._sock, self.max_frame, with_size=True)
         self.recv_frames += 1
-        self.recv_bytes += len(payload)
-        return pickle.loads(payload)
+        self.recv_bytes += total
+        return obj
 
     def close(self) -> None:
         try:

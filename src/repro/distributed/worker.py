@@ -25,9 +25,10 @@ Message envelope (driver -> worker)::
 
     (command, payload, meta)
 
-``meta`` carries scratch (re)allocation notices, full scratch-input
-arrays, pending state updates, and the driver's ``size`` /
-``maybe_dead_entries`` metadata.  The plain reply is ``("ok", result,
+``meta`` carries scratch (re)allocation notices, the run-partitioned
+scratch-input slices this worker consumes (``{name: (offset, run)}``,
+see :data:`repro.distributed.protocol.INPUT_SLICERS`), pending state
+updates, and the driver's ``size`` / ``maybe_dead_entries`` metadata.  The plain reply is ``("ok", result,
 outputs, updates, kernel_ns)`` — ``kernel_ns`` is how long the command
 itself ran, which the driver's telemetry subtracts from its exchange
 span to expose wire + barrier time.  When ``meta["detail"]`` is set
@@ -80,13 +81,15 @@ class MessageScratchMirror:
             self._arrays[name] = np.zeros(size, dtype=np.dtype(dtype))
 
     def apply_inputs(self, inputs) -> None:
-        if isinstance(inputs, (bytes, bytearray)):
-            # The driver serializes the (per-command identical) input
-            # dict once and embeds the bytes in every worker's meta.
-            inputs = pickle.loads(inputs)
         for name, values in inputs.items():
             array = self._arrays[name]
-            array[: len(values)] = values
+            if isinstance(values, tuple):
+                # Run-partitioned input: (offset, run) lands this
+                # worker's slice at the driver's scratch position.
+                offset, run = values
+                array[offset : offset + len(run)] = run
+            else:
+                array[: len(values)] = values
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self._arrays[name]
@@ -168,7 +171,10 @@ def _handle_refresh_swap(ctx: ShardContext, payload: dict):
         ctx.state.view_ids[rows] = guest_ids
         ctx.state.view_ages[rows] = guest_ages
     result = DISPATCH["refresh_swap"](
-        ctx, offset=payload["offset"], count=payload["count"]
+        ctx,
+        offset=payload["offset"],
+        count=payload["count"],
+        buffer=payload.get("buffer", 0),
     )
     updates = []
     if guests is not None and len(rows):

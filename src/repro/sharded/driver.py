@@ -58,7 +58,7 @@ import numpy as np
 from repro.bulk.concurrency import run_exchanges
 from repro.bulk.rebalance import live_load_ratio, migration_columns, rebalance_bounds
 from repro.core.ordering import SELECTION_RANDOM, SELECTION_RANDOM_MISPLACED
-from repro.sharded.kernels import DISPATCH, ShardContext
+from repro.sharded.kernels import DISPATCH, WAVE_BUFFERS, ShardContext
 from repro.sharded.shm import InlineScratch, SharedBlock, SharedScratch
 from repro.vectorized import metrics as vmetrics
 from repro.vectorized.simulation import VectorSimulation, _ORDERING_SELECTION
@@ -101,20 +101,34 @@ class _InlineExecutor:
         )
 
     def run(self, command: str, payloads) -> list:
+        return self.collect(self.run_async(command, payloads))
+
+    def run_async(self, command: str, payloads):
+        """Inline execution is synchronous: the "in-flight" handle is
+        the finished result plus its timing, booked at collect time so
+        the plan/apply pipelining call pattern works unchanged."""
         telemetry = self._telemetry
         if not telemetry.enabled:
-            return [DISPATCH[command](self._ctx, **payloads[0])]
+            return (command, [DISPATCH[command](self._ctx, **payloads[0])], None)
         start = perf_counter_ns()
         result = [DISPATCH[command](self._ctx, **payloads[0])]
         span_ns = perf_counter_ns() - start
-        telemetry.add_span("cmd:" + command, span_ns, start_ns=start)
-        telemetry.add_worker_spans(
-            0, "cmd:" + command, {"kernel": [span_ns, 1]},
-            dispatch_ns=span_ns, start_ns=start,
-        )
-        telemetry.count("commands", 1)
-        telemetry.count("worker_kernel_ns", span_ns)
-        telemetry.count("barrier_wait_ns", 0)
+        return (command, result, (start, span_ns))
+
+    def collect(self, pending) -> list:
+        command, result, timing = pending
+        if timing is not None:
+            telemetry = self._telemetry
+            start, span_ns = timing
+            telemetry.add_span("cmd:" + command, span_ns, start_ns=start)
+            telemetry.add_worker_spans(
+                0, "cmd:" + command, {"kernel": [span_ns, 1]},
+                dispatch_ns=span_ns, start_ns=start,
+            )
+            telemetry.count("commands", 1)
+            telemetry.count("barriers", 1)
+            telemetry.count("worker_kernel_ns", span_ns)
+            telemetry.count("barrier_wait_ns", 0)
         return result
 
     def close(self) -> None:
@@ -180,6 +194,15 @@ class _PoolExecutor:
             self._processes.append(process)
 
     def run(self, command: str, payloads) -> list:
+        return self.collect(self.run_async(command, payloads))
+
+    def run_async(self, command: str, payloads):
+        """Dispatch one command and return without waiting for the
+        replies — the driver can plan (draw random blocks, stage the
+        next wave into the other scratch buffer) while the workers
+        compute.  The caller must :meth:`collect` before touching
+        anything the command writes, and must not remap shared scratch
+        while the command is in flight."""
         telemetry = self._telemetry
         detail = telemetry.enabled
         start = perf_counter_ns() if detail else 0
@@ -192,6 +215,11 @@ class _PoolExecutor:
                     state.size, state.maybe_dead_entries, detail,
                 )
             )
+        return (command, detail, start)
+
+    def collect(self, pending) -> list:
+        command, detail, start = pending
+        telemetry = self._telemetry
         results = []
         failures = []
         kernels = []
@@ -232,6 +260,7 @@ class _PoolExecutor:
                     dispatch_ns=span_ns, start_ns=start,
                 )
             telemetry.count("commands", 1)
+            telemetry.count("barriers", 1)
             telemetry.count("worker_kernel_ns", sum(kernels))
             telemetry.count(
                 "barrier_wait_ns", sum(span_ns - kernel for kernel in kernels)
@@ -579,13 +608,24 @@ class ShardedSimulation(VectorSimulation):
 
     def _refresh_phases(self, executor, plan, uniform: bool) -> None:
         state = self.state
+        telemetry = self.telemetry
         shards = len(executor.bounds)
         occupancy = executor.scratch.ensure("occupancy", np.int64, shards)
-        replies = self._broadcast(
-            executor,
+        pending = executor.run_async(
             "refresh_age",
             [{"uniform": uniform, "shard": index} for index in range(shards)],
         )
+        # Pipelined plan/apply: the jitter block's size depends only on
+        # the live count, which age/purge/fill never change, so it is
+        # drawn while the age/purge barrier is still in flight (the
+        # canonical draw order puts the jitter before the fill draws
+        # for exactly this reason — the fill size needs the replies).
+        jitter_draw = (
+            plan.partner_jitter(state.live_count, self.view_size)
+            if not uniform
+            else None
+        )
+        replies = executor.collect(pending)
         # Live counts ride the shared occupancy slots (one per shard,
         # written by refresh_age) — the load tracking shard_live_loads()
         # and the skewed-churn benchmark read.
@@ -601,51 +641,76 @@ class ShardedSimulation(VectorSimulation):
         empty_offsets, empty_total = _prefix_offsets(empty_counts)
         draws = plan.fill_draws(live_total, empty_total)
         if empty_total:
-            executor.scratch.ensure("live_index", np.int64, live_total)
-            self._broadcast(
-                executor,
-                "write_live",
-                [{"offset": offset} for offset in live_offsets],
+            # The driver resolves the draws to node ids itself: its
+            # alive column is current on every backend, and the
+            # concatenated per-shard live runs are exactly the
+            # ascending global live ids — so publishing a shared live
+            # index (one extra barrier) bought nothing.
+            fill_ids = executor.scratch.ensure("fill_ids", np.int64, empty_total)
+            fill_ids[:empty_total] = state.live_ids()[draws]
+        if not uniform:
+            view_size = self.view_size
+            jitter = executor.scratch.ensure(
+                "jitter", np.float32, live_total * view_size
             )
-            fill = executor.scratch.ensure("fill_ints", np.int64, empty_total)
-            fill[:empty_total] = draws
-            self._broadcast(
+            jitter[: live_total * view_size] = jitter_draw.ravel()
+            executor.scratch.ensure("prop_a", np.int64, state.capacity)
+            executor.scratch.ensure("prop_b", np.int64, state.capacity)
+        if empty_total or not uniform:
+            replies = self._broadcast(
                 executor,
-                "refresh_fill",
-                [{"offset": offset} for offset in empty_offsets],
+                "refresh_fill_partners",
+                [
+                    {
+                        "fill_offset": fill_offset,
+                        "fill_count": fill_count,
+                        "jitter_offset": live_offset,
+                        "live_count": live_count,
+                        "partners": not uniform,
+                    }
+                    for fill_offset, fill_count, live_offset, live_count in zip(
+                        empty_offsets, empty_counts, live_offsets, live_counts
+                    )
+                ],
             )
         if uniform:
             return
 
-        view_size = self.view_size
-        jitter = executor.scratch.ensure(
-            "jitter", np.float32, live_total * view_size
-        )
-        jitter[: live_total * view_size] = plan.partner_jitter(
-            live_total, view_size
-        ).ravel()
-        executor.scratch.ensure("prop_a", np.int64, state.capacity)
-        executor.scratch.ensure("prop_b", np.int64, state.capacity)
-        replies = self._broadcast(
-            executor,
-            "refresh_partners",
-            [{"jitter_offset": offset} for offset in live_offsets],
-        )
         initiators, partners = self._gather_proposals(
             executor, [reply["props"] for reply in replies], ("prop_a", "prop_b")
         )
         no_payload = np.zeros(len(initiators), dtype=bool)
-        wave_a = executor.scratch.ensure("wave_a", np.int64, max(1, len(initiators)))
-        wave_b = executor.scratch.ensure("wave_b", np.int64, max(1, len(initiators)))
-        for side_a, side_b, _unused in plan.waves(
-            "sampler", initiators, partners, no_payload, state.size
-        ):
+        buffers = [
+            (
+                executor.scratch.ensure(name_a, np.int64, max(1, len(initiators))),
+                executor.scratch.ensure(name_b, np.int64, max(1, len(initiators))),
+            )
+            for name_a, name_b in WAVE_BUFFERS
+        ]
+        waves = plan.waves("sampler", initiators, partners, no_payload, state.size)
+        pending = None
+        for index, (side_a, side_b, _unused) in enumerate(waves):
+            # Stage wave k+1 into the other buffer pair while the
+            # workers still execute wave k; consecutive waves can share
+            # nodes, so the swaps themselves stay barrier-separated.
+            buffer = index % 2
+            wave_a, wave_b = buffers[buffer]
             wave_a[: len(side_a)] = side_a
             wave_b[: len(side_b)] = side_b
-            executor.run(
-                "refresh_swap",
-                _shard_run_payloads(executor.bounds, state.capacity, side_a),
-            )
+            payloads = [
+                {"buffer": buffer, **run}
+                for run in _shard_run_payloads(
+                    executor.bounds, state.capacity, side_a
+                )
+            ]
+            if pending is not None:
+                executor.collect(pending)
+            pending = executor.run_async("refresh_swap", payloads)
+        if pending is not None:
+            executor.collect(pending)
+        if telemetry.enabled:
+            telemetry.count("sampler.exchanges", len(initiators))
+            telemetry.count("sampler.waves", len(waves))
 
     def _gather_proposals(self, executor, counts, names):
         segments = [
@@ -690,7 +755,10 @@ class ShardedSimulation(VectorSimulation):
             self._broadcast(
                 executor,
                 "rank_targets",
-                [{"offset": offset} for offset in row_offsets],
+                [
+                    {"offset": offset, "count": count}
+                    for offset, count in zip(row_offsets, row_counts)
+                ],
             )
             # Compact per-shard target segments into the global UPD
             # list: all j1 targets (shard order), then all j2 targets —
@@ -742,8 +810,8 @@ class ShardedSimulation(VectorSimulation):
             executor,
             "ord_select",
             [
-                {"selection": selection, "offset": offset}
-                for offset in live_offsets
+                {"selection": selection, "offset": offset, "count": count}
+                for offset, count in zip(live_offsets, self._live_counts)
             ],
         )
         counts = [reply["props"] for reply in replies]

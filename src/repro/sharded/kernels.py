@@ -92,29 +92,38 @@ def cmd_refresh_age(ctx: ShardContext, uniform: bool, shard: int) -> dict:
     return {"empty": len(empty_rows)}
 
 
-def cmd_write_live(ctx: ShardContext, offset: int) -> dict:
-    """Publish this shard's live ids into the global live index."""
-    live = ctx.cache["live"]
-    ctx.scratch["live_index"][offset : offset + len(live)] = live
-    return {}
+def cmd_refresh_fill_partners(
+    ctx: ShardContext,
+    fill_offset: int,
+    jitter_offset: int,
+    partners: bool,
+    fill_count: int = 0,
+    live_count: int = 0,
+) -> dict:
+    """Apply this shard's slice of the central bootstrap fill (the
+    driver resolves the draws to live node ids in ``fill_ids``), then —
+    unless the uniform oracle is running — pick each live node's oldest
+    neighbor (central jitter block for the tie-break) and publish the
+    exchange proposals.  Fill touches only this shard's empty slots and
+    partner selection only its own rows, so the two stages need no
+    barrier between them: one round trip where write_live /
+    refresh_fill / refresh_partners used to take three.
 
-
-def cmd_refresh_fill(ctx: ShardContext, offset: int) -> dict:
-    """Apply this shard's slice of the central bootstrap draw block."""
+    ``fill_count`` / ``live_count`` are wire-slicing metadata: the
+    kernel derives both from its own cache, but the distributed driver
+    needs them to ship each worker only its slice of ``fill_ids`` and
+    ``jitter``."""
+    state = ctx.state
     empty_rows, empty_cols = ctx.cache["empty"]
     count = len(empty_rows)
     if count:
-        picks = ctx.scratch["fill_ints"][offset : offset + count]
-        ctx.state.apply_fill(
-            empty_rows, empty_cols, ctx.scratch["live_index"][picks]
+        state.apply_fill(
+            empty_rows,
+            empty_cols,
+            ctx.scratch["fill_ids"][fill_offset : fill_offset + count],
         )
-    return {}
-
-
-def cmd_refresh_partners(ctx: ShardContext, jitter_offset: int) -> dict:
-    """Pick each live node's oldest neighbor (central jitter block for
-    the tie-break) and publish the exchange proposals."""
-    state = ctx.state
+    if not partners:
+        return {"props": 0}
     live = ctx.cache["live"]
     if len(live) == 0:
         return {"props": 0}
@@ -123,21 +132,27 @@ def cmd_refresh_partners(ctx: ShardContext, jitter_offset: int) -> dict:
         jitter_offset * c : (jitter_offset + len(live)) * c
     ].reshape(len(live), c)
     cols = _oldest_columns(state.view_ids[live], state.view_ages[live], jitter=jitter)
-    partners = state.view_ids[live, cols]
-    has_partner = partners != EMPTY
-    initiators, partners = live[has_partner], partners[has_partner]
+    chosen = state.view_ids[live, cols]
+    has_partner = chosen != EMPTY
+    initiators, chosen = live[has_partner], chosen[has_partner]
     ctx.scratch["prop_a"][ctx.lo : ctx.lo + len(initiators)] = initiators
-    ctx.scratch["prop_b"][ctx.lo : ctx.lo + len(partners)] = partners
+    ctx.scratch["prop_b"][ctx.lo : ctx.lo + len(chosen)] = chosen
     return {"props": len(initiators)}
 
 
-def cmd_refresh_swap(ctx: ShardContext, offset: int, count: int) -> dict:
+#: Double-buffered wave staging: the driver stages wave k+1 into the
+#: other pair while the workers still execute wave k.
+WAVE_BUFFERS = (("wave_a", "wave_b"), ("wave_a2", "wave_b2"))
+
+
+def cmd_refresh_swap(ctx: ShardContext, offset: int, count: int, buffer: int = 0) -> dict:
     """Execute this shard's pairs of one node-disjoint exchange wave."""
     if count:
+        name_a, name_b = WAVE_BUFFERS[buffer]
         _swap_views(
             ctx.state,
-            ctx.scratch["wave_a"][offset : offset + count],
-            ctx.scratch["wave_b"][offset : offset + count],
+            ctx.scratch[name_a][offset : offset + count],
+            ctx.scratch[name_b][offset : offset + count],
         )
     return {}
 
@@ -187,9 +202,11 @@ def cmd_rank_fold(ctx: ShardContext, boundary_bias: bool, window_exact: bool) ->
     return {"rows": len(rows)}
 
 
-def cmd_rank_targets(ctx: ShardContext, offset: int) -> dict:
+def cmd_rank_targets(ctx: ShardContext, offset: int, count: int = 0) -> dict:
     """Resolve j1/j2 (central uniform blocks) and publish the UPD
-    targets with their senders' attributes (lines 8-14)."""
+    targets with their senders' attributes (lines 8-14).  ``count`` is
+    wire-slicing metadata (the rank_fold row count the distributed
+    driver uses to slice ``u1``/``u2``)."""
     rows = ctx.cache["rows"]
     count = len(rows)
     if count == 0:
@@ -249,9 +266,13 @@ def cmd_rank_apply(ctx: ShardContext, total: int, window, window_exact: bool) ->
 # ----------------------------------------------------------------------
 
 
-def cmd_ord_select(ctx: ShardContext, selection: str, offset: int) -> dict:
+def cmd_ord_select(
+    ctx: ShardContext, selection: str, offset: int, count: int = 0
+) -> dict:
     """Evaluate the misplacement predicate, pick gossip partners, and
-    publish this shard's REQ proposals (Section 4, per variant)."""
+    publish this shard's REQ proposals (Section 4, per variant).
+    ``count`` is wire-slicing metadata (this shard's live-row count,
+    used by the distributed driver to slice ``u1``)."""
     state = ctx.state
     live = ctx.cache["live"]
     if len(live) == 0:
@@ -507,9 +528,7 @@ def cmd_ping(ctx: ShardContext) -> dict:
 
 DISPATCH = {
     "refresh_age": cmd_refresh_age,
-    "write_live": cmd_write_live,
-    "refresh_fill": cmd_refresh_fill,
-    "refresh_partners": cmd_refresh_partners,
+    "refresh_fill_partners": cmd_refresh_fill_partners,
     "refresh_swap": cmd_refresh_swap,
     "rank_fold": cmd_rank_fold,
     "rank_targets": cmd_rank_targets,

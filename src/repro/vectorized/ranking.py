@@ -189,18 +189,20 @@ def ranking_round(
             telemetry.count("ranking.upd_messages", len(targets))
 
     with telemetry.span("estimates"):
-        # Rescaling approximation: cap the effective sample count.
+        # Rescaling approximation: cap the effective sample count.  The
+        # gathered totals are a copy, so mirroring the cap into them
+        # replaces the second obs_total gather the re-read used to do.
+        totals = state.obs_total[live]
         if window is not None and not window_exact:
-            totals = state.obs_total[live]
             over = totals > window
             if over.any():
                 factor = window / totals[over]
                 rows_over = live[over]
                 state.obs_le[rows_over] *= factor
                 state.obs_total[rows_over] = float(window)
+                totals[over] = float(window)
 
         # Lines 15-16: recompute estimates where any observation exists.
-        totals = state.obs_total[live]
         observed = totals > 0
         rows_obs = live[observed]
         state.value[rows_obs] = state.obs_le[rows_obs] / totals[observed]

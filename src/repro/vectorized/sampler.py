@@ -74,6 +74,11 @@ def refresh_views(state: ArrayState, plan, telemetry=NULL_TELEMETRY) -> None:
     if len(live) < 2:
         return
 
+    # Tie-break jitter first: its size depends only on the live count,
+    # which age/purge/fill never change, so the sharded driver can draw
+    # the identical block while its age/purge barrier is in flight.
+    jitter = plan.partner_jitter(len(live), state.view_size)
+
     with telemetry.span("age_purge"):
         # Line 1: age all occupied entries of live nodes.
         occupied = state.view_ids[live] != EMPTY
@@ -87,7 +92,6 @@ def refresh_views(state: ArrayState, plan, telemetry=NULL_TELEMETRY) -> None:
 
     with telemetry.span("partner_select"):
         # Line 2: propose to the oldest live neighbor.
-        jitter = plan.partner_jitter(len(live), state.view_size)
         cols = _oldest_columns(
             state.view_ids[live], state.view_ages[live], jitter=jitter
         )
@@ -118,27 +122,27 @@ def _swap_views(state: ArrayState, side_a: np.ndarray, side_b: np.ndarray) -> No
     """
     if len(side_a) == 0:
         return
-    # Fancy indexing already copies, and each donor snapshot is consumed
-    # by exactly one receiver, so it can be modified in place.
-    a_ids, a_ages = state.view_ids[side_a], state.view_ages[side_a]
-    b_ids, b_ages = state.view_ids[side_b], state.view_ages[side_b]
-    for receiver, donor_ids, donor_ages, partner in (
-        (side_a, b_ids, b_ages, side_b),
-        (side_b, a_ids, a_ages, side_a),
-    ):
-        new_ids, new_ages = donor_ids, donor_ages
-        self_ptr = new_ids == receiver[:, None]
-        new_ids[self_ptr] = EMPTY
-        new_ages[self_ptr] = 0
-        # Fresh partner descriptor replaces an empty slot if one
-        # exists, otherwise the oldest entry.
-        key = np.where(new_ids == EMPTY, np.iinfo(np.int32).max, new_ages)
-        col = np.argmax(key, axis=1)
-        rows = np.arange(len(receiver))
-        new_ids[rows, col] = partner
-        new_ages[rows, col] = 0
-        state.view_ids[receiver] = new_ids
-        state.view_ages[receiver] = new_ages
+    # Both directions in one pass: receiver k adopts donor k's view.
+    # The sides of a wave are node-disjoint, so the donor gathers (which
+    # copy) all happen before any receiver write, and each row is
+    # written exactly once — per-row identical to handling the two
+    # directions separately, at half the gather/argmax/scatter passes.
+    receivers = np.concatenate((side_a, side_b))
+    donors = np.concatenate((side_b, side_a))
+    new_ids = state.view_ids[donors]
+    new_ages = state.view_ages[donors]
+    self_ptr = new_ids == receivers[:, None]
+    new_ids[self_ptr] = EMPTY
+    new_ages[self_ptr] = 0
+    # Fresh partner descriptor replaces an empty slot if one exists,
+    # otherwise the oldest entry.
+    key = np.where(new_ids == EMPTY, np.iinfo(np.int32).max, new_ages)
+    col = np.argmax(key, axis=1)
+    rows = np.arange(len(receivers))
+    new_ids[rows, col] = donors
+    new_ages[rows, col] = 0
+    state.view_ids[receivers] = new_ids
+    state.view_ages[receivers] = new_ages
 
 
 def refresh_views_uniform(state: ArrayState, plan) -> None:

@@ -56,6 +56,7 @@ from repro.vectorized import churn as bulk_churn
 from repro.vectorized import metrics as vmetrics
 from repro.vectorized.ordering import ordering_round
 from repro.vectorized.ranking import ranking_round
+from repro.vectorized.rankindex import AlphaRankIndex
 from repro.vectorized.sampler import refresh_views, refresh_views_uniform
 from repro.vectorized.state import ArrayState
 from repro.workloads.attributes import AttributeDistribution, UniformAttributes
@@ -292,6 +293,8 @@ class VectorSimulation:
         self.view_size = view_size
         self._stats = VectorStats()
         self._cycle = 0
+        self._alpha_index = AlphaRankIndex()
+        self._truth_cache = None
 
         self._random_source = RandomSource(seed)
         self._np_rngs = {}
@@ -464,24 +467,7 @@ class VectorSimulation:
             n = len(live)
             if n == 0:
                 return {"sdm": 0.0, "gdm": 0.0, "accuracy": 1.0, "live": 0}
-            # The alpha ranks depend only on membership: attribute rows
-            # are immutable, dead rows are only ever reused through a
-            # compaction (which bumps the rebalance count), so under no
-            # churn the pass is reusable cycle after cycle.
-            cached = getattr(self, "_alpha_rank_cache", None)
-            if (
-                cached is not None
-                and cached[0] == (self.state.size, self._rebalance_count)
-                and np.array_equal(cached[1], live)
-            ):
-                alpha, truth = cached[2], cached[3]
-            else:
-                alpha = vmetrics.ranks_1based(attrs, live)
-                truth = self.geometry.index_of(alpha / n)
-                self._alpha_rank_cache = (
-                    (self.state.size, self._rebalance_count),
-                    live.copy(), alpha, truth,
-                )
+            alpha, truth = self._alpha_truth()
             believed = self.geometry.index_of(values)
             counts = vmetrics.assignment_counts(
                 truth, believed, len(self.partition)
@@ -530,6 +516,9 @@ class VectorSimulation:
         if decision is None:
             return
         self._apply_rebalance(decision)
+        # Compaction relabels ids through a monotone map — the alpha
+        # rank index applies it as a gather instead of re-sorting.
+        self.state.log_membership("relabel", decision.id_map())
         self._rebalance_count += 1
         self._last_rebalance = (
             self._cycle,
@@ -568,26 +557,56 @@ class VectorSimulation:
         live = self.state.live_ids()
         return live, self.state.attribute[live], self.state.value[live]
 
+    def _alpha_truth(self):
+        """``(alpha, truth)`` over the live nodes: the incremental
+        alpha rank index's ranks plus the derived true-slice indices,
+        cached per membership epoch.  Bitwise identical to the direct
+        ``ranks_1based`` + ``index_of`` computation, but churn cycles
+        update the order by partial merge instead of a full sort."""
+        alpha = self._alpha_index.ranks(self.state)
+        epoch = self._alpha_index.epoch
+        cached = self._truth_cache
+        if cached is not None and cached[0] == epoch:
+            return alpha, cached[1]
+        truth = self.geometry.index_of(alpha / max(len(alpha), 1))
+        self._truth_cache = (epoch, truth)
+        return alpha, truth
+
     def slice_disorder(self) -> float:
-        """Current SDM, computed fully vectorized."""
+        """Current SDM, computed fully vectorized (alpha ranks from
+        the incremental index — same float as
+        :func:`~repro.vectorized.metrics.slice_disorder_arrays`)."""
         with self.telemetry.span("metric_sdm"):
-            live, attrs, values = self._live_arrays()
-            return vmetrics.slice_disorder_arrays(
-                attrs, values, live, self.geometry
+            live, _attrs, values = self._live_arrays()
+            if len(live) == 0:
+                return 0.0
+            _alpha, truth = self._alpha_truth()
+            believed = self.geometry.index_of(values)
+            counts = vmetrics.assignment_counts(
+                truth, believed, len(self.partition)
             )
+            return vmetrics.sdm_from_counts(counts, self.geometry)
 
     def global_disorder(self) -> float:
         """Current GDM, computed fully vectorized."""
         with self.telemetry.span("metric_gdm"):
-            live, attrs, values = self._live_arrays()
-            return vmetrics.global_disorder_arrays(attrs, values, live)
+            live, _attrs, values = self._live_arrays()
+            if len(live) == 0:
+                return 0.0
+            alpha, _truth = self._alpha_truth()
+            rho = vmetrics.ranks_1based(values, live)
+            return float(np.mean((alpha - rho) ** 2))
 
     def accuracy(self) -> float:
         """Fraction of nodes currently assigning themselves their true
         slice."""
         with self.telemetry.span("metric_accuracy"):
-            live, attrs, values = self._live_arrays()
-            return vmetrics.accuracy_arrays(attrs, values, live, self.geometry)
+            live, _attrs, values = self._live_arrays()
+            if len(live) == 0:
+                return 1.0
+            _alpha, truth = self._alpha_truth()
+            believed = self.geometry.index_of(values)
+            return float(np.mean(truth == believed))
 
     def slice_index_array(self) -> np.ndarray:
         """Each live node's believed slice index (live-id order)."""

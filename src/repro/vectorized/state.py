@@ -35,6 +35,11 @@ __all__ = ["ArrayState", "EMPTY", "COLUMNS", "WINDOW_COLUMNS", "column_spec"]
 #: Sentinel id marking an empty view slot.
 EMPTY = -1
 
+#: Membership events retained for incremental consumers (the alpha
+#: rank index).  Consumers whose cursor falls off the back rebuild
+#: from scratch, so the cap only bounds memory, never correctness.
+MEMBERSHIP_LOG_CAP = 256
+
 #: The always-present columns: attribute name -> (dtype, per-row width).
 #: Width 1 means a flat ``(capacity,)`` array; ``"view"`` means
 #: ``(capacity, view_size)``.  The sharded backend uses this table to
@@ -114,6 +119,8 @@ class ArrayState:
         # cleared by purge_dead_entries so protocol rounds can skip the
         # per-slot liveness gather in the (common) churn-free steady state.
         self.maybe_dead_entries = False
+        self._membership_log: list = []
+        self._membership_seq = 0
 
     @classmethod
     def from_arrays(
@@ -145,6 +152,8 @@ class ArrayState:
         state._live_cache = np.empty(0, dtype=np.int64)
         state._live_dirty = True
         state.maybe_dead_entries = False
+        state._membership_log = []
+        state._membership_seq = 0
         return state
 
     def enable_window(self, window: int) -> None:
@@ -187,6 +196,36 @@ class ArrayState:
 
     def is_alive(self, node_id: int) -> bool:
         return 0 <= node_id < self.size and bool(self.alive[node_id])
+
+    # ------------------------------------------------------------------
+    # Membership event log (incremental rank maintenance)
+    # ------------------------------------------------------------------
+
+    def log_membership(self, kind: str, ids: np.ndarray, keys=None) -> None:
+        """Append one membership event — ``("add", ids, keys)``,
+        ``("remove", ids, keys)`` or ``("relabel", id_map, None)`` —
+        for incremental consumers (the alpha rank index).  Arrays are
+        stored as given; callers pass copies that no later mutation
+        touches.  Past :data:`MEMBERSHIP_LOG_CAP` pending events the
+        log is dropped wholesale and consumers rebuild."""
+        if len(self._membership_log) >= MEMBERSHIP_LOG_CAP:
+            self._membership_log.clear()
+        self._membership_log.append((kind, ids, keys))
+        self._membership_seq += 1
+
+    def membership_events_since(self, cursor: int):
+        """``(events, new_cursor, stale)``: the events appended since
+        ``cursor``.  ``stale=True`` means the log was trimmed past the
+        cursor — the consumer's copy of the order is unrecoverable and
+        it must rebuild from the state arrays."""
+        start = self._membership_seq - len(self._membership_log)
+        if cursor < start:
+            return [], self._membership_seq, True
+        return (
+            self._membership_log[cursor - start :],
+            self._membership_seq,
+            False,
+        )
 
     # ------------------------------------------------------------------
     # Population management
@@ -257,6 +296,8 @@ class ArrayState:
             self.win_len[ids] = 0
         self.size += count
         self._live_dirty = True
+        if count:
+            self.log_membership("add", ids.copy(), attributes.copy())
         return ids
 
     def remove_nodes(self, ids: np.ndarray) -> None:
@@ -267,6 +308,11 @@ class ArrayState:
         ids = np.asarray(ids, dtype=np.int64)
         if len(ids) == 0:
             return
+        departing = ids[self.alive[ids]]
+        if len(departing):
+            self.log_membership(
+                "remove", departing.copy(), np.array(self.attribute[departing])
+            )
         self.alive[ids] = False
         self._live_dirty = True
         self.maybe_dead_entries = True

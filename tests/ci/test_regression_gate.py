@@ -213,6 +213,94 @@ class TestMetricsTracking:
         assert gate.run_gate(results, baselines, 0.25) == 0
 
 
+class TestSpeedupFloor:
+    """``speedup`` metrics are gated like throughput *plus* an
+    absolute floor — the n=1e6 sharded-w4 bar must hold even if the
+    baseline itself eroded or does not exist yet."""
+
+    def test_above_floor_passes(self, gate):
+        rows = gate.compare(
+            {"x.speedup_sharded_w4_vs_vectorized": 3.0},
+            {"x.speedup_sharded_w4_vs_vectorized": 2.6},
+            threshold=0.25,
+        )
+        assert rows[0]["status"] == "ok"
+
+    def test_below_floor_fails_even_within_threshold(self, gate):
+        # 1.9 is within 25% of a 2.2 baseline, but under the 2.0 floor.
+        rows = gate.compare(
+            {"x.speedup_sharded_w4_vs_vectorized": 2.2},
+            {"x.speedup_sharded_w4_vs_vectorized": 1.9},
+            threshold=0.25,
+        )
+        assert rows[0]["status"] == "regression"
+
+    def test_new_metric_below_floor_still_fails(self, gate):
+        rows = gate.compare(
+            {}, {"x.speedup_sharded_w4_vs_vectorized": 1.5}, threshold=0.25
+        )
+        assert rows[0]["status"] == "regression"
+
+    def test_new_metric_above_floor_is_new(self, gate):
+        rows = gate.compare(
+            {}, {"x.speedup_sharded_w4_vs_vectorized": 2.4}, threshold=0.25
+        )
+        assert rows[0]["status"] == "new"
+
+    def test_speedup_keys_are_flattened(self, gate):
+        data = [
+            {
+                "benchmark": "scaling",
+                "n": 1_000_000,
+                "speedup_sharded_w4_vs_vectorized": 2.5,
+                "barriers_per_cycle": 14.5,
+            }
+        ]
+        metrics = gate.flatten_metrics(data)
+        prefix = "[benchmark=scaling,n=1000000]"
+        assert metrics[f"{prefix}.speedup_sharded_w4_vs_vectorized"] == 2.5
+        assert metrics[f"{prefix}.barriers_per_cycle"] == 14.5
+
+
+class TestBarriersLowerIsBetter:
+    """``barriers`` counts gate strictly downward: one extra
+    round-trip per cycle fails, no 25% allowance."""
+
+    def test_equal_passes(self, gate):
+        rows = gate.compare(
+            {"x.barriers_per_cycle": 15.0},
+            {"x.barriers_per_cycle": 15.0},
+            threshold=0.25,
+        )
+        assert rows[0]["status"] == "ok"
+
+    def test_decrease_passes(self, gate):
+        rows = gate.compare(
+            {"x.barriers_per_cycle": 15.0},
+            {"x.barriers_per_cycle": 14.0},
+            threshold=0.25,
+        )
+        assert rows[0]["status"] == "ok"
+
+    def test_any_increase_fails(self, gate):
+        rows = gate.compare(
+            {"x.barriers_per_cycle": 15.0},
+            {"x.barriers_per_cycle": 16.0},
+            threshold=0.25,
+        )
+        assert rows[0]["status"] == "regression"
+
+    def test_barrier_wait_phase_timing_stays_tracked(self, gate):
+        # Wall-clock wait under phases.* must keep drifting freely —
+        # only the structural round-trip *count* gates.
+        rows = gate.compare(
+            {"x.phases.w2.barrier_wait_ns": 1000.0},
+            {"x.phases.w2.barrier_wait_ns": 9000.0},
+            threshold=0.25,
+        )
+        assert rows[0]["status"] == "tracked"
+
+
 class TestCompare:
     def test_within_threshold_passes(self, gate):
         rows = gate.compare({"k": 4.0}, {"k": 3.2}, threshold=0.25)

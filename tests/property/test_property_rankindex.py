@@ -1,0 +1,134 @@
+"""Property-based tests for the incremental alpha rank index.
+
+The invariant under test: after any interleaving of membership events
+— churn joins, churn departures, dead-row compactions (monotone id
+relabels) — :meth:`AlphaRankIndex.ranks` is **bitwise identical** to
+the direct full-sort computation ``ranks_1based(attribute[live],
+live)`` over the same state, including cold starts (first query long
+after events happened) and log overflow (more events than the state
+retains, forcing a rebuild).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.rebalance import RebalancePlan, compact_state
+from repro.vectorized import state as vstate
+from repro.vectorized.metrics import ranks_1based
+from repro.vectorized.rankindex import AlphaRankIndex
+from repro.vectorized.state import ArrayState
+
+
+def _direct(state):
+    live = state.live_ids()
+    return ranks_1based(state.attribute[live], live)
+
+
+# Each step of a scenario: ("add", count), ("remove", seed),
+# ("compact",) or ("query",).  Duplicate attribute draws are forced
+# regularly (integer grid) so the id tie-break path is exercised.
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(1, 12)),
+        st.tuples(st.just("remove"), st.integers(0, 2**16)),
+        st.tuples(st.just("compact")),
+        st.tuples(st.just("query")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run_scenario(script, grid, index, state, rng, check_every_query):
+    """Drive the state through the script; return how many queries ran."""
+    queries = 0
+    for step in script:
+        kind = step[0]
+        if kind == "add":
+            count = step[1]
+            if grid:
+                attrs = rng.integers(0, 7, size=count).astype(np.float64)
+            else:
+                attrs = rng.random(count)
+            state.add_nodes(attrs, np.zeros(count))
+        elif kind == "remove":
+            live = state.live_ids()
+            if len(live) == 0:
+                continue
+            pick_rng = np.random.default_rng(step[1])
+            count = int(pick_rng.integers(1, len(live) + 1))
+            picks = pick_rng.choice(live, size=count, replace=False)
+            state.remove_nodes(picks)
+        elif kind == "compact":
+            live = state.live_ids()
+            if len(live) < 2 or len(live) == state.size:
+                continue
+            decision = RebalancePlan(
+                live=live.copy(), old_size=int(state.size), ratio=1.0
+            )
+            compact_state(state, decision)
+            state.log_membership("relabel", decision.id_map())
+        else:  # query
+            queries += 1
+            if check_every_query:
+                got = index.ranks(state)
+                expected = _direct(state)
+                np.testing.assert_array_equal(got, expected)
+                assert got.dtype == expected.dtype
+    return queries
+
+
+class TestAlphaRankIndexProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(script=steps, grid=st.booleans(), seed=st.integers(0, 2**16))
+    def test_bitwise_equal_to_full_sort(self, script, grid, seed):
+        state = ArrayState(4, capacity=8)
+        index = AlphaRankIndex()
+        rng = np.random.default_rng(seed)
+        _run_scenario(script, grid, index, state, rng, check_every_query=True)
+        # Final check even if the script drew no explicit query.
+        np.testing.assert_array_equal(index.ranks(state), _direct(state))
+
+    @settings(max_examples=30, deadline=None)
+    @given(script=steps, grid=st.booleans(), seed=st.integers(0, 2**16))
+    def test_cold_start_after_event_burst(self, script, grid, seed):
+        """A consumer that never queried during the events (cold
+        cursor) must still land on the exact full-sort answer."""
+        state = ArrayState(4, capacity=8)
+        index = AlphaRankIndex()
+        rng = np.random.default_rng(seed)
+        _run_scenario(script, grid, index, state, rng, check_every_query=False)
+        np.testing.assert_array_equal(index.ranks(state), _direct(state))
+
+    def test_full_invalidation_on_log_overflow(self, monkeypatch):
+        """More events than the log retains: the consumer's cursor
+        falls off the back and the index silently rebuilds."""
+        monkeypatch.setattr(vstate, "MEMBERSHIP_LOG_CAP", 4)
+        state = ArrayState(4, capacity=8)
+        index = AlphaRankIndex()
+        rng = np.random.default_rng(7)
+        state.add_nodes(rng.random(10), np.zeros(10))
+        np.testing.assert_array_equal(index.ranks(state), _direct(state))
+        for _ in range(6):  # > cap: trims the log past the cursor
+            state.add_nodes(rng.random(2), np.zeros(2))
+            state.remove_nodes(state.live_ids()[:1])
+        events, _cursor, stale = state.membership_events_since(0)
+        assert stale
+        np.testing.assert_array_equal(index.ranks(state), _direct(state))
+
+    def test_incremental_path_actually_runs(self):
+        """Guard against silently rebuilding every call: small event
+        batches must flow through the merge path, not ``_rebuild``."""
+        state = ArrayState(4, capacity=8)
+        index = AlphaRankIndex()
+        rng = np.random.default_rng(11)
+        state.add_nodes(rng.random(5000), np.zeros(5000))
+        index.ranks(state)
+        rebuilds = []
+        original = AlphaRankIndex._rebuild
+        index._rebuild = lambda s: rebuilds.append(1) or original(index, s)
+        state.add_nodes(rng.random(3), np.zeros(3))
+        state.remove_nodes(state.live_ids()[10:13])
+        np.testing.assert_array_equal(index.ranks(state), _direct(state))
+        assert not rebuilds
