@@ -22,6 +22,13 @@ This package is the single source of that schedule:
   artificial message-overlap model in batched form: planned overlap
   masks split each exchange into a REQ phase and a deferred-ACK apply
   phase, reproducing the reference engine's stale one-sided swaps.
+* :mod:`~repro.bulk.faults` — plan-level network realism: a
+  :class:`~repro.bulk.faults.FaultModel` (loss probability, delay
+  distribution in cycles, scheduled transient partitions that heal)
+  whose per-message fates ride a dedicated ``faults`` RNG stream, plus
+  the :class:`~repro.bulk.faults.FaultQueue` delayed-delivery mailbox
+  that lands messages ``d`` cycles late with payloads frozen at send
+  time.
 * :mod:`~repro.bulk.rebalance` — plan-level shard load rebalancing:
   dead-row compaction as an RNG-free relabeling permutation, its
   worker-count-independent trigger (occupancy probe + live-load
@@ -38,14 +45,24 @@ from repro.bulk.concurrency import (
     run_exchanges,
     wave_exchange,
 )
+from repro.bulk.faults import (
+    FaultModel,
+    FaultQueue,
+    PartitionWindow,
+    build_fault_model,
+)
 from repro.bulk.matching import iter_disjoint_waves
 from repro.bulk.plan import CyclePlan
 from repro.bulk.rebalance import RebalancePlan
 
 __all__ = [
     "CyclePlan",
+    "FaultModel",
+    "FaultQueue",
     "InlineExchangeApplier",
+    "PartitionWindow",
     "RebalancePlan",
+    "build_fault_model",
     "deliver_one_sided",
     "iter_disjoint_waves",
     "run_exchanges",

@@ -129,14 +129,26 @@ class InlineExchangeApplier:
         )
         self.req_swapped[slots] = swap
 
+    def deliver_matured(self, receivers, sender_attributes, payloads) -> None:
+        # Matured delayed mail: payloads and sender attributes were
+        # frozen at send time (possibly cycles ago), and no slot exists
+        # to record the outcome against — the sending exchange already
+        # closed its books when the delay was drawn.
+        deliver_one_sided(self.state, receivers, sender_attributes, payloads)
+
+    def ack_values(self):
+        return self.ack_value
+
     def results(self):
         return self.resp_swapped, self.req_swapped
 
 
-def run_exchanges(state, plan, initiators, targets, intended, applier, stats):
+def run_exchanges(
+    state, plan, initiators, targets, intended, applier, stats, queue=None, cycle=0
+):
     """Execute one cycle's REQ/ACK exchanges under the plan's overlap
-    model (shared by both bulk backends; see the module docstring for
-    the phase semantics).
+    and fault models (shared by both bulk backends; see the module
+    docstring for the phase semantics).
 
     ``state`` is only *read* here (send-time payload capture); all
     mutation goes through the ``applier``.  Swap-outcome accounting
@@ -145,27 +157,105 @@ def run_exchanges(state, plan, initiators, targets, intended, applier, stats):
     when concurrency is off) and ``unsuccessful`` the intended swaps
     that did not complete on both sides (Figure 4(c)'s numerator).
     Matching the reference engine, only exchanges touched by an
-    overlapping message can be unsuccessful: an inline REQ/ACK pair is
-    delivered synchronously, so its send-time intent and its
-    processing-time outcome are definitionally the same check.
+    overlapping message — or, with a fault model attached, by a lost,
+    delayed, or partition-suppressed message — can be unsuccessful: an
+    inline REQ/ACK pair is delivered synchronously, so its send-time
+    intent and its processing-time outcome are definitionally the same
+    check.
+
+    With faults enabled (``plan.faults_enabled``) the pipeline grows a
+    Phase 0 and per-message fates:
+
+    * Phase 0 delivers every *matured* delayed message from ``queue``
+      (sent ``d`` cycles ago, landing now) to its still-alive
+      receivers, in receiver-disjoint rounds on the ``faults`` stream;
+    * a REQ that is lost or crosses an active partition kills its
+      exchange outright; a *delayed* REQ freezes its payload now and
+      mails it — it will be delivered one-sided, so the requester never
+      sees an ACK (the same duplication hazard a lost ACK creates);
+    * a lost ACK leaves the responder's one-sided swap in place; a
+      delayed ACK is mailed back to the requester with the responder's
+      pre-swap value frozen as payload.
     """
+    faults_on = plan.faults_enabled
+
+    # Phase 0: deliver matured delayed mail (runs even when this
+    # cycle's own exchange set is empty).
+    if faults_on and queue is not None:
+        matured = queue.pop_values(cycle)
+        if matured is not None:
+            m_recv, m_attr, m_payload = matured
+            alive = state.alive[m_recv]
+            m_recv, m_attr, m_payload = (
+                m_recv[alive],
+                m_attr[alive],
+                m_payload[alive],
+            )
+            if stats is not None and len(m_recv):
+                stats.note_matured(len(m_recv))
+            for round_positions in plan.delivery_rounds(
+                m_recv, stream=plan.FAULTS_STREAM
+            ):
+                applier.deliver_matured(
+                    m_recv[round_positions],
+                    m_attr[round_positions],
+                    m_payload[round_positions],
+                )
+
     n = len(initiators)
     if n == 0:
         return
+
+    if faults_on:
+        crossing = plan.partition_mask(initiators, targets)
+        req_lost, req_delay = plan.message_faults("req", n)
+        ack_lost, ack_delay = plan.message_faults("ack", n)
+        if crossing is not None:
+            req_lost = req_lost | crossing
+            # A partitioned link suppresses the ACK too; folding it
+            # into the REQ fate (the exchange never starts) models it.
+        req_dead = req_lost
+        req_delayed = ~req_dead & (req_delay > 0)
+        live_inline = ~(req_dead | req_delayed)
+        ack_deferred_fault = ack_lost | (ack_delay > 0)
+    else:
+        live_inline = np.ones(n, dtype=bool)
+        req_dead = req_delayed = np.zeros(n, dtype=bool)
+        ack_lost = ack_deferred_fault = req_dead
+        ack_delay = np.zeros(n, dtype=np.int64)
+
     req_overlap, ack_overlap = plan.exchange_overlap(n)
     slots = np.arange(n, dtype=np.int64)
 
+    # Delayed REQs freeze their payload at send time and go to the
+    # mailbox; they land as one-sided deliveries d cycles from now.
+    if faults_on and queue is not None and req_delayed.any():
+        delayed_idx = np.flatnonzero(req_delayed)
+        frozen_attr = state.attribute[initiators[delayed_idx]]
+        frozen_value = state.value[initiators[delayed_idx]]
+        lateness = req_delay[delayed_idx]
+        for d in np.unique(lateness):
+            group = lateness == d
+            queue.push_values(
+                cycle + int(d),
+                targets[delayed_idx[group]],
+                frozen_attr[group],
+                frozen_value[group],
+            )
+
     # Overlapping REQs carry the sender's state at send time (fancy
     # indexing copies, freezing the payload against later swaps).
-    overlapped = np.flatnonzero(req_overlap)
+    overlapped = np.flatnonzero(live_inline & req_overlap)
     req_payload = state.value[initiators[overlapped]]
 
-    # Phase 1: inline REQs execute in node-disjoint waves.
-    inline = ~req_overlap
+    # Phase 1: inline REQs execute in node-disjoint waves.  An ACK that
+    # is lost, delayed, or overlapping defers the requester's half.
+    inline = live_inline & ~req_overlap
+    defer = ack_overlap | ack_deferred_fault
     for side_i, side_j, wave_slots in plan.waves(
         "ordering", initiators[inline], targets[inline], slots[inline], state.size
     ):
-        applier.wave(side_i, side_j, ack_overlap[wave_slots], wave_slots)
+        applier.wave(side_i, side_j, defer[wave_slots], wave_slots)
 
     # Phase 2: flush the overlapping REQs (random order, one-sided).
     for round_positions in plan.delivery_rounds(targets[overlapped]):
@@ -177,18 +267,48 @@ def run_exchanges(state, plan, initiators, targets, intended, applier, stats):
             idx,
         )
 
-    # Phase 3: deliver every deferred ACK back to its requester.
-    deferred = np.flatnonzero(req_overlap | ack_overlap)
+    # Phase 3: deliver every deferred ACK back to its requester — except
+    # those the fault model killed (lost) or postponed (delayed).
+    deferred = np.flatnonzero(
+        live_inline & (req_overlap | ack_overlap) & ~ack_deferred_fault
+    )
     for round_positions in plan.delivery_rounds(initiators[deferred]):
         idx = deferred[round_positions]
         applier.deliver_ack(initiators[idx], targets[idx], idx)
 
+    # Delayed ACKs: the responder processed the REQ, so its pre-swap
+    # value (the ACK payload) is on record; mail it to the requester
+    # with the responder's attribute frozen now.
+    ack_delayed = live_inline & ~ack_lost & (ack_delay > 0)
+    if faults_on and queue is not None and ack_delayed.any():
+        ack_idx = np.flatnonzero(ack_delayed)
+        ack_payload = np.asarray(applier.ack_values())[ack_idx]
+        responder_attr = state.attribute[targets[ack_idx]]
+        lateness = ack_delay[ack_idx]
+        for d in np.unique(lateness):
+            group = lateness == d
+            queue.push_values(
+                cycle + int(d),
+                initiators[ack_idx[group]],
+                responder_attr[group],
+                ack_payload[group],
+            )
+
     if stats is not None:
         resp_swapped, req_swapped = applier.results()
-        overlap_touched = req_overlap | ack_overlap
+        touched = req_overlap | ack_overlap
+        if faults_on:
+            touched = touched | req_dead | req_delayed
+            touched = touched | (live_inline & ack_deferred_fault)
+            n_lost = int(req_dead.sum()) + int((live_inline & ack_lost).sum())
+            n_delayed = int(req_delayed.sum()) + int(ack_delayed.sum())
+            if n_lost:
+                stats.note_lost(n_lost)
+            if n_delayed:
+                stats.note_delayed(n_delayed)
         completed = resp_swapped & req_swapped
         stats.note_overlapping(int(req_overlap.sum()) + int(ack_overlap.sum()))
         stats.note_swaps(
             swapped=int(resp_swapped.sum()),
-            unsuccessful=int((intended & overlap_touched & ~completed).sum()),
+            unsuccessful=int((intended & touched & ~completed).sum()),
         )

@@ -1,0 +1,345 @@
+"""Plan-level network fault model: loss, delay, and transient partitions.
+
+The paper assumes reliable, instantaneous links; its robustness story
+(Section 6) is told by injecting message loss.  The reference engine
+models loss per message inside :class:`~repro.engine.network.MessageBus`;
+the bulk backends cannot, because they never materialize individual
+messages.  Instead, faults are *planned*: a :class:`FaultModel` rides
+the :class:`~repro.bulk.CyclePlan` and draws per-message fault fates
+(lost / delayed-by-``d`` / inline) from a dedicated ``faults`` RNG
+stream, exactly like the concurrency overlap masks — so a fault-free
+run draws the same bits it always drew, and a faulty run draws the same
+bits on every backend at every worker count.
+
+Three fault axes, composable:
+
+* **loss** — each protocol message (ordering REQ/ACK, ranking UPD) is
+  independently dropped with probability ``loss``.  Matches the
+  reference bus's ``loss_probability`` semantics, but the bulk model
+  also accepts ``loss=1.0`` (total blackout: the system stalls, it must
+  not crash).
+* **delay** — with probability ``delay`` a message is not dropped but
+  *late*: it lands ``d`` cycles in the future, ``d`` uniform on
+  ``{1..delay_max}``.  Late messages queue in a :class:`FaultQueue`
+  with their payload frozen at send time and are delivered at the top
+  of the landing cycle (EpTO-style ball delivery: collect, then deliver
+  en masse).  A delayed REQ is delivered one-sided — the requester
+  never sees an ACK for it, the same duplication hazard a lost ACK
+  creates.
+* **partitions** — scheduled transient partitions
+  (:class:`PartitionWindow`) split the population into ``groups``
+  id-modulo groups for ``[start, start + duration)`` cycles.  While a
+  window is active, cross-group protocol messages are suppressed and
+  cross-group sampler pairings are skipped; the window then heals and
+  the views re-mix.  ``groups >= n`` degenerates to full isolation
+  (every pairing suppressed).
+
+The model itself is pure configuration; all randomness flows through
+:meth:`CyclePlan.message_faults <repro.bulk.CyclePlan.message_faults>`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FAULTS_STREAM",
+    "PartitionWindow",
+    "FaultModel",
+    "FaultQueue",
+    "parse_delay",
+    "parse_partitions",
+    "build_fault_model",
+]
+
+#: Dedicated RNG stream for fault fates.  Separate from every protocol
+#: stream (and from ``concurrency``) so enabling faults never perturbs
+#: the draws a fault-free run makes — the same backward-compatibility
+#: contract the concurrency stream established.
+FAULTS_STREAM = "faults"
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One scheduled transient partition that heals.
+
+    Active during cycles ``[start, start + duration)``.  Node ``i``
+    belongs to group ``i % groups``; messages and sampler pairings
+    between different groups are suppressed while the window is active.
+    ``groups`` larger than the population isolates every node.
+    """
+
+    start: int
+    duration: int
+    groups: int = 2
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"partition start must be >= 0, got {self.start}")
+        if self.duration < 1:
+            raise ValueError(
+                f"partition duration must be >= 1, got {self.duration}"
+            )
+        if self.groups < 2:
+            raise ValueError(f"partition groups must be >= 2, got {self.groups}")
+
+    def active(self, cycle: int) -> bool:
+        return self.start <= cycle < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Composable network-fault configuration for the bulk backends.
+
+    Parameters
+    ----------
+    loss:
+        Per-message independent drop probability in ``[0, 1]``.  Unlike
+        the reference bus, ``1.0`` is legal here: total blackout stalls
+        convergence but must never crash.
+    delay:
+        Probability in ``[0, 1]`` that a (non-lost) message is delayed.
+    delay_max:
+        Upper bound of the uniform ``{1..delay_max}`` delay, in cycles.
+        A delay longer than the run simply leaves mail undelivered.
+    partitions:
+        Tuple of :class:`PartitionWindow` schedules.  Windows may
+        overlap; the earliest active window wins.
+    """
+
+    loss: float = 0.0
+    delay: float = 0.0
+    delay_max: int = 1
+    partitions: Tuple[PartitionWindow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {self.loss}")
+        if not 0.0 <= self.delay <= 1.0:
+            raise ValueError(f"delay must be in [0, 1], got {self.delay}")
+        if self.delay_max < 1:
+            raise ValueError(f"delay_max must be >= 1, got {self.delay_max}")
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        for window in self.partitions:
+            if not isinstance(window, PartitionWindow):
+                raise TypeError(f"expected PartitionWindow, got {window!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault axis can fire."""
+        return self.loss > 0.0 or self.delay > 0.0 or bool(self.partitions)
+
+    def partition_for(self, cycle: int) -> Optional[PartitionWindow]:
+        """The partition window active at ``cycle``, if any."""
+        for window in self.partitions:
+            if window.active(cycle):
+                return window
+        return None
+
+
+def parse_delay(spec: Union[str, float, Tuple[float, int]]) -> Tuple[float, int]:
+    """Parse a CLI delay spec: ``"P"`` or ``"P:D"`` → ``(P, D)``.
+
+    ``P`` is the per-message delay probability, ``D`` the maximum delay
+    in cycles (default 1).  Accepts a bare float or a ``(P, D)`` pair
+    unchanged.
+    """
+    if isinstance(spec, tuple):
+        probability, delay_max = spec
+        return float(probability), int(delay_max)
+    if isinstance(spec, (int, float)):
+        return float(spec), 1
+    parts = str(spec).split(":")
+    if len(parts) == 1:
+        return float(parts[0]), 1
+    if len(parts) == 2:
+        return float(parts[0]), int(parts[1])
+    raise ValueError(f"delay spec must be 'P' or 'P:D', got {spec!r}")
+
+
+def parse_partitions(
+    spec: Union[str, Sequence[PartitionWindow]],
+) -> Tuple[PartitionWindow, ...]:
+    """Parse a CLI partition spec.
+
+    ``"start:duration"`` or ``"start:duration:groups"``, comma-separated
+    for multiple windows — e.g. ``"40:20:2,100:10:4"``.  A sequence of
+    :class:`PartitionWindow` passes through unchanged.
+    """
+    if not isinstance(spec, str):
+        return tuple(spec)
+    windows: List[PartitionWindow] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) == 2:
+            windows.append(PartitionWindow(int(parts[0]), int(parts[1])))
+        elif len(parts) == 3:
+            windows.append(
+                PartitionWindow(int(parts[0]), int(parts[1]), int(parts[2]))
+            )
+        else:
+            raise ValueError(
+                f"partition spec must be 'start:duration[:groups]', got {chunk!r}"
+            )
+    return tuple(windows)
+
+
+def build_fault_model(
+    loss: float = 0.0,
+    delay: Union[str, float, Tuple[float, int], None] = None,
+    partition: Union[str, Sequence[PartitionWindow], None] = None,
+) -> Optional[FaultModel]:
+    """Assemble a :class:`FaultModel` from service/CLI knobs.
+
+    Returns ``None`` when every knob is at its no-fault default, so
+    callers can pass the result straight through to code that treats
+    ``faults=None`` as "off".
+    """
+    delay_probability, delay_max = (0.0, 1) if delay is None else parse_delay(delay)
+    windows = () if partition is None else parse_partitions(partition)
+    model = FaultModel(
+        loss=float(loss),
+        delay=delay_probability,
+        delay_max=delay_max,
+        partitions=windows,
+    )
+    return model if model.enabled else None
+
+
+class FaultQueue:
+    """The delayed-delivery mailbox shared by all bulk backends.
+
+    Messages the plan marks *delayed* are queued here with their
+    payload frozen at send time and popped at the top of their landing
+    cycle — EpTO's "collect balls for ``d`` rounds, then deliver"
+    mechanic, batched.  Two mail classes exist:
+
+    * **UPD** mail (ranking): ``(target, sender_attribute)`` — one-way
+      observations, applied by prepending to the cycle's event stream;
+    * **value** mail (ordering REQ/ACK): ``(receiver,
+      sender_attribute, payload_value)`` — one-sided swap deliveries,
+      applied in receiver-disjoint rounds.
+
+    The queue lives in the driver process only; its contents are a pure
+    function of the plan's draws, so every backend materializes the
+    same mailbox.  Entries are FIFO per landing cycle (insertion
+    order); dead receivers are the *caller's* problem (alive-filter at
+    pop time, so churn between send and landing behaves identically on
+    every backend), while row relabeling from rebalancing is handled
+    here via :meth:`remap_ids`.
+    """
+
+    def __init__(self) -> None:
+        self._upd: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
+        self._values: List[
+            Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        self._seq = 0
+
+    # -- UPD mail ------------------------------------------------------
+
+    def push_upd(
+        self, land_cycle: int, targets: np.ndarray, sender_attributes: np.ndarray
+    ) -> None:
+        if len(targets) == 0:
+            return
+        self._seq += 1
+        self._upd.append(
+            (
+                int(land_cycle),
+                self._seq,
+                np.asarray(targets, dtype=np.int64).copy(),
+                np.asarray(sender_attributes, dtype=np.float64).copy(),
+            )
+        )
+
+    def pop_upd(self, cycle: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """All UPD mail landing at (or overdue by) ``cycle``, in FIFO
+        order, or ``None`` when the mailbox has nothing due."""
+        due = [entry for entry in self._upd if entry[0] <= cycle]
+        if not due:
+            return None
+        self._upd = [entry for entry in self._upd if entry[0] > cycle]
+        due.sort(key=lambda entry: (entry[0], entry[1]))
+        targets = np.concatenate([entry[2] for entry in due])
+        attrs = np.concatenate([entry[3] for entry in due])
+        return targets, attrs
+
+    # -- value mail ----------------------------------------------------
+
+    def push_values(
+        self,
+        land_cycle: int,
+        receivers: np.ndarray,
+        sender_attributes: np.ndarray,
+        payload_values: np.ndarray,
+    ) -> None:
+        if len(receivers) == 0:
+            return
+        self._seq += 1
+        self._values.append(
+            (
+                int(land_cycle),
+                self._seq,
+                np.asarray(receivers, dtype=np.int64).copy(),
+                np.asarray(sender_attributes, dtype=np.float64).copy(),
+                np.asarray(payload_values, dtype=np.float64).copy(),
+            )
+        )
+
+    def pop_values(
+        self, cycle: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """All value mail landing at (or overdue by) ``cycle``, FIFO."""
+        due = [entry for entry in self._values if entry[0] <= cycle]
+        if not due:
+            return None
+        self._values = [entry for entry in self._values if entry[0] > cycle]
+        due.sort(key=lambda entry: (entry[0], entry[1]))
+        receivers = np.concatenate([entry[2] for entry in due])
+        attrs = np.concatenate([entry[3] for entry in due])
+        payloads = np.concatenate([entry[4] for entry in due])
+        return receivers, attrs, payloads
+
+    # -- bookkeeping ---------------------------------------------------
+
+    @property
+    def pending_upds(self) -> int:
+        return sum(len(entry[2]) for entry in self._upd)
+
+    @property
+    def pending_values(self) -> int:
+        return sum(len(entry[2]) for entry in self._values)
+
+    def __len__(self) -> int:
+        return self.pending_upds + self.pending_values
+
+    def remap_ids(self, id_map: np.ndarray) -> None:
+        """Relabel queued receiver ids through a rebalance permutation.
+
+        ``id_map[old_row] -> new_row`` with dead rows mapped negative;
+        mail addressed to a dropped row is discarded (its receiver no
+        longer exists under the new labeling)."""
+        id_map = np.asarray(id_map, dtype=np.int64)
+
+        def remap(entries):
+            out = []
+            for entry in entries:
+                mapped = id_map[entry[2]]
+                keep = mapped >= 0
+                if not keep.any():
+                    continue
+                out.append(
+                    (entry[0], entry[1], mapped[keep])
+                    + tuple(column[keep] for column in entry[3:])
+                )
+            return out
+
+        self._upd = remap(self._upd)
+        self._values = remap(self._values)

@@ -17,9 +17,12 @@ Canonical per-cycle draw order (streams in parentheses):
 3. ``fill_draws``       (sampler)      — bootstrap view refills;
 4. ``waves('sampler')`` (sampler)      — view-exchange wave priorities;
 5. protocol uniforms    (ranking/ordering) — j1/j2 or partner picks;
-6. overlap masks        (concurrency)  — per-message overlap flags;
-7. exchange waves       (ordering)     — REQ/ACK wave priorities;
-8. delivery rounds      (concurrency)  — flush shuffles.
+6. fault fates          (faults)       — loss/delay masks per message,
+   drawn only when a :class:`~repro.bulk.faults.FaultModel` is attached
+   (partition masks are RNG-free but traced);
+7. overlap masks        (concurrency)  — per-message overlap flags;
+8. exchange waves       (ordering)     — REQ/ACK wave priorities;
+9. delivery rounds      (concurrency/faults) — flush shuffles.
 
 A plan records every step it serves (:attr:`steps`); the parity tests
 compare traces across backends, which turns "both backends execute the
@@ -32,6 +35,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.bulk.faults import FAULTS_STREAM, FaultModel
 from repro.bulk.matching import iter_disjoint_waves
 from repro.bulk.rebalance import (
     RebalancePlan,
@@ -62,6 +66,16 @@ class CyclePlan:
         the max/min live-load ratio over the fixed probe partition
         exceeds ``rebalance_threshold``.  ``None`` disables a trigger;
         both ``None`` (the default) disables rebalancing entirely.
+    fault_model:
+        Optional :class:`~repro.bulk.faults.FaultModel`.  When set (and
+        enabled), :meth:`message_faults` draws per-message loss/delay
+        fates from the dedicated ``faults`` stream and
+        :meth:`partition_mask` suppresses cross-group pairings during
+        scheduled partition windows.  ``None`` (the default) keeps the
+        plan's draw sequence bitwise identical to a fault-free run.
+    cycle:
+        The cycle this plan schedules — the fault model's partition
+        windows and the delayed-delivery landing times are cycle-indexed.
     """
 
     #: Stream used for overlap masks and flush shuffles.  Separate from
@@ -69,12 +83,18 @@ class CyclePlan:
     #: exactly what it drew before the concurrency model existed.
     CONCURRENCY_STREAM = "concurrency"
 
+    #: Stream used for per-message fault fates (same isolation
+    #: contract: a fault-free run never touches it).
+    FAULTS_STREAM = FAULTS_STREAM
+
     def __init__(
         self,
         rng_of: Callable[[str], np.random.Generator],
         overlap_probability: float = 0.0,
         rebalance_every: Optional[int] = None,
         rebalance_threshold: Optional[float] = None,
+        fault_model: Optional[FaultModel] = None,
+        cycle: int = 0,
     ) -> None:
         if not 0.0 <= overlap_probability <= 1.0:
             raise ValueError(
@@ -85,6 +105,8 @@ class CyclePlan:
         self.overlap_probability = float(overlap_probability)
         self.rebalance_every = rebalance_every
         self.rebalance_threshold = rebalance_threshold
+        self.fault_model = fault_model
+        self.cycle = int(cycle)
         #: Trace of plan points served: ``(name, size)`` tuples.
         self.steps: List[Tuple[str, int]] = []
 
@@ -248,7 +270,9 @@ class CyclePlan:
         )
         return order, int(overlapped.sum())
 
-    def delivery_rounds(self, receivers: np.ndarray) -> List[np.ndarray]:
+    def delivery_rounds(
+        self, receivers: np.ndarray, stream: str = CONCURRENCY_STREAM
+    ) -> List[np.ndarray]:
         """Flush scheduling for one-sided message deliveries.
 
         The reference bus shuffles its queue and delivers sequentially;
@@ -260,13 +284,21 @@ class CyclePlan:
         sequential outcome, while each round applies as one batched
         pass.  Rounds are sorted by receiver id so the sharded driver
         can cut them into contiguous per-shard runs.
+
+        ``stream`` picks the shuffle's RNG stream: overlap flushes ride
+        ``concurrency``; matured delayed-delivery flushes ride
+        ``faults`` so fault scheduling never perturbs concurrency
+        draws.
         """
         receivers = np.asarray(receivers, dtype=np.int64)
         n = len(receivers)
-        self._note("delivery", n)
+        if stream == self.CONCURRENCY_STREAM:
+            self._note("delivery", n)
+        else:
+            self._note(f"delivery:{stream}", n)
         if n == 0:
             return []
-        perm = self.rng(self.CONCURRENCY_STREAM).permutation(n)
+        perm = self.rng(stream).permutation(n)
         order = np.argsort(receivers[perm], kind="stable")
         sorted_receivers = receivers[perm][order]
         starts = np.flatnonzero(
@@ -276,3 +308,85 @@ class CyclePlan:
         occurrence = np.arange(n) - np.repeat(starts, counts)
         by_receiver = perm[order]
         return [by_receiver[occurrence == k] for k in range(int(counts.max()))]
+
+    # ------------------------------------------------------------------
+    # Network faults: loss/delay fates and partition masks
+    # ------------------------------------------------------------------
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when a fault model is attached and any axis can fire.
+        Callers gate every fault-path plan call on this, so a fault-free
+        run serves exactly the steps (and draws exactly the bits) it
+        served before the fault model existed."""
+        return self.fault_model is not None and self.fault_model.enabled
+
+    @property
+    def partition_active(self):
+        """The :class:`~repro.bulk.faults.PartitionWindow` covering this
+        plan's cycle, or ``None``."""
+        if self.fault_model is None:
+            return None
+        return self.fault_model.partition_for(self.cycle)
+
+    def message_faults(self, kind: str, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-message fault fates for ``n`` messages of one ``kind``
+        (``"req"``, ``"ack"``, ``"upd"``).
+
+        Returns ``(lost, delay)``: a boolean drop mask and an int64
+        delay-in-cycles vector (0 = inline).  Both ride the dedicated
+        ``faults`` stream; a lost message still gets a delay draw so the
+        stream position is independent of the loss outcome (the same
+        draw-count canonicalism the overlap masks use).  Degenerate
+        probabilities short-circuit without drawing, so ``loss=1.0``
+        (total blackout) consumes no randomness and cannot overflow.
+        """
+        model = self.fault_model
+        if model is None:
+            return np.zeros(n, dtype=bool), np.zeros(n, dtype=np.int64)
+        self._note(f"faults:{kind}", n)
+        rng = self.rng(self.FAULTS_STREAM)
+        if model.loss <= 0.0:
+            lost = np.zeros(n, dtype=bool)
+        elif model.loss >= 1.0:
+            lost = np.ones(n, dtype=bool)
+        else:
+            lost = rng.random(n) < model.loss
+        if model.delay <= 0.0:
+            delay = np.zeros(n, dtype=np.int64)
+        else:
+            if model.delay >= 1.0:
+                delayed = np.ones(n, dtype=bool)
+            else:
+                delayed = rng.random(n) < model.delay
+            if model.delay_max <= 1:
+                lateness = np.ones(n, dtype=np.int64)
+            else:
+                lateness = rng.integers(
+                    1, model.delay_max + 1, size=n, dtype=np.int64
+                )
+            delay = np.where(delayed, lateness, 0)
+        return lost, delay
+
+    def partition_mask(
+        self, senders: np.ndarray, receivers: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Cross-group suppression mask for one sender/receiver pairing
+        set, or ``None`` when no partition window covers this cycle.
+
+        Node ``i`` belongs to group ``i % groups``; a ``True`` entry
+        marks a pairing that crosses groups and must be suppressed
+        (message dropped, sampler pairing skipped).  RNG-free — the
+        mask is a pure function of ids and the schedule — but noted in
+        the step trace so partition scheduling is parity-checked like
+        every other plan point.
+        """
+        window = self.partition_active
+        if window is None:
+            return None
+        self._note("partition", len(senders))
+        groups = window.groups
+        return (
+            np.asarray(senders, dtype=np.int64) % groups
+            != np.asarray(receivers, dtype=np.int64) % groups
+        )

@@ -29,6 +29,7 @@ __all__ = [
     "ArrivalAttributePolicy",
     "CorrelatedArrivals",
     "DistributionArrivals",
+    "AvailabilityTrace",
 ]
 
 
@@ -73,6 +74,85 @@ class UniformDepartures(DeparturePolicy):
         rng: random.Random = sim.rng("churn")
         count = min(count, len(live_ids))
         return rng.sample(live_ids, count)
+
+
+class AvailabilityTrace:
+    """A replayable availability schedule: cycle → signed churn rate.
+
+    Positive rates are joins (the fraction of the live population
+    entering that cycle), negative rates departures.  A trace is pure
+    data — replaying the same trace on the reference engine
+    (:class:`~repro.churn.models.AvailabilityChurn`) and on the bulk
+    engines (:class:`~repro.vectorized.churn.BulkAvailabilityChurn`)
+    produces the same per-cycle leave/join counts, because both sides
+    share the fractional-carry accounting of the rate-based models.
+
+    The three generators cover the availability regimes the robustness
+    experiments replay: a **flash crowd** (mass join, plateau, drain),
+    a **diurnal sawtooth** (the population dips and refills every
+    period), and a **mass exit** (a large correlated departure wave).
+    """
+
+    def __init__(self, rates) -> None:
+        self.rates = {int(cycle): float(rate) for cycle, rate in dict(rates).items()}
+
+    def rate(self, cycle: int) -> float:
+        """Signed churn rate for ``cycle`` (0.0 outside the trace)."""
+        return self.rates.get(cycle, 0.0)
+
+    @property
+    def last_cycle(self) -> int:
+        """Last cycle with scheduled churn (-1 for an empty trace)."""
+        return max(self.rates, default=-1)
+
+    @classmethod
+    def flash_crowd(
+        cls, start: int = 50, ramp: int = 20, hold: int = 50, rate: float = 0.05
+    ) -> "AvailabilityTrace":
+        """``ramp`` cycles of mass joining at ``rate`` per cycle, a
+        ``hold``-cycle plateau, then the crowd drains out again."""
+        if rate <= 0:
+            raise ValueError("flash crowd rate must be positive")
+        rates = {start + i: rate for i in range(ramp)}
+        for i in range(ramp):
+            rates[start + ramp + hold + i] = -rate
+        return cls(rates)
+
+    @classmethod
+    def diurnal_sawtooth(
+        cls,
+        period: int = 100,
+        amplitude: float = 0.01,
+        cycles: int = 600,
+        start: int = 0,
+    ) -> "AvailabilityTrace":
+        """Diurnal availability: the population drains at ``amplitude``
+        per cycle for the first half of each period and refills over
+        the second half."""
+        if period < 2:
+            raise ValueError("period must be at least 2 cycles")
+        if amplitude <= 0:
+            raise ValueError("amplitude must be positive")
+        half = period // 2
+        return cls(
+            {
+                cycle: (-amplitude if (cycle - start) % period < half else amplitude)
+                for cycle in range(start, start + cycles)
+            }
+        )
+
+    @classmethod
+    def mass_exit(
+        cls, at: int = 100, fraction: float = 0.5, over: int = 1
+    ) -> "AvailabilityTrace":
+        """``fraction`` of the population leaves across ``over`` cycles
+        — a shutdown wave or un-healed partition half."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if over < 1:
+            raise ValueError("over must be at least 1 cycle")
+        per_cycle = fraction / over
+        return cls({at + i: -per_cycle for i in range(over)})
 
 
 class ArrivalAttributePolicy(ABC):

@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 from repro.churn.correlated import (
     ArrivalAttributePolicy,
+    AvailabilityTrace,
     CorrelatedArrivals,
     DeparturePolicy,
     LowestAttributeDepartures,
@@ -39,6 +40,7 @@ __all__ = [
     "BurstChurn",
     "RegularChurn",
     "TraceChurn",
+    "AvailabilityChurn",
 ]
 
 
@@ -161,6 +163,64 @@ class RegularChurn(_RateChurn):
 
     def _active(self, cycle: int) -> bool:
         return cycle % self.period == 0
+
+
+class AvailabilityChurn(ChurnModel):
+    """Replay an :class:`~repro.churn.correlated.AvailabilityTrace`.
+
+    The trace's signed per-cycle rates (fractions of the current live
+    population; positive = joins, negative = departures) go through the
+    same fractional-carry accounting as the rate-based models, so the
+    long-run rate is exact at any system size and the bulk twin
+    (:class:`~repro.vectorized.churn.BulkAvailabilityChurn`) produces
+    the same per-cycle counts.
+    """
+
+    def __init__(
+        self,
+        trace: AvailabilityTrace,
+        departures: Optional[DeparturePolicy] = None,
+        arrivals: Optional[ArrivalAttributePolicy] = None,
+    ) -> None:
+        self.trace = trace
+        self.departures = (
+            departures if departures is not None else LowestAttributeDepartures()
+        )
+        self.arrivals = arrivals if arrivals is not None else CorrelatedArrivals()
+        self._leave_carry = 0.0
+        self._join_carry = 0.0
+
+    def apply(self, sim) -> ChurnEvent:
+        cycle = sim.now
+        rate = self.trace.rate(cycle)
+        n = sim.live_count
+        if rate > 0:
+            self._join_carry += rate * n
+        elif rate < 0:
+            self._leave_carry += -rate * n
+        leave_count = int(self._leave_carry)
+        join_count = int(self._join_carry)
+        self._leave_carry -= leave_count
+        self._join_carry -= join_count
+        if not leave_count and not join_count:
+            return ChurnEvent(cycle, (), ())
+
+        departed: List[int] = []
+        if leave_count > 0:
+            leave_count = min(leave_count, max(0, sim.live_count - 2))
+            for node_id in self.departures.select(sim, leave_count):
+                sim.remove_node(node_id)
+                departed.append(node_id)
+
+        joined: List[int] = []
+        for attribute in self.arrivals.attributes(sim, join_count):
+            node = sim.add_node(attribute)
+            joined.append(node.node_id)
+
+        event = ChurnEvent(cycle, tuple(departed), tuple(joined))
+        if event.total:
+            sim.trace.record(cycle, "churn", None, (len(departed), len(joined)))
+        return event
 
 
 class TraceChurn(ChurnModel):

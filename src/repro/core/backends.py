@@ -75,13 +75,17 @@ class BackendSpec:
     ``factory`` receives the service-level keyword arguments (``size``,
     ``partition``, ``algorithm``, ``window``, ``attributes``,
     ``view_size``, ``concurrency``, ``workers``, ``hosts``, ``churn``,
-    ``rebalance_every``, ``rebalance_threshold``, ``seed``) and
-    returns a ready :class:`SimulationBackend`.  ``multiprocess``
-    states whether the engine accepts ``workers > 1``; ``rebalances``
-    whether it serves the plan-driven dead-row compaction knobs
-    (:mod:`repro.bulk.rebalance`); ``remote_hosts`` whether it accepts
-    a ``hosts=["host:port", ...]`` list of pre-started remote workers
-    (the distributed backend's multi-host mode).
+    ``rebalance_every``, ``rebalance_threshold``, ``seed``,
+    ``faults``) and returns a ready :class:`SimulationBackend`.
+    ``multiprocess`` states whether the engine accepts ``workers > 1``;
+    ``rebalances`` whether it serves the plan-driven dead-row
+    compaction knobs (:mod:`repro.bulk.rebalance`); ``remote_hosts``
+    whether it accepts a ``hosts=["host:port", ...]`` list of
+    pre-started remote workers (the distributed backend's multi-host
+    mode); ``fault_models`` whether it serves the full plan-level
+    :class:`~repro.bulk.faults.FaultModel` (loss including 1.0, delay
+    distributions, transient partitions) — the reference engine only
+    models per-message loss below 1.0 through its message bus.
     """
 
     name: str
@@ -90,6 +94,7 @@ class BackendSpec:
     multiprocess: bool = False
     rebalances: bool = False
     remote_hosts: bool = False
+    fault_models: bool = False
 
     def validate(
         self,
@@ -98,6 +103,7 @@ class BackendSpec:
         rebalance_every=None,
         rebalance_threshold=None,
         hosts=None,
+        faults=None,
     ) -> None:
         """Fail fast on parameters this backend cannot serve, naming
         the supported combinations."""
@@ -144,6 +150,20 @@ class BackendSpec:
                 "dead-row compaction is a bulk-backend feature"
                 + _supported_suffix()
             )
+        if faults is not None and faults.enabled and not self.fault_models:
+            if faults.delay > 0 or faults.partitions:
+                raise ValueError(
+                    f"backend={self.name!r} models per-message loss only "
+                    "— delay distributions and transient partitions are "
+                    "plan-level fault features of the bulk backends"
+                    + _supported_suffix()
+                )
+            if faults.loss >= 1.0:
+                raise ValueError(
+                    f"backend={self.name!r} requires loss < 1.0 (its "
+                    "message bus rejects certain loss); loss=1.0 needs a "
+                    "bulk backend" + _supported_suffix()
+                )
 
     def create(self, **kwargs) -> SimulationBackend:
         return self.factory(**kwargs)
@@ -177,9 +197,10 @@ def supported_combinations() -> Tuple[str, ...]:
         workers = "None or any N >= 1" if spec.multiprocess else "None or 1"
         rebalancing = ", rebalancing" if spec.rebalances else ""
         hosts = ", hosts=[...]" if spec.remote_hosts else ""
+        faults = ", loss/delay/partition faults" if spec.fault_models else ""
         lines.append(
             f"backend={spec.name!r}: any concurrency, workers={workers}"
-            f"{rebalancing}{hosts} ({spec.summary})"
+            f"{rebalancing}{hosts}{faults} ({spec.summary})"
         )
     return tuple(lines)
 
@@ -225,11 +246,13 @@ def _reference_factory(
     rebalance_every=None,
     rebalance_threshold=None,
     hosts=None,
+    faults=None,
     telemetry=None,
 ):
     # The rebalance/hosts knobs are rejected for this backend by
     # validate(); they appear here only so spec.create() can pass one
-    # kwargs dict.
+    # kwargs dict.  A fault model that survived validate() carries loss
+    # only, which maps onto the reference message bus directly.
     from repro.engine.simulator import CycleSimulation
 
     return CycleSimulation(
@@ -241,6 +264,7 @@ def _reference_factory(
         concurrency=concurrency,
         churn=churn,
         seed=seed,
+        loss_probability=faults.loss if faults is not None else 0.0,
         telemetry=telemetry,
     )
 
@@ -313,6 +337,7 @@ register_backend(
         summary="numpy bulk engine, ~10^6 nodes",
         factory=_vectorized_factory,
         rebalances=True,
+        fault_models=True,
     )
 )
 register_backend(
@@ -322,6 +347,7 @@ register_backend(
         factory=_sharded_factory,
         multiprocess=True,
         rebalances=True,
+        fault_models=True,
     )
 )
 register_backend(
@@ -332,5 +358,6 @@ register_backend(
         multiprocess=True,
         rebalances=True,
         remote_hosts=True,
+        fault_models=True,
     )
 )

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.sample_size import slice_estimate_is_confident
+from repro.bulk.faults import build_fault_model
 from repro.core.backends import SimulationBackend, get_backend
 from repro.core.slices import SlicePartition
 from repro.metrics.disorder import slice_disorder, true_slice_indices
@@ -96,6 +97,18 @@ class SlicingService:
         compact (and, on ``backend="sharded"``, keeps the worker
         loads even).  A compaction relabels node ids, so ids obtained
         from :meth:`join`/:meth:`members` are not stable across one.
+    loss, delay, partition:
+        Network fault model (:mod:`repro.bulk.faults`).  ``loss`` is
+        the per-message drop probability; ``delay`` is either a
+        probability or ``"P:D"`` — each surviving message is delayed
+        with probability ``P`` by 1..``D`` cycles (default ``D=1``);
+        ``partition`` schedules transient partitions that heal, as
+        ``"start:duration[:groups]"`` windows (comma-separated).  The
+        bulk backends draw fault fates from the shared cycle plan, so
+        results stay bitwise identical across backends and worker
+        counts under every fault regime; the reference backend serves
+        ``loss < 1.0`` only (its message bus models per-message loss)
+        and rejects ``delay``/``partition``.
     attributes, view_size, seed, churn:
         Forwarded to the underlying simulation.
     telemetry:
@@ -127,6 +140,9 @@ class SlicingService:
         concurrency: Union[str, float] = "none",
         rebalance_every: Optional[int] = None,
         rebalance_threshold: Optional[float] = None,
+        loss: float = 0.0,
+        delay=None,
+        partition=None,
         attributes: Union[AttributeDistribution, Sequence[float], None] = None,
         view_size: int = 10,
         seed: int = 0,
@@ -148,6 +164,7 @@ class SlicingService:
                     telemetry.watchdog = Watchdog()
                 if metrics_every is not None and telemetry.metrics_every is None:
                     telemetry.metrics_every = int(metrics_every)
+        faults = build_fault_model(loss=loss, delay=delay, partition=partition)
         spec = get_backend(backend)
         spec.validate(
             concurrency=concurrency,
@@ -155,6 +172,7 @@ class SlicingService:
             rebalance_every=rebalance_every,
             rebalance_threshold=rebalance_threshold,
             hosts=hosts,
+            faults=faults,
         )
         self._sim = spec.create(
             size=size,
@@ -169,6 +187,7 @@ class SlicingService:
             churn=churn,
             rebalance_every=rebalance_every,
             rebalance_threshold=rebalance_threshold,
+            faults=faults,
             seed=seed,
             telemetry=telemetry,
         )

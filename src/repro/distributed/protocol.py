@@ -84,6 +84,7 @@ COMMAND_INPUTS: Dict[str, Tuple[str, ...]] = {
     "conc_wave": ("wave_a", "wave_b", "wave_d", "wave_s"),
     "conc_req": ("del_r", "del_s", "del_p", "del_t"),
     "conc_ack": ("del_r", "del_s", "del_t", "x_ackv"),
+    "fault_deliver": ("del_r", "del_a", "del_p"),
     "metric_ranks": ("mkeys", "mids"),
     "rebalance_pack": ("mig_live",),
     "rebalance_unpack": ("mig_bytes", "mig_map"),
@@ -130,7 +131,7 @@ def _slice_rank_targets(payload, state):
 
 def _slice_rank_apply(payload, state):
     # Every worker scans the full UPD event list for its own rows.
-    span = (0, 2 * payload["total"])
+    span = (0, payload["events"])
     return {"targets": span, "senders": span}
 
 
@@ -176,6 +177,7 @@ INPUT_SLICERS = {
     "conc_wave": _slice_span("wave_a", "wave_b", "wave_d", "wave_s"),
     "conc_req": _slice_span("del_r", "del_s", "del_p", "del_t"),
     "conc_ack": _slice_conc_ack,
+    "fault_deliver": _slice_span("del_r", "del_a", "del_p"),
     "metric_ranks": _slice_metric_ranks,
     "rebalance_pack": _slice_span("mig_live"),
     "rebalance_unpack": _slice_rebalance_unpack,
@@ -214,11 +216,14 @@ def _out_rank_targets(ctx, payload, result):
     count = len(ctx.cache.get("rows", ()))
     if count == 0:
         return []
-    return [
+    segments = [
         _segment(ctx.scratch, "tgt1", ctx.lo, count),
         _segment(ctx.scratch, "tgt2", ctx.lo, count),
         _segment(ctx.scratch, "sattr", ctx.lo, count),
     ]
+    if payload.get("sids"):
+        segments.append(_segment(ctx.scratch, "sid", ctx.lo, count))
+    return segments
 
 
 def _out_ord_select(ctx, payload, result):
@@ -349,6 +354,9 @@ _UPDATES = {
     "conc_wave": _upd_conc_wave,
     "conc_req": _upd_deliver,
     "conc_ack": _upd_deliver,
+    # Matured delayed mail rewrites receiver values like any other
+    # one-sided delivery; the frozen sender attributes ride del_a.
+    "fault_deliver": _upd_deliver,
 }
 
 

@@ -91,6 +91,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "the churn figures (fig6c, fig6d)",
     )
     parser.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="drop each protocol message independently with probability "
+        "P; the bulk backends draw fault fates from the shared cycle "
+        "plan, so results stay bitwise identical across backends and "
+        "worker counts (the reference backend serves P < 1.0 only)",
+    )
+    parser.add_argument(
+        "--delay",
+        default=None,
+        metavar="P[:D]",
+        help="bulk backends: delay each surviving protocol message with "
+        "probability P by 1..D cycles (uniform; D defaults to 1) — "
+        "EpTO-style late ball delivery through a deterministic mailbox",
+    )
+    parser.add_argument(
+        "--partition",
+        default=None,
+        metavar="START:DUR[:GROUPS],...",
+        help="bulk backends: transient network partitions that heal — "
+        "from cycle START, for DUR cycles, split nodes into GROUPS "
+        "(default 2) groups by id and suppress every cross-group "
+        "pairing and protocol message; comma-separate multiple windows",
+    )
+    parser.add_argument(
         "--profile",
         default=None,
         metavar="OUT.ndjson",
@@ -152,10 +179,12 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["hosts"] = tuple(
             spec.strip() for spec in args.hosts.split(",") if spec.strip()
         )
-    for knob in ("rebalance_every", "rebalance_threshold"):
+    for knob in ("rebalance_every", "rebalance_threshold", "loss", "delay"):
         value = getattr(args, knob)
         if value is not None and knob in accepted:
             kwargs[knob] = value
+    if args.partition is not None and "partitions" in accepted:
+        kwargs["partitions"] = args.partition
     if args.profile is not None and "profile" in accepted:
         kwargs["profile"] = args.profile
     if (args.trace is not None or getattr(args, "timeline", False)) and (

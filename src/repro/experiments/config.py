@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence, Union
 
+from repro.bulk.faults import build_fault_model
 from repro.churn.correlated import DistributionArrivals, UniformDepartures
 from repro.churn.models import BurstChurn, ChurnModel, RegularChurn
 from repro.core.backends import backend_names, get_backend
@@ -111,6 +112,15 @@ class RunSpec:
         sharded backend's worker loads even under long correlated
         churn (compactions relabel node ids but never change
         results across backends/worker counts).
+    loss, delay, partitions:
+        Network fault model (:mod:`repro.bulk.faults`): per-message
+        loss probability, delay spec (probability or ``"P:D"`` for a
+        1..D-cycle delay distribution) and transient partition windows
+        (``"start:duration[:groups]"``, comma-separated).  The bulk
+        backends draw fault fates from the shared cycle plan — results
+        stay bitwise identical across backends and worker counts under
+        every fault regime.  The reference backend serves ``loss <
+        1.0`` only and rejects the other two knobs.
     seed:
         Root seed — a run is a pure function of its spec.  A sharded
         run is additionally independent of its worker count (bitwise
@@ -158,6 +168,9 @@ class RunSpec:
     window_approx: bool = False
     rebalance_every: Optional[int] = None
     rebalance_threshold: Optional[float] = None
+    loss: float = 0.0
+    delay: Optional[str] = None
+    partitions: Optional[str] = None
     seed: int = 0
     profile: Optional[str] = None
     timeline: bool = False
@@ -195,6 +208,12 @@ class RunSpec:
             bits.append(f"rebalance_every={self.rebalance_every}")
         if self.rebalance_threshold is not None:
             bits.append(f"rebalance_threshold={self.rebalance_threshold}")
+        if self.loss:
+            bits.append(f"loss={self.loss}")
+        if self.delay is not None:
+            bits.append(f"delay={self.delay}")
+        if self.partitions is not None:
+            bits.append(f"partitions={self.partitions}")
         if self.churn is not None:
             bits.append(f"churn={self.churn}")
         if self.profile is not None:
@@ -313,12 +332,16 @@ def build_simulation(spec: RunSpec, telemetry=None):
         if spec.watchdog and telemetry.watchdog is None:
             telemetry.watchdog = Watchdog()
     backend_spec = get_backend(spec.backend)
+    faults = build_fault_model(
+        loss=spec.loss, delay=spec.delay, partition=spec.partitions
+    )
     backend_spec.validate(
         concurrency=spec.concurrency,
         workers=spec.workers,
         rebalance_every=spec.rebalance_every,
         rebalance_threshold=spec.rebalance_threshold,
         hosts=spec.hosts,
+        faults=faults,
     )
     partition = spec.partition()
     if spec.backend == "reference":
@@ -332,6 +355,7 @@ def build_simulation(spec: RunSpec, telemetry=None):
             concurrency=spec.concurrency,
             churn=_churn_model(spec),
             seed=spec.seed,
+            loss_probability=faults.loss if faults is not None else 0.0,
             telemetry=telemetry,
         )
     if spec.protocol not in PROTOCOLS:
@@ -357,6 +381,7 @@ def build_simulation(spec: RunSpec, telemetry=None):
         hosts=spec.hosts,
         rebalance_every=spec.rebalance_every,
         rebalance_threshold=spec.rebalance_threshold,
+        faults=faults,
         seed=spec.seed,
         telemetry=telemetry,
     )

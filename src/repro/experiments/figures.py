@@ -116,6 +116,9 @@ def run_fig4a(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    loss: float = 0.0,
+    delay=None,
+    partitions=None,
     profile=None,
     timeline: bool = False,
     metrics_every=None,
@@ -139,6 +142,9 @@ def run_fig4a(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        loss=loss,
+        delay=delay,
+        partitions=partitions,
         profile=profile,
         timeline=timeline,
         metrics_every=metrics_every,
@@ -178,6 +184,9 @@ def run_fig4b(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    loss: float = 0.0,
+    delay=None,
+    partitions=None,
     profile=None,
     timeline: bool = False,
     metrics_every=None,
@@ -201,6 +210,9 @@ def run_fig4b(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        loss=loss,
+        delay=delay,
+        partitions=partitions,
         profile=profile,
         timeline=timeline,
         metrics_every=metrics_every,
@@ -245,6 +257,9 @@ def run_fig4c(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    loss: float = 0.0,
+    delay=None,
+    partitions=None,
     profile=None,
     timeline: bool = False,
     metrics_every=None,
@@ -271,6 +286,9 @@ def run_fig4c(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        loss=loss,
+        delay=delay,
+        partitions=partitions,
         profile=profile,
         timeline=timeline,
         metrics_every=metrics_every,
@@ -321,6 +339,9 @@ def run_fig4d(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    loss: float = 0.0,
+    delay=None,
+    partitions=None,
     profile=None,
     timeline: bool = False,
     metrics_every=None,
@@ -345,6 +366,9 @@ def run_fig4d(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        loss=loss,
+        delay=delay,
+        partitions=partitions,
         profile=profile,
         timeline=timeline,
         metrics_every=metrics_every,
@@ -398,6 +422,9 @@ def run_fig6a(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    loss: float = 0.0,
+    delay=None,
+    partitions=None,
     profile=None,
     timeline: bool = False,
     metrics_every=None,
@@ -420,6 +447,9 @@ def run_fig6a(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        loss=loss,
+        delay=delay,
+        partitions=partitions,
         profile=profile,
         timeline=timeline,
         metrics_every=metrics_every,
@@ -458,6 +488,9 @@ def run_fig6b(
     backend: str = "reference",
     workers=None,
     hosts=None,
+    loss: float = 0.0,
+    delay=None,
+    partitions=None,
     profile=None,
     timeline: bool = False,
     metrics_every=None,
@@ -483,6 +516,9 @@ def run_fig6b(
         backend=backend,
         workers=workers,
         hosts=hosts,
+        loss=loss,
+        delay=delay,
+        partitions=partitions,
         profile=profile,
         timeline=timeline,
         metrics_every=metrics_every,
@@ -531,6 +567,9 @@ def run_fig6c(
     hosts=None,
     rebalance_every=None,
     rebalance_threshold=None,
+    loss: float = 0.0,
+    delay=None,
+    partitions=None,
     profile=None,
     timeline: bool = False,
     metrics_every=None,
@@ -561,6 +600,9 @@ def run_fig6c(
         hosts=hosts,
         rebalance_every=rebalance_every,
         rebalance_threshold=rebalance_threshold,
+        loss=loss,
+        delay=delay,
+        partitions=partitions,
         profile=profile,
         timeline=timeline,
         metrics_every=metrics_every,
@@ -618,6 +660,9 @@ def run_fig6d(
     hosts=None,
     rebalance_every=None,
     rebalance_threshold=None,
+    loss: float = 0.0,
+    delay=None,
+    partitions=None,
     profile=None,
     timeline: bool = False,
     metrics_every=None,
@@ -649,6 +694,9 @@ def run_fig6d(
         hosts=hosts,
         rebalance_every=rebalance_every,
         rebalance_threshold=rebalance_threshold,
+        loss=loss,
+        delay=delay,
+        partitions=partitions,
         profile=profile,
         timeline=timeline,
         metrics_every=metrics_every,

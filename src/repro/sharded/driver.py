@@ -317,6 +317,7 @@ class _ShardedExchangeApplier:
             ("del_s", np.int64),
             ("del_p", np.float64),
             ("del_t", np.int64),
+            ("del_a", np.float64),
         ):
             scratch.ensure(name, dtype, size)
         scratch["x_resp"][:n_exchanges] = 0
@@ -348,6 +349,25 @@ class _ShardedExchangeApplier:
 
     def deliver_ack(self, receivers, senders, slots) -> None:
         self._deliver("conc_ack", receivers, senders, slots)
+
+    def deliver_matured(self, receivers, sender_attributes, payloads) -> None:
+        # Matured delayed mail: attributes and payloads were frozen at
+        # send time, and no exchange slot exists to record against.
+        # The matured batch can exceed this cycle's exchange count, so
+        # the staging buffers are re-ensured at the batch size.
+        scratch = self._executor.scratch
+        count = len(receivers)
+        size = max(1, count)
+        del_r = scratch.ensure("del_r", np.int64, size)
+        del_a = scratch.ensure("del_a", np.float64, size)
+        del_p = scratch.ensure("del_p", np.float64, size)
+        del_r[:count] = receivers
+        del_a[:count] = sender_attributes
+        del_p[:count] = payloads
+        self._executor.run("fault_deliver", self._cut_payloads(receivers))
+
+    def ack_values(self):
+        return self._executor.scratch["x_ackv"][: self.n]
 
     def results(self):
         scratch = self._executor.scratch
@@ -679,6 +699,15 @@ class ShardedSimulation(VectorSimulation):
         initiators, partners = self._gather_proposals(
             executor, [reply["props"] for reply in replies], ("prop_a", "prop_b")
         )
+        # Transient partitions (fault model): proposals across the
+        # partition fail to connect, exactly as in the vectorized
+        # sampler.  Filtering preserves the ascending initiator order
+        # the contiguous per-shard cutting relies on.
+        if plan.faults_enabled:
+            crossing = plan.partition_mask(initiators, partners)
+            if crossing is not None:
+                initiators = initiators[~crossing]
+                partners = partners[~crossing]
         no_payload = np.zeros(len(initiators), dtype=bool)
         buffers = [
             (
@@ -739,6 +768,11 @@ class ShardedSimulation(VectorSimulation):
         )
         row_counts = [reply["rows"] for reply in replies]
         row_offsets, total_rows = _prefix_offsets(row_counts)
+        queue, cycle = self._fault_queue, self._cycle
+        event_targets = np.empty(0, dtype=np.int64)
+        event_senders = np.empty(0, dtype=np.float64)
+        overlapping = 0
+        sent = lost_count = delayed_count = matured_count = 0
         if total_rows:
             planned_u1, planned_u2 = plan.ranking_uniforms(
                 total_rows, self.boundary_bias
@@ -752,11 +786,17 @@ class ShardedSimulation(VectorSimulation):
             executor.scratch.ensure("tgt1", np.int64, capacity)
             executor.scratch.ensure("tgt2", np.int64, capacity)
             executor.scratch.ensure("sattr", np.float64, capacity)
+            if plan.faults_enabled:
+                executor.scratch.ensure("sid", np.int64, capacity)
             self._broadcast(
                 executor,
                 "rank_targets",
                 [
-                    {"offset": offset, "count": count}
+                    {
+                        "offset": offset,
+                        "count": count,
+                        "sids": plan.faults_enabled,
+                    }
                     for offset, count in zip(row_offsets, row_counts)
                 ],
             )
@@ -776,18 +816,76 @@ class ShardedSimulation(VectorSimulation):
             if order is not None:
                 event_targets = event_targets[order]
                 event_senders = event_senders[order]
-            targets = executor.scratch.ensure("targets", np.int64, 2 * total_rows)
-            senders = executor.scratch.ensure("senders", np.float64, 2 * total_rows)
-            targets[: 2 * total_rows] = event_targets
-            senders[: 2 * total_rows] = event_senders
-            self._stats.note_round(messages=2 * total_rows, intended=0)
+            sent = len(event_targets)
+
+            # Fault fates, mirroring the vectorized ranking round: lost
+            # (or partition-crossing) UPDs vanish; delayed ones are
+            # mailed with the sender attribute frozen.
+            if plan.faults_enabled:
+                (sid,) = self._gather_proposals(executor, row_counts, ("sid",))
+                sender_ids = np.concatenate([sid, sid])
+                if order is not None:
+                    sender_ids = sender_ids[order]
+                crossing = plan.partition_mask(sender_ids, event_targets)
+                lost, delay = plan.message_faults("upd", len(event_targets))
+                if crossing is not None:
+                    lost = lost | crossing
+                delayed = ~lost & (delay > 0)
+                if queue is not None and delayed.any():
+                    delayed_idx = np.flatnonzero(delayed)
+                    lateness = delay[delayed_idx]
+                    for d in np.unique(lateness):
+                        group = delayed_idx[lateness == d]
+                        queue.push_upd(
+                            cycle + int(d),
+                            event_targets[group],
+                            event_senders[group],
+                        )
+                lost_count = int(lost.sum())
+                delayed_count = int(delayed.sum())
+                if lost_count or delayed_count:
+                    keep = ~(lost | delayed)
+                    event_targets = event_targets[keep]
+                    event_senders = event_senders[keep]
+
+        # Mail sent d cycles ago lands now, ahead of this cycle's events.
+        if plan.faults_enabled and queue is not None:
+            matured = queue.pop_upd(cycle)
+            if matured is not None:
+                matured_targets, matured_attr = matured
+                still_alive = self.state.alive[matured_targets]
+                matured_targets = matured_targets[still_alive]
+                matured_attr = matured_attr[still_alive]
+                matured_count = len(matured_targets)
+                if matured_count:
+                    event_targets = np.concatenate(
+                        [matured_targets, event_targets]
+                    )
+                    event_senders = np.concatenate(
+                        [matured_attr, event_senders]
+                    )
+
+        n_events = len(event_targets)
+        if n_events:
+            targets = executor.scratch.ensure("targets", np.int64, n_events)
+            senders = executor.scratch.ensure("senders", np.float64, n_events)
+            targets[:n_events] = event_targets
+            senders[:n_events] = event_senders
+        if sent or matured_count:
+            self._stats.note_round(messages=sent, intended=0)
             self._stats.note_overlapping(overlapping)
+            if lost_count:
+                self._stats.note_lost(lost_count)
+            if delayed_count:
+                self._stats.note_delayed(delayed_count)
+            if matured_count:
+                self._stats.note_matured(matured_count)
         self._broadcast(
             executor,
             "rank_apply",
             [
                 {
-                    "total": total_rows,
+                    "events": n_events,
                     "window": self.window,
                     "window_exact": self.window_exact,
                 }
@@ -825,7 +923,15 @@ class ShardedSimulation(VectorSimulation):
         )
         applier = _ShardedExchangeApplier(self, executor, len(initiators))
         run_exchanges(
-            self.state, plan, initiators, targets, intended, applier, self._stats
+            self.state,
+            plan,
+            initiators,
+            targets,
+            intended,
+            applier,
+            self._stats,
+            queue=self._fault_queue,
+            cycle=self._cycle,
         )
 
     # ------------------------------------------------------------------

@@ -202,11 +202,15 @@ def cmd_rank_fold(ctx: ShardContext, boundary_bias: bool, window_exact: bool) ->
     return {"rows": len(rows)}
 
 
-def cmd_rank_targets(ctx: ShardContext, offset: int, count: int = 0) -> dict:
+def cmd_rank_targets(
+    ctx: ShardContext, offset: int, count: int = 0, sids: bool = False
+) -> dict:
     """Resolve j1/j2 (central uniform blocks) and publish the UPD
     targets with their senders' attributes (lines 8-14).  ``count`` is
     wire-slicing metadata (the rank_fold row count the distributed
-    driver uses to slice ``u1``/``u2``)."""
+    driver uses to slice ``u1``/``u2``); with ``sids`` the senders'
+    global node ids are published too (the fault model's partition
+    masks need sender identity, not just the attribute)."""
     rows = ctx.cache["rows"]
     count = len(rows)
     if count == 0:
@@ -224,18 +228,22 @@ def cmd_rank_targets(ctx: ShardContext, offset: int, count: int = 0) -> dict:
     ctx.scratch["tgt1"][ctx.lo : ctx.lo + count] = sub_view[sub_rows, j1_cols]
     ctx.scratch["tgt2"][ctx.lo : ctx.lo + count] = sub_view[sub_rows, j2_cols]
     ctx.scratch["sattr"][ctx.lo : ctx.lo + count] = ctx.cache["a_self"][rows]
+    if sids:
+        ctx.scratch["sid"][ctx.lo : ctx.lo + count] = ctx.cache["live"][rows]
     return {}
 
 
-def cmd_rank_apply(ctx: ShardContext, total: int, window, window_exact: bool) -> dict:
-    """Deliver the UPD messages landing on this shard's rows (global
-    order preserved, so the float accumulation is bitwise identical to
-    the single-process scatter-add), then recompute estimates."""
+def cmd_rank_apply(ctx: ShardContext, events: int, window, window_exact: bool) -> dict:
+    """Deliver the ``events`` UPD messages landing on this shard's rows
+    (global order preserved, so the float accumulation is bitwise
+    identical to the single-process scatter-add), then recompute
+    estimates.  With a fault model the event list already reflects the
+    fates — lost messages filtered, matured mail prepended."""
     state = ctx.state
     live = ctx.cache["live"]
-    if total:
-        targets = ctx.scratch["targets"][: 2 * total]
-        senders = ctx.scratch["senders"][: 2 * total]
+    if events:
+        targets = ctx.scratch["targets"][:events]
+        senders = ctx.scratch["senders"][:events]
         mine = (targets >= ctx.lo) & (targets < ctx.hi)
         targets, senders = targets[mine], senders[mine]
         upd_le = (senders <= state.attribute[targets]).astype(np.float64)
@@ -346,6 +354,20 @@ def cmd_conc_req(ctx: ShardContext, offset: int, count: int) -> dict:
         )
         scratch["x_resp"][slots] = swap
         scratch["x_ackv"][slots] = pre
+    return {}
+
+
+def cmd_fault_deliver(ctx: ShardContext, offset: int, count: int) -> dict:
+    """Deliver this shard's slice of one matured-mail round: one-sided
+    swaps from sender attributes and payload values frozen at send
+    time.  No exchange slot is recorded — the sending exchange closed
+    its books when the delay was drawn."""
+    if count:
+        scratch = ctx.scratch
+        receivers = scratch["del_r"][offset : offset + count]
+        attributes = scratch["del_a"][offset : offset + count]
+        payloads = scratch["del_p"][offset : offset + count]
+        deliver_one_sided(ctx.state, receivers, attributes, payloads)
     return {}
 
 
@@ -540,6 +562,7 @@ DISPATCH = {
     "conc_wave": cmd_conc_wave,
     "conc_req": cmd_conc_req,
     "conc_ack": cmd_conc_ack,
+    "fault_deliver": cmd_fault_deliver,
     "metric_prepare": cmd_metric_prepare,
     "metric_write": cmd_metric_write,
     "metric_ranks": cmd_metric_ranks,

@@ -22,16 +22,17 @@ from typing import Optional
 import numpy as np
 
 from repro.churn.correlated import (
+    AvailabilityTrace,
     CorrelatedArrivals,
     DistributionArrivals,
     HighestAttributeDepartures,
     LowestAttributeDepartures,
     UniformDepartures,
 )
-from repro.churn.models import BurstChurn, NoChurn, RegularChurn
+from repro.churn.models import AvailabilityChurn, BurstChurn, NoChurn, RegularChurn
 from repro.vectorized.state import ArrayState
 
-__all__ = ["BulkChurn", "from_model"]
+__all__ = ["BulkChurn", "BulkAvailabilityChurn", "from_model"]
 
 #: Departure policies: who leaves.
 DEPART_LOWEST = "lowest"
@@ -170,6 +171,54 @@ class BulkChurn:
         )
 
 
+class BulkAvailabilityChurn(BulkChurn):
+    """Bulk twin of :class:`~repro.churn.models.AvailabilityChurn`:
+    replays an :class:`~repro.churn.correlated.AvailabilityTrace`
+    (signed per-cycle rates) with the same fractional-carry accounting,
+    so a converted model produces the reference model's per-cycle
+    leave/join counts on millions of rows."""
+
+    def __init__(
+        self,
+        trace: AvailabilityTrace,
+        departures: str = DEPART_LOWEST,
+        arrivals=ARRIVE_CORRELATED,
+        step: float = 1.0,
+    ) -> None:
+        super().__init__(
+            rate=0.0, departures=departures, arrivals=arrivals, step=step
+        )
+        self.trace = trace
+
+    def apply(
+        self, state: ArrayState, cycle: int, rng: np.random.Generator
+    ) -> tuple:
+        rate = self.trace.rate(cycle)
+        n = state.live_count
+        if rate > 0:
+            self._join_carry += rate * n
+        elif rate < 0:
+            self._leave_carry += -rate * n
+        leave_count = int(self._leave_carry)
+        join_count = int(self._join_carry)
+        self._leave_carry -= leave_count
+        self._join_carry -= join_count
+
+        departed = np.empty(0, dtype=np.int64)
+        if leave_count > 0:
+            leave_count = min(leave_count, max(0, state.live_count - 2))
+            departed = self._select_departures(state, leave_count, rng)
+            state.remove_nodes(departed)
+
+        joined = np.empty(0, dtype=np.int64)
+        if join_count > 0:
+            attributes = self._draw_arrivals(state, join_count, rng)
+            joined = state.add_nodes(
+                attributes, np.zeros(join_count), joined_at=cycle
+            )
+        return departed, joined
+
+
 def from_model(model) -> Optional["BulkChurn"]:
     """Convert a reference :class:`ChurnModel` to a :class:`BulkChurn`.
 
@@ -181,6 +230,21 @@ def from_model(model) -> Optional["BulkChurn"]:
         return BulkChurn(rate=0.0)
     if isinstance(model, BulkChurn):
         return model
+    if isinstance(model, AvailabilityChurn):
+        departures = _convert_departures(model.departures)
+        arrivals = _convert_arrivals(model.arrivals)
+        if departures is None or arrivals is None:
+            return None
+        return BulkAvailabilityChurn(
+            model.trace,
+            departures=departures,
+            arrivals=arrivals,
+            step=(
+                model.arrivals.step
+                if isinstance(model.arrivals, CorrelatedArrivals)
+                else 1.0
+            ),
+        )
     if not isinstance(model, (BurstChurn, RegularChurn)):
         return None
     departures = _convert_departures(model.departures)

@@ -90,10 +90,14 @@ def ordering_round(
     plan,
     selection: str = SELECTION_MAX_GAIN,
     stats=None,
+    queue=None,
+    cycle: int = 0,
 ) -> None:
     """One batched active round of the configured ordering variant,
     consuming the :class:`~repro.bulk.CyclePlan`'s ordering-phase
-    schedule (including the planned message-overlap model)."""
+    schedule (including the planned message-overlap and fault models;
+    ``queue`` is the delayed-delivery mailbox, consulted only when the
+    plan carries an enabled fault model)."""
     if selection not in _SELECTIONS:
         raise ValueError(
             f"unknown selection {selection!r}; expected one of {_SELECTIONS}"
@@ -133,7 +137,17 @@ def ordering_round(
             messages=2 * len(initiators), intended=int(intended.sum())
         )
     applier = InlineExchangeApplier(state, len(initiators))
-    run_exchanges(state, plan, initiators, targets, intended, applier, stats)
+    run_exchanges(
+        state,
+        plan,
+        initiators,
+        targets,
+        intended,
+        applier,
+        stats,
+        queue=queue,
+        cycle=cycle,
+    )
 
 
 def _max_gain_columns(

@@ -116,9 +116,18 @@ def ranking_round(
     stats=None,
     window_exact: bool = False,
     telemetry=NULL_TELEMETRY,
+    queue=None,
+    cycle: int = 0,
 ) -> None:
     """One batched active round of the ranking algorithm, consuming
-    the :class:`~repro.bulk.CyclePlan`'s ranking-phase schedule."""
+    the :class:`~repro.bulk.CyclePlan`'s ranking-phase schedule.
+
+    With a fault model attached, each one-way ``UPD`` draws a fate:
+    lost (or partition-suppressed) messages are dropped from the event
+    stream, delayed ones go to the ``queue`` mailbox with the sender's
+    attribute frozen, and mail sent ``d`` cycles ago lands now —
+    prepended to the stream, so the exact window observes late events
+    before this cycle's inline ones."""
     live = state.live_ids()
     if len(live) < 2:
         return
@@ -141,6 +150,10 @@ def ranking_round(
 
     # Lines 8-12: target selection over nodes that have neighbors.
     rows = np.flatnonzero(has_neighbors)
+    targets = np.empty(0, dtype=np.int64)
+    senders_attr = np.empty(0, dtype=np.float64)
+    overlapping = 0
+    sent = lost_count = delayed_count = matured_count = 0
     if len(rows):
         with telemetry.span("targets"):
             sub_view, sub_valid = view[rows], valid[rows]
@@ -170,7 +183,47 @@ def ranking_round(
             order, overlapping = plan.upd_schedule(len(targets))
             if order is not None:
                 targets, senders_attr = targets[order], senders_attr[order]
+            sent = len(targets)
 
+            # Fault fates: lost (or partition-crossing) UPDs vanish;
+            # delayed ones are mailed with the sender attribute frozen.
+            if plan.faults_enabled:
+                sender_ids = np.tile(live[rows], 2)
+                if order is not None:
+                    sender_ids = sender_ids[order]
+                crossing = plan.partition_mask(sender_ids, targets)
+                lost, delay = plan.message_faults("upd", len(targets))
+                if crossing is not None:
+                    lost = lost | crossing
+                delayed = ~lost & (delay > 0)
+                if queue is not None and delayed.any():
+                    delayed_idx = np.flatnonzero(delayed)
+                    lateness = delay[delayed_idx]
+                    for d in np.unique(lateness):
+                        group = delayed_idx[lateness == d]
+                        queue.push_upd(
+                            cycle + int(d), targets[group], senders_attr[group]
+                        )
+                lost_count = int(lost.sum())
+                delayed_count = int(delayed.sum())
+                if lost_count or delayed_count:
+                    keep = ~(lost | delayed)
+                    targets, senders_attr = targets[keep], senders_attr[keep]
+
+    # Mail sent d cycles ago lands now, ahead of this cycle's events.
+    if plan.faults_enabled and queue is not None:
+        matured = queue.pop_upd(cycle)
+        if matured is not None:
+            matured_targets, matured_attr = matured
+            still_alive = state.alive[matured_targets]
+            matured_targets = matured_targets[still_alive]
+            matured_attr = matured_attr[still_alive]
+            matured_count = len(matured_targets)
+            if matured_count:
+                targets = np.concatenate([matured_targets, targets])
+                senders_attr = np.concatenate([matured_attr, senders_attr])
+
+    if len(targets):
         with telemetry.span("upd_deliver"):
             # Lines 13-14 + 17-21: one-way UPD delivery as scatter-adds
             # (or, in exact-window mode, as window events).
@@ -182,11 +235,17 @@ def ranking_round(
             else:
                 np.add.at(state.obs_total, targets, 1.0)
                 np.add.at(state.obs_le, targets, upd_le)
-        if stats is not None:
-            stats.note_round(messages=len(targets), intended=0)
-            stats.note_overlapping(overlapping)
-        if telemetry.enabled:
-            telemetry.count("ranking.upd_messages", len(targets))
+    if stats is not None and (sent or matured_count):
+        stats.note_round(messages=sent, intended=0)
+        stats.note_overlapping(overlapping)
+        if lost_count:
+            stats.note_lost(lost_count)
+        if delayed_count:
+            stats.note_delayed(delayed_count)
+        if matured_count:
+            stats.note_matured(matured_count)
+    if telemetry.enabled:
+        telemetry.count("ranking.upd_messages", len(targets))
 
     with telemetry.span("estimates"):
         # Rescaling approximation: cap the effective sample count.  The

@@ -99,6 +99,17 @@ def refresh_views(state: ArrayState, plan, telemetry=NULL_TELEMETRY) -> None:
         has_partner = partners != EMPTY
         initiators, partners = live[has_partner], partners[has_partner]
 
+        # Transient partitions (fault model): a proposal whose partner
+        # sits across the partition cannot connect this cycle — skip it,
+        # exactly as the reference sampler's failed connection attempt.
+        # Filtering preserves the ascending initiator order the sharded
+        # driver's contiguous cutting relies on.
+        if plan.faults_enabled:
+            crossing = plan.partition_mask(initiators, partners)
+            if crossing is not None:
+                initiators = initiators[~crossing]
+                partners = partners[~crossing]
+
     with telemetry.span("waves"):
         extra = np.zeros(len(initiators), dtype=bool)  # no payload needed
         waves = 0

@@ -38,6 +38,7 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.bulk.faults import FaultModel, FaultQueue
 from repro.bulk.plan import CyclePlan
 from repro.bulk.rebalance import compact_state, validate_rebalance_knobs
 from repro.core.ordering import (
@@ -95,6 +96,8 @@ class VectorStats:
         self.sent = 0
         self.delivered = 0
         self.overlapping = 0
+        self.lost = 0
+        self.delayed = 0
         self.intended_swaps = 0
         self.unsuccessful_swaps = 0
         self.swaps = 0
@@ -113,6 +116,22 @@ class VectorStats:
 
     def note_overlapping(self, count: int) -> None:
         self.overlapping += count
+
+    def note_lost(self, count: int) -> None:
+        """Planned fault model dropped ``count`` messages (they were
+        counted sent but never delivered)."""
+        self.lost += count
+        self.delivered -= count
+
+    def note_delayed(self, count: int) -> None:
+        """``count`` messages went to the delayed mailbox; they leave
+        the delivered tally until they mature (:meth:`note_matured`)."""
+        self.delayed += count
+        self.delivered -= count
+
+    def note_matured(self, count: int) -> None:
+        """``count`` delayed messages landed and were delivered."""
+        self.delivered += count
 
     def note_swaps(self, swapped: int, unsuccessful: int) -> None:
         self.swaps += swapped
@@ -216,6 +235,14 @@ class VectorSimulation:
         overlap probability — the paper's Section-4.5.2 artificial
         concurrency, batched: overlapping messages apply stale
         payloads one-sidedly after the inline exchanges.
+    faults:
+        Optional :class:`~repro.bulk.faults.FaultModel` — plan-level
+        message loss, delayed delivery (a :class:`FaultQueue` mailbox
+        lands messages ``d`` cycles late with send-time payloads) and
+        scheduled transient partitions.  All fault randomness rides the
+        plan's dedicated ``faults`` stream, so enabling faults keeps
+        bitwise parity across bulk backends and worker counts, and
+        ``None`` keeps runs bit-identical to pre-fault builds.
     rebalance_every, rebalance_threshold:
         Dead-row compaction (:mod:`repro.bulk.rebalance`): relabel the
         live rows onto ``[0, live_count)`` on every
@@ -256,6 +283,7 @@ class VectorSimulation:
         concurrency: Union[str, float] = "none",
         rebalance_every: Optional[int] = None,
         rebalance_threshold: Optional[float] = None,
+        faults: Optional[FaultModel] = None,
         seed: int = 0,
         trace: TraceLog = NULL_TRACE,
         telemetry=None,
@@ -274,6 +302,10 @@ class VectorSimulation:
         # Shares the reference engine's spec parsing ('none'/'half'/
         # 'full' or a probability); rejects malformed specs here.
         self.concurrency = ConcurrencyModel.from_spec(concurrency)
+        if faults is not None and not isinstance(faults, FaultModel):
+            raise TypeError(f"faults must be a FaultModel or None, got {faults!r}")
+        self.faults = faults if faults is not None and faults.enabled else None
+        self._fault_queue = FaultQueue() if self.faults is not None else None
         validate_rebalance_knobs(rebalance_every, rebalance_threshold)
         self.rebalance_every = rebalance_every
         self.rebalance_threshold = rebalance_threshold
@@ -397,6 +429,8 @@ class VectorSimulation:
             self.concurrency.probability,
             rebalance_every=self.rebalance_every,
             rebalance_threshold=self.rebalance_threshold,
+            fault_model=self.faults,
+            cycle=self._cycle,
         )
 
     def run_cycle(self) -> None:
@@ -427,6 +461,8 @@ class VectorSimulation:
                     stats=self._stats,
                     window_exact=self.window_exact,
                     telemetry=telemetry,
+                    queue=self._fault_queue,
+                    cycle=self._cycle,
                 )
         else:
             with telemetry.span("ordering"):
@@ -435,6 +471,8 @@ class VectorSimulation:
                     plan,
                     selection=_ORDERING_SELECTION[self.protocol],
                     stats=self._stats,
+                    queue=self._fault_queue,
+                    cycle=self._cycle,
                 )
         self._cycle += 1
         telemetry.end_cycle()
@@ -518,7 +556,12 @@ class VectorSimulation:
         self._apply_rebalance(decision)
         # Compaction relabels ids through a monotone map — the alpha
         # rank index applies it as a gather instead of re-sorting.
-        self.state.log_membership("relabel", decision.id_map())
+        id_map = decision.id_map()
+        self.state.log_membership("relabel", id_map)
+        if self._fault_queue is not None:
+            # In-flight delayed mail is addressed by row id; relabel it
+            # (mail to compacted-away rows is dropped).
+            self._fault_queue.remap_ids(id_map)
         self._rebalance_count += 1
         self._last_rebalance = (
             self._cycle,

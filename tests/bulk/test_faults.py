@@ -1,0 +1,431 @@
+"""The plan-level fault model: configuration, parsing, the delayed
+mailbox, degenerate ("torn") regimes, and the availability traces.
+
+The parity story — bitwise vectorized == sharded == distributed under
+every fault regime — is asserted in the backend parity suites; this
+module pins the fault layer itself, including the configurations that
+are easy to get wrong: total blackout (``loss=1.0`` must stall, never
+crash), delays longer than the run (mail stays queued, no leak into
+results), and partitions isolating every node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bulk.faults import (
+    FaultModel,
+    FaultQueue,
+    PartitionWindow,
+    build_fault_model,
+    parse_delay,
+    parse_partitions,
+)
+from repro.churn.correlated import AvailabilityTrace
+from repro.churn.models import AvailabilityChurn
+from repro.core.slices import SlicePartition
+from repro.experiments.config import RunSpec, build_simulation
+from repro.vectorized.simulation import VectorSimulation
+
+from test_plan import make_plan
+
+
+def make_fault_plan(fault_model, cycle=0, seed=0):
+    plan = make_plan(seed=seed)
+    plan.fault_model = fault_model
+    plan.cycle = cycle
+    return plan
+
+
+class TestConfiguration:
+    def test_partition_window_validation(self):
+        with pytest.raises(ValueError, match="start"):
+            PartitionWindow(-1, 5)
+        with pytest.raises(ValueError, match="duration"):
+            PartitionWindow(0, 0)
+        with pytest.raises(ValueError, match="groups"):
+            PartitionWindow(0, 5, groups=1)
+
+    def test_window_active_interval_is_half_open(self):
+        window = PartitionWindow(start=10, duration=5)
+        assert not window.active(9)
+        assert window.active(10)
+        assert window.active(14)
+        assert not window.active(15)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError, match="loss"):
+            FaultModel(loss=1.5)
+        with pytest.raises(ValueError, match="delay"):
+            FaultModel(delay=-0.1)
+        with pytest.raises(ValueError, match="delay_max"):
+            FaultModel(delay=0.5, delay_max=0)
+        with pytest.raises(TypeError):
+            FaultModel(partitions=("40:20",))
+
+    def test_enabled(self):
+        assert not FaultModel().enabled
+        assert FaultModel(loss=0.1).enabled
+        assert FaultModel(delay=0.1).enabled
+        assert FaultModel(partitions=(PartitionWindow(0, 1),)).enabled
+        # loss=1.0 is legal configuration (the blackout regime).
+        assert FaultModel(loss=1.0).enabled
+
+    def test_earliest_active_window_wins(self):
+        first = PartitionWindow(0, 10, groups=2)
+        second = PartitionWindow(5, 10, groups=4)
+        model = FaultModel(partitions=(first, second))
+        assert model.partition_for(7) is first
+        assert model.partition_for(12) is second
+        assert model.partition_for(20) is None
+
+
+class TestParsers:
+    def test_parse_delay(self):
+        assert parse_delay("0.3") == (0.3, 1)
+        assert parse_delay("0.3:5") == (0.3, 5)
+        assert parse_delay(0.2) == (0.2, 1)
+        assert parse_delay((0.2, 4)) == (0.2, 4)
+        with pytest.raises(ValueError, match="P:D"):
+            parse_delay("1:2:3")
+
+    def test_parse_partitions(self):
+        windows = parse_partitions("40:20,100:10:4")
+        assert windows == (
+            PartitionWindow(40, 20),
+            PartitionWindow(100, 10, 4),
+        )
+        # Pass-through and empty chunks.
+        assert parse_partitions(windows) == windows
+        assert parse_partitions("40:20,") == (PartitionWindow(40, 20),)
+        with pytest.raises(ValueError, match="start:duration"):
+            parse_partitions("40")
+
+    def test_build_fault_model(self):
+        assert build_fault_model() is None
+        assert build_fault_model(loss=0.0, delay="0", partition="") is None
+        model = build_fault_model(loss=0.1, delay="0.2:3", partition="5:2:4")
+        assert model.loss == 0.1
+        assert model.delay == 0.2
+        assert model.delay_max == 3
+        assert model.partitions == (PartitionWindow(5, 2, 4),)
+
+
+class TestPlanFaultDraws:
+    """The single-source contract extended to faults: fates ride a
+    dedicated stream with draw-count canonicalism."""
+
+    def test_no_model_draws_nothing(self):
+        plan = make_plan()
+        lost, delay = plan.message_faults("req", 10)
+        assert not lost.any() and not delay.any()
+        # A fault-free plan's step trace must not mention faults.
+        assert not any("faults" in name for name, _size in plan.steps)
+
+    def test_lost_messages_still_get_delay_draws(self):
+        # The stream position after message_faults is independent of
+        # the loss *outcomes*: two models with different (non-degenerate)
+        # loss probabilities leave the faults stream at the same
+        # position, so the delay draws that follow coincide.
+        traces = {}
+        for loss in (0.1, 0.9):
+            plan = make_fault_plan(FaultModel(loss=loss, delay=0.5, delay_max=4))
+            plan.message_faults("req", 64)
+            _lost, delay = plan.message_faults("ack", 64)
+            traces[loss] = delay
+        assert np.array_equal(traces[0.1], traces[0.9])
+
+    def test_certain_loss_short_circuits(self):
+        plan = make_fault_plan(FaultModel(loss=1.0))
+        lost, delay = plan.message_faults("upd", 1000)
+        assert lost.all()
+        assert not delay.any()
+
+    def test_partition_mask_groups_by_id_modulo(self):
+        model = FaultModel(partitions=(PartitionWindow(0, 10, groups=2),))
+        plan = make_fault_plan(model, cycle=3)
+        senders = np.array([0, 1, 2, 3], dtype=np.int64)
+        receivers = np.array([2, 2, 5, 4], dtype=np.int64)
+        mask = plan.partition_mask(senders, receivers)
+        # even->even, odd->even, even->odd, odd->even
+        assert mask.tolist() == [False, True, True, True]
+
+    def test_partition_mask_none_outside_window(self):
+        model = FaultModel(partitions=(PartitionWindow(5, 2),))
+        plan = make_fault_plan(model, cycle=9)
+        ids = np.arange(4, dtype=np.int64)
+        assert plan.partition_mask(ids, ids[::-1]) is None
+
+
+class TestFaultQueue:
+    def test_fifo_within_and_across_cycles(self):
+        queue = FaultQueue()
+        queue.push_upd(5, np.array([1, 2]), np.array([0.1, 0.2]))
+        queue.push_upd(4, np.array([3]), np.array([0.3]))
+        queue.push_upd(5, np.array([4]), np.array([0.4]))
+        assert queue.pop_upd(3) is None
+        targets, attrs = queue.pop_upd(5)
+        # Earlier landing cycle first, then push order.
+        assert targets.tolist() == [3, 1, 2, 4]
+        assert attrs.tolist() == [0.3, 0.1, 0.2, 0.4]
+        assert queue.pop_upd(5) is None
+
+    def test_overdue_mail_delivers_late(self):
+        # Cycles can be skipped (live < 2 early-outs); mail whose
+        # landing cycle passed unobserved must still deliver.
+        queue = FaultQueue()
+        queue.push_values(3, np.array([7]), np.array([0.5]), np.array([0.9]))
+        receivers, attrs, payloads = queue.pop_values(10)
+        assert receivers.tolist() == [7]
+        assert payloads.tolist() == [0.9]
+
+    def test_len_and_pending(self):
+        queue = FaultQueue()
+        assert len(queue) == 0
+        queue.push_upd(1, np.array([1, 2]), np.zeros(2))
+        queue.push_values(2, np.array([3]), np.zeros(1), np.zeros(1))
+        assert queue.pending_upds == 2
+        assert queue.pending_values == 1
+        assert len(queue) == 3
+        # Empty pushes are dropped, not queued.
+        queue.push_upd(1, np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(queue) == 3
+
+    def test_remap_drops_dead_rows(self):
+        queue = FaultQueue()
+        queue.push_upd(2, np.array([0, 1, 2]), np.array([0.0, 0.1, 0.2]))
+        id_map = np.array([5, -1, 0], dtype=np.int64)
+        queue.remap_ids(id_map)
+        targets, attrs = queue.pop_upd(2)
+        assert targets.tolist() == [5, 0]
+        assert attrs.tolist() == [0.0, 0.2]
+
+
+FAULT_REGIME = dict(loss=0.15, delay="0.25:3", partitions="2:3:2")
+
+
+class TestTornConfigs:
+    """Degenerate regimes must stall or no-op — never crash."""
+
+    def run_spec(self, **overrides):
+        overrides.setdefault("protocol", "ranking")
+        spec = RunSpec(
+            n=200,
+            slice_count=10,
+            view_size=6,
+            backend="vectorized",
+            seed=11,
+            **overrides,
+        )
+        sim = build_simulation(spec)
+        sim.run(10)
+        return sim
+
+    @pytest.mark.parametrize("protocol", ["ranking", "mod-jk"])
+    def test_total_blackout_stalls_but_never_crashes(self, protocol):
+        sim = self.run_spec(protocol=protocol, loss=1.0)
+        stats = sim.bus_stats
+        # Nothing got through: no swap completed, no mail was queued.
+        assert stats.lost > 0
+        assert stats.swaps == 0
+        assert stats.delayed == 0
+
+    def test_blackout_freezes_ordering_values(self):
+        # mod-JK moves values only through completed swaps; under
+        # blackout the value multiset is exactly the initial one.
+        faulty = self.run_spec(protocol="mod-jk", loss=1.0)
+        idle = build_simulation(
+            RunSpec(
+                n=200,
+                slice_count=10,
+                view_size=6,
+                backend="vectorized",
+                protocol="mod-jk",
+                seed=11,
+            )
+        )
+        live = faulty.state.live_ids()
+        assert np.array_equal(
+            faulty.state.value[live], idle.state.value[live]
+        )
+
+    def test_delay_longer_than_run_queues_forever(self):
+        # Most messages draw delays far beyond the run's end: the
+        # mailbox fills and keeps holding mail at exit — no leak into
+        # results, no crash.
+        sim = self.run_spec(delay="1.0:1000")
+        stats = sim.bus_stats
+        assert stats.delayed > 0
+        assert len(sim._fault_queue) > 0
+        # delivered = sent - lost - delayed + matured: mail still
+        # queued at exit is visible as a delivery shortfall.
+        assert stats.delivered < stats.sent
+
+    def test_partition_isolating_every_node(self):
+        # groups >= n: every pairing crosses groups, the whole run is
+        # suppressed while the window is active.
+        sim = self.run_spec(partitions="0:10:1000")
+        assert sim.bus_stats.swaps == 0
+
+    def test_faults_compose_with_rebalancing(self):
+        from repro.churn.models import RegularChurn
+
+        sim = self.run_spec(
+            loss=0.2,
+            delay="0.3:4",
+            churn=RegularChurn(rate=0.05, period=1),
+            rebalance_every=2,
+        )
+        assert sim.rebalance_count > 0
+        assert sim.bus_stats.lost > 0
+
+
+class TestZeroFaultBitwiseCompatibility:
+    """Attaching a disabled fault model (or none) must not perturb a
+    single draw — the backward-compatibility contract of the dedicated
+    faults stream."""
+
+    def test_disabled_model_is_bitwise_invisible(self):
+        kwargs = dict(
+            size=200,
+            partition=SlicePartition.equal(5),
+            protocol="ranking",
+            view_size=6,
+            seed=21,
+        )
+        plain = VectorSimulation(**kwargs)
+        plain.run(6)
+        with_model = VectorSimulation(faults=FaultModel(), **kwargs)
+        with_model.run(6)
+        n = plain.state.size
+        for column in ("attribute", "value", "alive", "obs_le", "obs_total"):
+            assert np.array_equal(
+                getattr(plain.state, column)[:n],
+                getattr(with_model.state, column)[:n],
+            ), column
+        assert np.array_equal(
+            plain.state.view_ids[:n], with_model.state.view_ids[:n]
+        )
+
+
+class TestAvailabilityTraces:
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace.flash_crowd(rate=0.0)
+        with pytest.raises(ValueError):
+            AvailabilityTrace.diurnal_sawtooth(period=1)
+        with pytest.raises(ValueError):
+            AvailabilityTrace.mass_exit(fraction=1.5)
+
+    def test_flash_crowd_shape(self):
+        trace = AvailabilityTrace.flash_crowd(start=10, ramp=3, hold=4, rate=0.05)
+        assert trace.rate(9) == 0.0
+        assert trace.rate(10) == 0.05
+        assert trace.rate(12) == 0.05
+        assert trace.rate(13) == 0.0  # plateau
+        assert trace.rate(17) == -0.05  # drain
+        assert trace.last_cycle == 19
+
+    def test_diurnal_sawtooth_alternates(self):
+        trace = AvailabilityTrace.diurnal_sawtooth(
+            period=4, amplitude=0.01, cycles=8
+        )
+        assert [trace.rate(c) for c in range(4)] == [-0.01, -0.01, 0.01, 0.01]
+
+    def test_mass_exit_spreads_fraction(self):
+        trace = AvailabilityTrace.mass_exit(at=5, fraction=0.4, over=2)
+        assert trace.rate(5) == pytest.approx(-0.2)
+        assert trace.rate(6) == pytest.approx(-0.2)
+        assert trace.rate(7) == 0.0
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            AvailabilityTrace.flash_crowd(start=2, ramp=3, hold=3, rate=0.05),
+            AvailabilityTrace.diurnal_sawtooth(period=6, amplitude=0.02, cycles=15),
+            AvailabilityTrace.mass_exit(at=4, fraction=0.3, over=2),
+        ],
+        ids=["flash-crowd", "diurnal", "mass-exit"],
+    )
+    def test_replays_identically_on_reference_and_bulk(self, trace):
+        # Same trace, same seed: the reference model and its bulk twin
+        # produce the same per-cycle live-count trajectory.
+        def counts(backend):
+            sim = build_simulation(
+                RunSpec(
+                    n=300,
+                    slice_count=10,
+                    view_size=6,
+                    churn=AvailabilityChurn(trace),
+                    backend=backend,
+                    protocol="ranking",
+                    seed=7,
+                )
+            )
+            trajectory = []
+            for _ in range(15):
+                sim.run_cycle()
+                trajectory.append(sim.live_count)
+            return trajectory
+
+        assert counts("reference") == counts("vectorized")
+
+    def test_traces_compose_with_faults(self):
+        trace = AvailabilityTrace.mass_exit(at=3, fraction=0.4, over=2)
+        sim = build_simulation(
+            RunSpec(
+                n=300,
+                slice_count=10,
+                view_size=6,
+                churn=AvailabilityChurn(trace),
+                backend="vectorized",
+                protocol="ranking",
+                loss=0.2,
+                delay="0.3:3",
+                seed=7,
+            )
+        )
+        sim.run(12)
+        assert sim.live_count < 300
+        assert sim.bus_stats.lost > 0
+
+
+class TestServiceAndSpecKnobs:
+    def test_reference_rejects_delay_and_partitions(self):
+        for overrides in (
+            dict(delay="0.5:2"),
+            dict(partitions="0:5"),
+            dict(loss=1.0),
+        ):
+            with pytest.raises(ValueError):
+                build_simulation(RunSpec(n=50, **overrides))
+
+    def test_reference_serves_plain_loss(self):
+        sim = build_simulation(RunSpec(n=100, loss=0.3, seed=3))
+        sim.run(3)
+        assert sim.bus_stats.lost > 0
+
+    def test_bulk_spec_round_trip(self):
+        spec = RunSpec(
+            n=100, backend="vectorized", loss=0.1, delay="0.2:2", partitions="1:2"
+        )
+        description = spec.describe()
+        assert "loss=0.1" in description
+        assert "delay=0.2:2" in description
+        assert "partitions=1:2" in description
+
+    def test_service_knobs(self):
+        from repro.core.service import SlicingService
+
+        with pytest.raises(ValueError):
+            SlicingService(size=50, delay="0.5")
+        service = SlicingService(
+            size=150,
+            slices=8,
+            backend="vectorized",
+            loss=0.1,
+            delay="0.2:2",
+            partition="1:2",
+            seed=3,
+        )
+        service.run(5)
+        assert service.simulation.bus_stats.lost > 0

@@ -142,6 +142,41 @@ class TestPlanTraceParity:
         assert len(vector_traces) == 5
         assert all(trace for trace in vector_traces)
 
+    @pytest.mark.parametrize("protocol", ["ranking", "mod-jk"])
+    def test_fault_traces_identical(self, protocol):
+        # The fault masks are plan points like any other: with loss,
+        # delay and a partition window all firing, the recorded step
+        # traces (including "faults:*" and "partition" steps) coincide
+        # across backends.
+        from repro.bulk.faults import FaultModel, PartitionWindow
+
+        kwargs = dict(
+            size=200,
+            partition=SlicePartition.equal(5),
+            protocol=protocol,
+            view_size=6,
+            seed=21,
+            concurrency="half",
+            faults=FaultModel(
+                loss=0.2,
+                delay=0.3,
+                delay_max=3,
+                partitions=(PartitionWindow(2, 2),),
+            ),
+        )
+        vectorized = VectorSimulation(**kwargs)
+        vector_traces = self.traced(vectorized, 6)
+        with ShardedSimulation(workers=2, **kwargs) as sharded:
+            sharded_traces = self.traced(sharded, 6)
+        assert vector_traces == sharded_traces
+        fault_steps = [
+            step
+            for trace in vector_traces
+            for step in trace
+            if step[0].startswith("faults:") or step[0] == "partition"
+        ]
+        assert fault_steps
+
     def test_rebalance_step_traced_identically(self):
         from repro.churn.models import RegularChurn
 

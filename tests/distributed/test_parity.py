@@ -308,3 +308,57 @@ class TestTransportEquivalence:
         finally:
             over_tcp.close()
             over_loopback.close()
+
+
+class TestFaultParityBitwise:
+    """Loss + delay + partitions over the message transports: the fault
+    fates are drawn in the plan and shipped as payload slices, so the
+    distributed backend is bitwise identical to vectorized under every
+    fault regime."""
+
+    def fault_runs(self, protocol, workers, transport, cycles=8, **overrides):
+        from repro.bulk.faults import build_fault_model
+
+        faults = build_fault_model(loss=0.15, delay="0.25:3", partition="2:3:2")
+        return paired_runs(
+            protocol,
+            workers,
+            transport,
+            cycles=cycles,
+            faults=faults,
+            **overrides,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("protocol", ["ranking", "mod-jk"])
+    def test_loopback_full_fault_regime(self, workers, protocol):
+        vectorized, distributed = self.fault_runs(protocol, workers, "loopback")
+        try:
+            assert vectorized.bus_stats.lost > 0
+            assert distributed.bus_stats.lost == vectorized.bus_stats.lost
+            assert distributed.bus_stats.delayed == vectorized.bus_stats.delayed
+            assert_states_identical(vectorized, distributed)
+        finally:
+            distributed.close()
+
+    def test_tcp_full_fault_regime(self):
+        vectorized, distributed = self.fault_runs("mod-jk", 2, "tcp")
+        try:
+            assert_states_identical(vectorized, distributed)
+        finally:
+            distributed.close()
+
+    def test_faults_with_rebalancing_identical(self):
+        vectorized, distributed = self.fault_runs(
+            "ranking",
+            2,
+            "loopback",
+            cycles=10,
+            churn=skewed_churn(),
+            rebalance_every=2,
+        )
+        try:
+            assert vectorized.rebalance_count > 0
+            assert_states_identical(vectorized, distributed)
+        finally:
+            distributed.close()

@@ -363,3 +363,90 @@ class TestCrossBackendStatistical:
         vec, _ = curves["vectorized"]
         sha, _ = curves["sharded"]
         assert np.array_equal(vec, sha)
+
+
+class TestFaultParityBitwise:
+    """The tentpole acceptance bar: the fault masks are planned, so
+    loss + delay + partitions produce bit-identical state at every
+    worker count — and identical fault accounting."""
+
+    FAULTS = dict(loss=0.15, delay="0.25:3", partitions="2:3:2")
+
+    def fault_runs(self, protocol, workers, cycles=8, **overrides):
+        from repro.bulk.faults import build_fault_model
+
+        faults = build_fault_model(
+            loss=self.FAULTS["loss"],
+            delay=self.FAULTS["delay"],
+            partition=self.FAULTS["partitions"],
+        )
+        return paired_runs(
+            protocol,
+            workers=workers,
+            cycles=cycles,
+            faults=faults,
+            **overrides,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("protocol", ["ranking", "mod-jk"])
+    def test_full_fault_regime_identical(self, workers, protocol):
+        vectorized, sharded = self.fault_runs(protocol, workers)
+        try:
+            assert_states_identical(vectorized, sharded)
+            assert vectorized.bus_stats.lost > 0
+            assert sharded.bus_stats.lost == vectorized.bus_stats.lost
+            assert sharded.bus_stats.delayed == vectorized.bus_stats.delayed
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_faults_with_concurrency_identical(self, workers):
+        vectorized, sharded = self.fault_runs(
+            "mod-jk", workers, concurrency="half"
+        )
+        try:
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
+
+    def test_faults_with_rebalancing_identical(self):
+        # Queued mail survives row relabeling: the mailbox remap is
+        # part of the plan-parity contract too.
+        churn = RegularChurn(rate=0.05, period=1)
+        vectorized, sharded = self.fault_runs(
+            "ranking", workers=2, cycles=10, churn=churn, rebalance_every=2
+        )
+        try:
+            assert vectorized.rebalance_count > 0
+            assert sharded.rebalance_count == vectorized.rebalance_count
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_ten_thousand_node_fault_parity(self, workers):
+        # The CI fault-parity job's headline point: n = 10^4 (the
+        # paper's scale) under loss + delay + partition, still bitwise.
+        from repro.bulk.faults import build_fault_model
+
+        kwargs = dict(
+            size=10_000,
+            partition=SlicePartition.equal(10),
+            protocol="ranking",
+            view_size=8,
+            seed=13,
+            faults=build_fault_model(
+                loss=0.15, delay="0.25:3", partition="1:3:2"
+            ),
+        )
+        vectorized = VectorSimulation(**kwargs)
+        vectorized.run(4)
+        sharded = ShardedSimulation(workers=workers, **kwargs)
+        try:
+            sharded.run(4)
+            assert vectorized.bus_stats.lost > 0
+            assert vectorized.bus_stats.delayed > 0
+            assert_states_identical(vectorized, sharded)
+        finally:
+            sharded.close()
